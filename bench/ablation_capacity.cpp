@@ -1,0 +1,11 @@
+// Bench harness entry point: capacity-overflow study (why the paper
+// excluded yada). See DESIGN.md §4 and EXPERIMENTS.md.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::ablation_capacity(opts, std::cout);
+}

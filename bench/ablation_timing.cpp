@@ -1,0 +1,11 @@
+// Bench harness entry point: coherence-timing fidelity study.
+// See DESIGN.md §2 and EXPERIMENTS.md.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::ablation_timing(opts, std::cout);
+}

@@ -1,0 +1,11 @@
+// Bench harness entry point: extension study "ablation_variance".
+// See DESIGN.md §4/§6 and EXPERIMENTS.md.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::ablation_variance(opts, std::cout);
+}

@@ -1,0 +1,12 @@
+// Bench harness entry point: regenerates the paper artifact
+// "fig10_execution_time". See DESIGN.md §4 for the per-experiment index and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::fig10_execution_time(opts, std::cout);
+}

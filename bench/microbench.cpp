@@ -1,0 +1,95 @@
+// Component microbenchmarks (google-benchmark): host-side cost of the
+// simulator's hot paths. These measure the SIMULATOR, not the simulated
+// machine — useful when hacking on the library itself.
+#include <benchmark/benchmark.h>
+
+#include "core/classifier.hpp"
+#include "core/subblock_detector.hpp"
+#include "guest/garray.hpp"
+#include "guest/grbtree.hpp"
+#include "guest/machine.hpp"
+#include "harness/experiment.hpp"
+#include "mem/cache.hpp"
+#include "sim/random.hpp"
+
+namespace asfsim {
+namespace {
+
+void BM_TagArrayLookup(benchmark::State& state) {
+  SimConfig cfg;
+  TagArray l1(cfg.l1);
+  std::vector<Addr> lines;
+  Rng rng(7);
+  for (int i = 0; i < 512; ++i) {
+    const Addr line = rng.below(1 << 22) << kLineShift;
+    if (auto* v = l1.find_victim(line, [](Addr) { return false; })) {
+      l1.fill(v, line, Moesi::kShared);
+    }
+    lines.push_back(line);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l1.find(lines[i++ & 511]));
+  }
+}
+BENCHMARK(BM_TagArrayLookup);
+
+void BM_SubBlockProbeCheck(benchmark::State& state) {
+  SubBlockDetector det(static_cast<std::uint32_t>(state.range(0)));
+  SpecState meta;
+  meta.read_bytes = byte_mask(0, 8) | byte_mask(24, 8);
+  meta.write_bytes = byte_mask(40, 8);
+  meta.bits.spec = 0xf;
+  meta.bits.wr = 0x4;
+  const ByteMask probe = byte_mask(16, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.check_probe(meta, probe, true));
+  }
+}
+BENCHMARK(BM_SubBlockProbeCheck)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ClassifyConflict(benchmark::State& state) {
+  SpecState meta;
+  meta.read_bytes = byte_mask(0, 8);
+  meta.write_bytes = byte_mask(32, 4);
+  const ByteMask probe = byte_mask(8, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_conflict(meta, probe, true));
+  }
+}
+BENCHMARK(BM_ClassifyConflict);
+
+void BM_SimulatedTxThroughput(benchmark::State& state) {
+  // Whole-stack cost: simulated transactions per host-second on the counter
+  // microworkload (8 cores, sub-block detector).
+  for (auto _ : state) {
+    ExperimentConfig cfg;
+    cfg.detector = DetectorKind::kSubBlock;
+    cfg.params.scale = 0.2;
+    const auto r = run_experiment("counter", cfg);
+    benchmark::DoNotOptimize(r.stats.tx_commits);
+    state.counters["sim_tx"] += static_cast<double>(r.stats.tx_attempts);
+    state.counters["sim_cycles"] += static_cast<double>(r.stats.total_cycles);
+  }
+}
+BENCHMARK(BM_SimulatedTxThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_GuestRbTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.ncores = 1;
+    Machine m(cfg, DetectorKind::kBaseline);
+    GRBTree tree = GRBTree::create(m);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      tree.host_insert(m, rng.next_u64() % 4096, i);
+    }
+    benchmark::DoNotOptimize(tree.host_size(m));
+  }
+}
+BENCHMARK(BM_GuestRbTreeInsert)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace asfsim
+
+BENCHMARK_MAIN();

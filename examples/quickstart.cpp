@@ -1,0 +1,98 @@
+// quickstart — the smallest end-to-end use of the library.
+//
+// Builds an 8-core simulated machine, runs one guest thread per core that
+// transactionally increments random cells of a shared, unpadded 32-bit
+// array, and shows how the speculative sub-blocking detector removes the
+// false conflicts the baseline ASF detector suffers.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "guest/garray.hpp"
+#include "guest/machine.hpp"
+
+using namespace asfsim;
+
+namespace {
+
+// A guest thread: each transaction reads a few random cells and increments
+// one. All simulated memory access happens through co_await.
+Task<void> worker(GuestCtx& ctx, GArray32 cells, std::uint64_t ncells,
+                  int ntx) {
+  for (int i = 0; i < ntx; ++i) {
+    std::uint64_t reads[4];
+    for (auto& r : reads) r = ctx.rng().below(ncells);
+    const std::uint64_t target = ctx.rng().below(ncells);
+    co_await ctx.run_tx([&]() -> Task<void> {
+      std::uint64_t sum = 0;
+      for (const auto r : reads) sum += co_await cells.get(ctx, r);
+      (void)sum;
+      const std::uint64_t v = co_await cells.get(ctx, target);
+      co_await cells.set(ctx, target, v + 1);
+    });
+    co_await ctx.work(20);  // some non-transactional compute
+  }
+}
+
+struct Outcome {
+  std::uint64_t conflicts, false_conflicts, commits;
+  Cycle cycles;
+};
+
+Outcome run(DetectorKind detector, std::uint32_t nsub) {
+  constexpr std::uint64_t kCells = 256;  // 16 unpadded lines of 4-byte cells
+  constexpr int kTxPerThread = 300;
+
+  Machine m(SimConfig{}, detector, nsub);
+  GArray32 cells = GArray32::alloc(m.galloc(), kCells);
+  for (std::uint64_t i = 0; i < kCells; ++i) cells.poke(m, i, 0);
+
+  for (CoreId c = 0; c < m.config().ncores; ++c) {
+    m.spawn(c, worker(m.ctx(c), cells, kCells, kTxPerThread));
+  }
+  m.run();
+
+  // The result must be detector-independent: every increment exactly once.
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < kCells; ++i) sum += cells.peek(m, i);
+  const std::uint64_t expect = m.config().ncores * kTxPerThread;
+  if (sum != expect) {
+    std::fprintf(stderr, "BUG: lost updates (%llu != %llu)\n",
+                 static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(expect));
+    std::exit(1);
+  }
+  const Stats& s = m.stats();
+  return {s.conflicts_total, s.conflicts_false, s.tx_commits, s.total_cycles};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("quickstart: 8 cores, 2400 transactions over 16 shared lines\n\n");
+  std::printf("%-22s %9s %9s %9s %12s\n", "detector", "conflicts", "false",
+              "commits", "cycles");
+  const Outcome base = run(DetectorKind::kBaseline, 1);
+  std::printf("%-22s %9llu %9llu %9llu %12llu\n", "baseline ASF",
+              (unsigned long long)base.conflicts,
+              (unsigned long long)base.false_conflicts,
+              (unsigned long long)base.commits,
+              (unsigned long long)base.cycles);
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u}) {
+    const Outcome o = run(DetectorKind::kSubBlock, n);
+    std::printf("sub-block (%2u)         %9llu %9llu %9llu %12llu\n", n,
+                (unsigned long long)o.conflicts,
+                (unsigned long long)o.false_conflicts,
+                (unsigned long long)o.commits, (unsigned long long)o.cycles);
+  }
+  const Outcome perf = run(DetectorKind::kPerfect, 1);
+  std::printf("%-22s %9llu %9llu %9llu %12llu\n", "perfect (no false)",
+              (unsigned long long)perf.conflicts,
+              (unsigned long long)perf.false_conflicts,
+              (unsigned long long)perf.commits,
+              (unsigned long long)perf.cycles);
+  std::printf(
+      "\nfalse conflicts melt away as the conflict-detection granularity "
+      "shrinks,\nwhile the final memory contents stay identical.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// travel_reservation — a vacation-style client/server scenario on the
+// public API: red-black-tree resource tables queried and updated by
+// concurrent transactional clients.
+//
+//   $ ./travel_reservation [--scale f] [--threads n] [--seed n]
+#include <cstdio>
+#include <string>
+
+#include "guest/grbtree.hpp"
+#include "guest/machine.hpp"
+#include "harness/args.hpp"
+
+using namespace asfsim;
+
+namespace {
+
+struct Agency {
+  GRBTree cars, rooms;
+  Addr revenue = 0;  // shared 8-byte revenue accumulator
+  std::uint64_t nresources = 0;
+};
+
+Task<void> client(GuestCtx& ctx, Agency* a, int trips) {
+  for (int i = 0; i < trips; ++i) {
+    const std::uint64_t car_id = 1 + ctx.rng().below(a->nresources);
+    const std::uint64_t room_id = 1 + ctx.rng().below(a->nresources);
+    co_await ctx.run_tx([&]() -> Task<void> {
+      // Query both resources, book only when the whole trip is possible —
+      // the classic all-or-nothing use case for transactions.
+      const std::uint64_t cars = co_await a->cars.find(ctx, car_id, 0);
+      const std::uint64_t rooms = co_await a->rooms.find(ctx, room_id, 0);
+      if (cars == 0 || rooms == 0) co_return;
+      co_await a->cars.update(ctx, car_id, cars - 1);
+      co_await a->rooms.update(ctx, room_id, rooms - 1);
+      const std::uint64_t rev = co_await ctx.load_u64(a->revenue);
+      co_await ctx.store_u64(a->revenue, rev + 100);
+    });
+    co_await ctx.work(50);  // browse time
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opts = parse_cli(argc, argv);
+  const auto trips = static_cast<int>(40 * opts.scale + 1);
+
+  std::printf("travel_reservation: %u clients x %d trips\n\n", opts.threads,
+              trips);
+  std::printf("%-22s %9s %9s %9s %12s\n", "detector", "conflicts", "false",
+              "booked", "cycles");
+
+  for (const auto& [label, kind, nsub] :
+       {std::tuple{"baseline ASF", DetectorKind::kBaseline, 1u},
+        std::tuple{"sub-block (4)", DetectorKind::kSubBlock, 4u},
+        std::tuple{"perfect", DetectorKind::kPerfect, 1u}}) {
+    SimConfig sim;
+    sim.ncores = opts.threads;
+    sim.seed = opts.seed;
+    Machine m(sim, kind, nsub);
+
+    Agency a;
+    a.cars = GRBTree::create(m);
+    a.rooms = GRBTree::create(m);
+    a.revenue = m.galloc().alloc(64, 64);
+    m.poke(a.revenue, 8, 0);
+    a.nresources = 64;
+    std::uint64_t capacity = 0;
+    Rng rng(opts.seed * 3 + 1);
+    for (std::uint64_t id = 1; id <= a.nresources; ++id) {
+      const std::uint64_t c = 1 + rng.below(4), r = 1 + rng.below(4);
+      a.cars.host_insert(m, id, c);
+      a.rooms.host_insert(m, id, r);
+      capacity += c + r;
+    }
+
+    for (CoreId core = 0; core < m.config().ncores; ++core) {
+      m.spawn(core, client(m.ctx(core), &a, trips));
+    }
+    m.run();
+
+    // Audit: every booked pair removed one car + one room and added 100.
+    std::uint64_t left = 0;
+    for (std::uint64_t id = 1; id <= a.nresources; ++id) {
+      left += a.cars.host_find(m, id, 0) + a.rooms.host_find(m, id, 0);
+    }
+    const std::uint64_t booked = m.peek(a.revenue, 8) / 100;
+    if (left + 2 * booked != capacity || a.cars.host_validate(m) < 0 ||
+        a.rooms.host_validate(m) < 0) {
+      std::fprintf(stderr, "BUG: booking audit failed\n");
+      return 1;
+    }
+    const Stats& s = m.stats();
+    std::printf("%-22s %9llu %9llu %9llu %12llu\n", label,
+                (unsigned long long)s.conflicts_total,
+                (unsigned long long)s.conflicts_false,
+                (unsigned long long)booked,
+                (unsigned long long)s.total_cycles);
+  }
+  std::printf("\nall three detectors book the same audited trips; only the\n"
+              "conflict/abort behaviour differs.\n");
+  return 0;
+}

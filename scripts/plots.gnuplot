@@ -1,0 +1,37 @@
+# Headline plots from the CSV mirrors written by scripts/reproduce_all.sh.
+# Usage: gnuplot -e "outdir='reproduction'" scripts/plots.gnuplot
+if (!exists("outdir")) outdir = "reproduction"
+set datafile separator ","
+set terminal pngcairo size 900,540 font ",11"
+set style data histograms
+set style fill solid 0.8 border -1
+set key outside top
+set yrange [0:*]
+
+set output outdir."/fig1_false_conflict_rate.png"
+set title "Fig 1: false conflict rate (baseline ASF)"
+set ylabel "false conflicts / all conflicts"
+plot outdir."/fig1_false_conflict_rate.csv" every ::1 \
+     using 4:xtic(1) title "false rate"
+
+set output outdir."/fig8_subblock_sensitivity.png"
+set title "Fig 8: false-conflict reduction vs sub-block count (measured)"
+set ylabel "reduction vs baseline"
+plot outdir."/fig8_subblock_sensitivity.csv" every 4::1 using 3:xtic(1) title "2", \
+     "" every 4::2 using 3:xtic(1) title "4", \
+     "" every 4::3 using 3:xtic(1) title "8", \
+     "" every 4::4 using 3:xtic(1) title "16"
+
+set output outdir."/fig9_overall_conflict_reduction.png"
+set title "Fig 9: overall conflict reduction"
+set ylabel "reduction vs baseline"
+plot outdir."/fig9_overall_conflict_reduction.csv" every ::1 \
+     using 3:xtic(1) title "sub-block(4)", \
+     "" every ::1 using 4 title "perfect"
+
+set output outdir."/fig10_execution_time.png"
+set title "Fig 10: execution-time improvement"
+set ylabel "improvement vs baseline"
+plot outdir."/fig10_execution_time.csv" every ::1 \
+     using 3:xtic(1) title "sub-block(4)", \
+     "" every ::1 using 4 title "perfect"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact at full scale, with CSV mirrors + plots.
+#
+#   scripts/reproduce_all.sh [outdir]
+#
+# Produces <outdir>/*.txt (the printed tables/series), <outdir>/*.csv, and —
+# when gnuplot is installed — <outdir>/*.png for the headline figures.
+set -euo pipefail
+out="${1:-reproduction}"
+build="${BUILD_DIR:-build}"
+mkdir -p "$out"
+
+benches=(
+  table1_states table2_config table3_benchmarks
+  fig1_false_conflict_rate fig2_conflict_type_breakdown
+  fig3_time_distribution fig4_line_distribution fig5_intra_line_access
+  fig8_subblock_sensitivity fig9_overall_conflict_reduction
+  fig10_execution_time
+  ablation_waronly ablation_waw_rule ablation_overhead
+  ablation_ats ablation_cores ablation_variance ablation_capacity
+  ablation_l1_geometry ablation_scale ablation_timing
+)
+for b in "${benches[@]}"; do
+  echo "== $b"
+  "$build/bench/$b" --csv "$out" | tee "$out/$b.txt"
+done
+
+if command -v gnuplot >/dev/null 2>&1; then
+  gnuplot -e "outdir='$out'" scripts/plots.gnuplot || true
+  echo "plots written to $out/"
+else
+  echo "gnuplot not found: CSV series are in $out/, plots skipped"
+fi

@@ -1,0 +1,36 @@
+// Ground-truth conflict classification (paper Figs. 1-2 vocabulary).
+//
+// Every detected conflict is classified against the victim's exact byte
+// masks, independent of which detector found it:
+//   * false  — the probe's bytes do not overlap the victim's relevant bytes
+//              (pure cache-line / sub-block false sharing);
+//   * type   — WAR / RAW / WAW, named from the incoming access versus the
+//              victim's existing speculative state.
+#pragma once
+
+#include "core/conflict.hpp"
+#include "core/detector.hpp"
+
+namespace asfsim {
+
+struct Classification {
+  bool is_false = false;
+  ConflictType type = ConflictType::kWAR;
+};
+
+/// Classify a (hypothetical or detected) conflict between an incoming probe
+/// and a victim's speculative state.
+[[nodiscard]] Classification classify_conflict(const SpecState& victim,
+                                               ByteMask probe,
+                                               bool invalidating);
+
+/// Would baseline ASF (per-line SR/SW) have flagged this probe as a conflict?
+/// Used to count false conflicts *avoided* by finer-grained detectors.
+[[nodiscard]] bool baseline_would_conflict(const SpecState& victim,
+                                           bool invalidating);
+
+/// Is there a true (byte-overlap) conflict?
+[[nodiscard]] bool true_conflict(const SpecState& victim, ByteMask probe,
+                                 bool invalidating);
+
+}  // namespace asfsim

@@ -1,0 +1,59 @@
+// Conflict and abort vocabulary shared by the detectors, the HTM runtime,
+// the memory system and the statistics module.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/addr.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// Paper Fig. 2 vocabulary: type of a transactional conflict, named from the
+/// incoming access relative to the victim's existing speculative state.
+///   WAR — incoming (invalidating) write hits a speculatively-READ line
+///   RAW — incoming (non-invalidating) read hits a speculatively-WRITTEN line
+///   WAW — incoming write hits a speculatively-WRITTEN line
+enum class ConflictType : std::uint8_t { kWAR = 0, kRAW = 1, kWAW = 2 };
+
+[[nodiscard]] constexpr const char* to_string(ConflictType t) {
+  switch (t) {
+    case ConflictType::kWAR: return "WAR";
+    case ConflictType::kRAW: return "RAW";
+    case ConflictType::kWAW: return "WAW";
+  }
+  return "?";
+}
+
+/// Why a transaction aborted.
+enum class AbortCause : std::uint8_t {
+  kConflict = 0,  // coherence-detected transactional conflict
+  kCapacity,      // speculative line could not be kept in the L1 (best-effort)
+  kUser,          // explicit guest-requested abort (e.g. labyrinth re-route)
+  kLockWait,      // the software fallback lock was held at subscribe time
+};
+
+[[nodiscard]] constexpr const char* to_string(AbortCause c) {
+  switch (c) {
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kUser: return "user";
+    case AbortCause::kLockWait: return "lock-wait";
+  }
+  return "?";
+}
+
+/// One detected transactional conflict (one aborted victim).
+struct ConflictRecord {
+  CoreId requester = kInvalidCore;
+  CoreId victim = kInvalidCore;
+  Addr line = 0;
+  ByteMask probe_bytes = 0;   // bytes touched by the incoming access
+  ByteMask victim_bytes = 0;  // victim bytes the probe type checks against
+  bool invalidating = false;  // incoming access was a write/RFO
+  bool is_false = false;     // no byte-level overlap => false conflict
+  ConflictType type = ConflictType::kWAR;
+  Cycle cycle = 0;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,92 @@
+// Conflict-detection policies.
+//
+// A ConflictDetector is a stateless policy object; the per-(core, line)
+// speculative metadata it operates on is the SpecState below, owned by the
+// MemorySystem and cleared when the owning transaction commits or aborts.
+//
+// SpecState carries two views of the same speculative accesses:
+//   * exact byte masks (read_bytes / write_bytes) — the ground truth used by
+//     the classifier (false/true, WAR/RAW/WAW) and by the perfect detector;
+//   * architectural sub-block bits (paper Table I) — what the proposed
+//     hardware actually stores and checks.
+// The baseline ASF detector only looks at "any byte set" (its per-line SR/SW
+// bits are exactly read_bytes != 0 / write_bytes != 0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/subblock_state.hpp"
+#include "mem/addr.hpp"
+
+namespace asfsim {
+
+/// Per-(core, line) speculative metadata for the core's current transaction.
+struct SpecState {
+  ByteMask read_bytes = 0;   // bytes speculatively read
+  ByteMask write_bytes = 0;  // bytes speculatively written
+  SubBlockBits bits;         // architectural per-sub-block SPEC/WR bits
+};
+
+/// Result of checking an incoming coherence probe against a victim's state.
+struct ProbeCheck {
+  bool conflict = false;        // abort the victim's transaction
+  SubBlockMask piggyback = 0;   // spec-written sub-blocks to report back to the
+                                // requester (marked Dirty there); load probes
+  bool retain_spec_info = false;  // on invalidation without conflict, keep the
+                                  // speculative info in the invalidated line
+};
+
+enum class DetectorKind : std::uint8_t {
+  kBaseline = 0,        // ASF per-line SR/SW bits
+  kSubBlock,            // speculative sub-blocking state; WAW checked at
+                        // sub-block granularity (sound here because
+                        // versioning is overlay-based — see DESIGN.md §6.5)
+  kSubBlockWawLine,     // paper §IV-D2 faithful: any invalidation of a line
+                        // holding S-WR sub-blocks aborts (in-cache
+                        // versioning cannot survive losing the line)
+  kSubBlockNoDirty,     // ablation: sub-blocking WITHOUT dirty handling
+                        // (demonstrates the Fig. 6 atomicity problem)
+  kPerfect,             // byte-granularity oracle: zero false conflicts
+  kWarOnly,             // prior work (SpMT/DPTM-style): only false WAR
+                        // conflicts are speculated away
+};
+
+[[nodiscard]] const char* to_string(DetectorKind k);
+
+class ConflictDetector {
+ public:
+  virtual ~ConflictDetector() = default;
+
+  [[nodiscard]] virtual DetectorKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Number of sub-blocks per line this detector tracks (1 for per-line).
+  [[nodiscard]] virtual std::uint32_t nsub() const { return 1; }
+
+  /// True for the perfect detector: conflicts are found by a centralized
+  /// byte-overlap check on every access instead of via coherence probes.
+  [[nodiscard]] virtual bool global_oracle() const { return false; }
+
+  /// Check an incoming probe (byte mask `probe`) against a remote victim's
+  /// speculative state. `invalidating` = the probe is for a write/RFO.
+  [[nodiscard]] virtual ProbeCheck check_probe(const SpecState& victim,
+                                               ByteMask probe,
+                                               bool invalidating) const = 0;
+
+  /// Should a transactional load that hits the local L1 be treated as a miss
+  /// because it touches Dirty sub-blocks? `dirty` is the line's dirty-mark
+  /// sub-block mask, `access` the load's byte mask.
+  [[nodiscard]] virtual bool dirty_hit(SubBlockMask dirty,
+                                       ByteMask access) const {
+    (void)dirty;
+    (void)access;
+    return false;
+  }
+};
+
+/// Factory. `nsub` is only meaningful for the sub-blocking detectors.
+[[nodiscard]] std::unique_ptr<ConflictDetector> make_detector(
+    DetectorKind kind, std::uint32_t nsub = 4);
+
+}  // namespace asfsim

@@ -1,0 +1,15 @@
+#include "core/line_detector.hpp"
+
+namespace asfsim {
+
+ProbeCheck LineDetector::check_probe(const SpecState& victim, ByteMask probe,
+                                     bool invalidating) const {
+  (void)probe;  // line granularity: the probe's bytes are irrelevant
+  ProbeCheck pc;
+  const bool sr = victim.read_bytes != 0;
+  const bool sw = victim.write_bytes != 0;
+  pc.conflict = invalidating ? (sr || sw) : sw;
+  return pc;
+}
+
+}  // namespace asfsim

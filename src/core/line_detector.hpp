@@ -1,0 +1,20 @@
+// Baseline ASF conflict detection: one SR bit and one SW bit per cache line
+// (paper §IV-A). An invalidating probe conflicts with SR or SW; a
+// non-invalidating probe conflicts with SW only.
+#pragma once
+
+#include "core/detector.hpp"
+
+namespace asfsim {
+
+class LineDetector final : public ConflictDetector {
+ public:
+  [[nodiscard]] DetectorKind kind() const override {
+    return DetectorKind::kBaseline;
+  }
+  [[nodiscard]] const char* name() const override { return "baseline-asf"; }
+  [[nodiscard]] ProbeCheck check_probe(const SpecState& victim, ByteMask probe,
+                                       bool invalidating) const override;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,30 @@
+// The ideal system: conflict detection at exact byte granularity, i.e. zero
+// false conflicts by construction. This is the paper's "perfect system"
+// performance upper bound (§V-A). It is realized as a centralized oracle:
+// every access is checked for byte overlap against all other cores'
+// speculative states, independent of cache residency, so coherence probes
+// themselves never signal conflicts.
+#pragma once
+
+#include "core/detector.hpp"
+
+namespace asfsim {
+
+class PerfectDetector final : public ConflictDetector {
+ public:
+  [[nodiscard]] DetectorKind kind() const override {
+    return DetectorKind::kPerfect;
+  }
+  [[nodiscard]] const char* name() const override { return "perfect"; }
+  [[nodiscard]] bool global_oracle() const override { return true; }
+
+  [[nodiscard]] ProbeCheck check_probe(const SpecState& victim, ByteMask probe,
+                                       bool invalidating) const override {
+    (void)victim;
+    (void)probe;
+    (void)invalidating;
+    return {};  // conflicts are found by the oracle, never by probes
+  }
+};
+
+}  // namespace asfsim

@@ -1,0 +1,51 @@
+// The paper's contribution: speculative sub-blocking state (paper §IV).
+//
+// Each line is split into `nsub` sub-blocks, each carrying (SPEC, WR) bits
+// (Table I). Probe checks run at sub-block granularity:
+//   * non-invalidating (load) probe: conflicts only with S-WR sub-blocks it
+//     touches; otherwise the set of S-WR sub-blocks is piggy-backed on the
+//     response so the requester can mark them Dirty (§IV-D1);
+//   * invalidating (store) probe: conflicts with any touched S-RD/S-WR
+//     sub-block, and with the line as a whole if *any* sub-block is S-WR —
+//     WAW false conflicts are ~0% so they are not worth decoupling (§IV-D2);
+//   * on a conflict-free invalidation, speculative info is retained inside
+//     the invalidated line so later true conflicts are still caught (§IV-B).
+//
+// A transactional load that hits a Dirty sub-block locally is treated as an
+// L1 miss and re-probes, which either aborts the still-running writer or
+// refetches committed data (§IV-C).
+//
+// The kSubBlockNoDirty variant disables the piggy-back/Dirty mechanism; it
+// exists to demonstrate the Fig. 6 atomicity problem in tests.
+#pragma once
+
+#include "core/detector.hpp"
+
+namespace asfsim {
+
+class SubBlockDetector : public ConflictDetector {
+ public:
+  SubBlockDetector(std::uint32_t nsub, bool dirty_handling = true,
+                   bool waw_line = false);
+
+  [[nodiscard]] DetectorKind kind() const override {
+    if (!dirty_handling_) return DetectorKind::kSubBlockNoDirty;
+    return waw_line_ ? DetectorKind::kSubBlockWawLine
+                     : DetectorKind::kSubBlock;
+  }
+  [[nodiscard]] const char* name() const override { return name_; }
+  [[nodiscard]] std::uint32_t nsub() const override { return nsub_; }
+
+  [[nodiscard]] ProbeCheck check_probe(const SpecState& victim, ByteMask probe,
+                                       bool invalidating) const override;
+  [[nodiscard]] bool dirty_hit(SubBlockMask dirty,
+                               ByteMask access) const override;
+
+ private:
+  std::uint32_t nsub_;
+  bool dirty_handling_;
+  bool waw_line_;
+  char name_[32];
+};
+
+}  // namespace asfsim

@@ -1,0 +1,78 @@
+// Paper Table I: the two-bit speculative sub-block state.
+//
+//   SPEC WR   State
+//    0    0   Non-speculative
+//    0    1   Dirty              (written by another transaction; unreliable)
+//    1    0   Speculative Read   (S-RD)
+//    1    1   Speculative Write  (S-WR)
+//
+// Each cache line carries one (SPEC, WR) pair per sub-block; with N
+// sub-blocks that is 2N bits per line, i.e. 2(N-1) more than baseline ASF's
+// SR/SW pair (paper §IV-E).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/addr.hpp"
+
+namespace asfsim {
+
+enum class SubBlockState : std::uint8_t {
+  kNonSpec = 0b00,
+  kDirty = 0b01,
+  kSpecRead = 0b10,
+  kSpecWrite = 0b11,
+};
+
+[[nodiscard]] constexpr const char* to_string(SubBlockState s) {
+  switch (s) {
+    case SubBlockState::kNonSpec: return "Non-speculative";
+    case SubBlockState::kDirty: return "Dirty";
+    case SubBlockState::kSpecRead: return "S-RD";
+    case SubBlockState::kSpecWrite: return "S-WR";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool spec_bit(SubBlockState s) {
+  return (static_cast<std::uint8_t>(s) & 0b10) != 0;
+}
+[[nodiscard]] constexpr bool wr_bit(SubBlockState s) {
+  return (static_cast<std::uint8_t>(s) & 0b01) != 0;
+}
+
+[[nodiscard]] constexpr SubBlockState make_state(bool spec, bool wr) {
+  return static_cast<SubBlockState>((spec ? 0b10 : 0) | (wr ? 0b01 : 0));
+}
+
+/// Per-line packed sub-block bits: bit i of `spec`/`wr` belongs to sub-block i.
+struct SubBlockBits {
+  SubBlockMask spec = 0;
+  SubBlockMask wr = 0;
+
+  [[nodiscard]] constexpr SubBlockState state(std::uint32_t i) const {
+    return make_state((spec >> i) & 1, (wr >> i) & 1);
+  }
+  constexpr void set(std::uint32_t i, SubBlockState s) {
+    const SubBlockMask bit = static_cast<SubBlockMask>(1u << i);
+    spec = spec_bit(s) ? (spec | bit) : (spec & ~bit);
+    wr = wr_bit(s) ? (wr | bit) : (wr & ~bit);
+  }
+
+  /// Sub-blocks in S-RD or S-WR state.
+  [[nodiscard]] constexpr SubBlockMask speculative() const { return spec; }
+  /// Sub-blocks in S-WR state.
+  [[nodiscard]] constexpr SubBlockMask spec_written() const {
+    return spec & wr;
+  }
+  /// Sub-blocks in S-RD state.
+  [[nodiscard]] constexpr SubBlockMask spec_read_only() const {
+    return static_cast<SubBlockMask>(spec & ~wr);
+  }
+  /// Sub-blocks in Dirty state.
+  [[nodiscard]] constexpr SubBlockMask dirty() const {
+    return static_cast<SubBlockMask>(~spec & wr);
+  }
+};
+
+}  // namespace asfsim

@@ -1,0 +1,24 @@
+#include "core/waronly_detector.hpp"
+
+namespace asfsim {
+
+ProbeCheck WarOnlyDetector::check_probe(const SpecState& victim,
+                                        ByteMask probe,
+                                        bool invalidating) const {
+  ProbeCheck pc;
+  if (!invalidating) {
+    // RAW stays line-granular: any speculative write conflicts.
+    pc.conflict = victim.write_bytes != 0;
+    return pc;
+  }
+  if (victim.write_bytes != 0) {
+    pc.conflict = true;  // WAW stays line-granular
+  } else if ((probe & victim.read_bytes) != 0) {
+    pc.conflict = true;  // true WAR: value validation would fail
+  } else if (victim.read_bytes != 0) {
+    pc.retain_spec_info = true;  // false WAR speculated away; keep read set
+  }
+  return pc;
+}
+
+}  // namespace asfsim

@@ -1,0 +1,31 @@
+// Prior-work ablation: WAR-only false-conflict reduction (paper §II).
+//
+// SpMT (Porter et al.) and DPTM (Tabba et al.) speculate that an invalidated
+// speculatively-READ line carries no true conflict and validate later by
+// value comparison. They cannot help RAW false conflicts (a load probe
+// hitting a speculatively-written line still aborts at line granularity),
+// which Fig. 2 shows are the dominant type for several programs.
+//
+// We model the scheme eagerly: a false WAR (no byte overlap with the read
+// set) is allowed to proceed (value validation would succeed, since the
+// untouched bytes are unchanged); a true WAR aborts immediately (validation
+// would fail at commit — same lost work, simpler accounting). RAW and WAW
+// remain line-granular.
+#pragma once
+
+#include "core/detector.hpp"
+
+namespace asfsim {
+
+class WarOnlyDetector final : public ConflictDetector {
+ public:
+  [[nodiscard]] DetectorKind kind() const override {
+    return DetectorKind::kWarOnly;
+  }
+  [[nodiscard]] const char* name() const override { return "war-only"; }
+
+  [[nodiscard]] ProbeCheck check_probe(const SpecState& victim, ByteMask probe,
+                                       bool invalidating) const override;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,48 @@
+// Guest-side synchronization barrier (used by phased workloads like kmeans).
+// Must not be awaited inside a transaction.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "guest/ctx.hpp"
+#include "sim/kernel.hpp"
+
+namespace asfsim {
+
+class GuestBarrier {
+ public:
+  GuestBarrier(Kernel& kernel, std::uint32_t parties)
+      : kernel_(kernel), parties_(parties) {}
+
+  struct Awaiter {
+    GuestBarrier* bar;
+    GuestCtx* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!ctx->in_tx() && "barrier inside a transaction");
+      bar->waiting_.push_back({ctx->core(), h});
+      if (bar->waiting_.size() == bar->parties_) {
+        // Last arriver releases everyone (including itself) next cycle.
+        auto released = std::move(bar->waiting_);
+        bar->waiting_.clear();
+        for (const auto& [core, handle] : released) {
+          bar->kernel_.schedule(core, handle, bar->kernel_.now() + 1);
+        }
+      }
+      // Otherwise: park with no pending event until the last party arrives.
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter arrive_and_wait(GuestCtx& ctx) { return Awaiter{this, &ctx}; }
+
+ private:
+  Kernel& kernel_;
+  std::uint32_t parties_;
+  std::vector<std::pair<CoreId, std::coroutine_handle<>>> waiting_;
+};
+
+}  // namespace asfsim

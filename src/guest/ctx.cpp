@@ -1,0 +1,2 @@
+// GuestCtx is header-only; this TU exists to anchor the module.
+#include "guest/ctx.hpp"

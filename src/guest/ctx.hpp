@@ -1,0 +1,335 @@
+// GuestCtx: the API guest programs (simulated threads) use to touch
+// simulated memory and run transactions.
+//
+// Every memory access and compute quantum is a leaf awaitable: it resolves
+// the access against the memory system at issue time, then suspends the
+// guest coroutine stack until the access's load-to-use latency has elapsed
+// on the simulated clock. Inside a transaction, a resume first checks
+// whether the transaction was doomed (by a remote conflict, a capacity
+// overflow, or a guest-requested abort) and throws TxAbort, which unwinds
+// the guest call chain to the run_tx retry loop.
+//
+// Guest-private scratch data (loop counters, local buffers) lives in plain
+// C++ locals — the analogue of ASF's non-speculative stack accesses, which
+// never conflict. Only *shared* data should live in simulated memory.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/asf_runtime.hpp"
+#include "mem/coherence.hpp"
+#include "mem/gallocator.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+namespace asfsim {
+
+class GuestCtx {
+ public:
+  GuestCtx(Kernel& kernel, MemorySystem& mem, AsfRuntime& rt, GAllocator& ga,
+           const SimConfig& cfg, CoreId core, Addr fallback_lock)
+      : kernel_(kernel),
+        mem_(mem),
+        rt_(rt),
+        galloc_(ga),
+        cfg_(cfg),
+        core_(core),
+        fallback_lock_(fallback_lock),
+        rng_(cfg.seed * 0x100000001b3ULL + core + 1) {}
+
+  [[nodiscard]] CoreId core() const { return core_; }
+  [[nodiscard]] Cycle now() const { return kernel_.now(); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] bool in_tx() const { return rt_.active(core_); }
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+  [[nodiscard]] AsfRuntime& runtime() { return rt_; }
+  [[nodiscard]] MemorySystem& mem() { return mem_; }
+  [[nodiscard]] GAllocator& galloc() { return galloc_; }
+  /// Core-local pool allocation (STAMP-style per-thread allocator).
+  [[nodiscard]] Addr alloc_local(std::uint64_t size, std::uint64_t align = 8) {
+    return galloc_.alloc_local(core_, size, align);
+  }
+
+  // ---- leaf awaitables ----------------------------------------------------
+
+  /// One aligned simulated memory access.
+  ///
+  /// In delayed-probe mode (SimConfig::probe_delay > 0) an access that
+  /// needs a broadcast first stalls for the delivery delay WITHOUT touching
+  /// the memory system, then executes atomically — so conflict checks see
+  /// the machine state at probe-delivery time, not at issue time.
+  struct MemOp {
+    GuestCtx* ctx;
+    Addr addr;
+    std::uint64_t value;  // store value in; load value out
+    std::uint8_t size;
+    bool is_write;
+    bool self_abort = false;  // capacity abort triggered by this access
+
+    bool await_ready() const noexcept { return false; }
+
+    /// Perform the access atomically NOW and schedule the guest's resume
+    /// after its load-to-use latency.
+    void execute(std::coroutine_handle<> h) {
+      GuestCtx& c = *ctx;
+      Cycle lat = 1;
+      if (c.rt_.doomed(c.core_)) {
+        // Already doomed while computing: surface the abort at resume.
+        self_abort = true;
+      } else {
+        const bool tx = c.rt_.in_tx(c.core_);
+        const AccessResult r =
+            c.mem_.access(c.core_, addr, size, is_write, tx);
+        lat = r.latency;
+        if (r.capacity_abort) {
+          c.rt_.self_doom(c.core_, AbortCause::kCapacity);
+          self_abort = true;
+        } else if (is_write) {
+          c.rt_.write_value(c.core_, addr, size, value);
+        } else {
+          value = c.rt_.read_value(c.core_, addr, size);
+        }
+      }
+      c.kernel_.schedule(c.core_, h, c.kernel_.now() + lat);
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      GuestCtx& c = *ctx;
+      if (c.cfg_.probe_delay > 0 && !c.rt_.doomed(c.core_)) {
+        const bool tx = c.rt_.in_tx(c.core_);
+        if (c.mem_.would_broadcast(c.core_, addr, size, is_write, tx)) {
+          // Delayed-probe mode: the broadcast executes (and conflict checks
+          // run) at delivery time, against the machine state THEN.
+          c.kernel_.schedule_callback(
+              c.core_, [this, h] { execute(h); },
+              c.kernel_.now() + c.cfg_.probe_delay);
+          return;
+        }
+      }
+      execute(h);
+    }
+    std::uint64_t await_resume() const {
+      if (self_abort || ctx->rt_.doomed(ctx->core_)) {
+        throw TxAbort{ctx->rt_.doom_cause(ctx->core_)};
+      }
+      return value;
+    }
+  };
+
+  /// A compute quantum of `n` cycles (abortable inside a transaction).
+  struct WorkOp {
+    GuestCtx* ctx;
+    Cycle n;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ctx->kernel_.schedule(ctx->core_, h, ctx->kernel_.now() + n);
+    }
+    void await_resume() const {
+      if (ctx->rt_.doomed(ctx->core_)) {
+        throw TxAbort{ctx->rt_.doom_cause(ctx->core_)};
+      }
+    }
+  };
+
+  /// A plain wait (backoff); never throws.
+  struct WaitOp {
+    GuestCtx* ctx;
+    Cycle n;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ctx->kernel_.schedule(ctx->core_, h, ctx->kernel_.now() + n);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Non-transactional atomic swap (used for the fallback lock). The load
+  /// and store resolve back-to-back at issue time, so the exchange is
+  /// atomic by construction of the simulator.
+  struct AtomicSwapOp {
+    GuestCtx* ctx;
+    Addr addr;
+    std::uint64_t desired;
+    std::uint64_t old = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      GuestCtx& c = *ctx;
+      const AccessResult rl = c.mem_.access(c.core_, addr, 8, false, false);
+      old = c.rt_.read_value(c.core_, addr, 8);
+      const AccessResult rs = c.mem_.access(c.core_, addr, 8, true, false);
+      c.rt_.write_value(c.core_, addr, 8, desired);
+      c.kernel_.schedule(c.core_, h,
+                         c.kernel_.now() + rl.latency + rs.latency);
+    }
+    std::uint64_t await_resume() const noexcept { return old; }
+  };
+
+  /// Commit point of a transaction.
+  struct CommitOp {
+    GuestCtx* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      GuestCtx& c = *ctx;
+      if (!c.rt_.doomed(c.core_)) c.rt_.commit(c.core_);
+      c.kernel_.schedule(c.core_, h,
+                         c.kernel_.now() + c.cfg_.commit_latency);
+    }
+    void await_resume() const {
+      if (ctx->rt_.doomed(ctx->core_)) {
+        throw TxAbort{ctx->rt_.doom_cause(ctx->core_)};
+      }
+    }
+  };
+
+  // ---- typed accessors ------------------------------------------------------
+  MemOp load(Addr a, std::uint8_t size) { return MemOp{this, a, 0, size, false}; }
+  MemOp store(Addr a, std::uint8_t size, std::uint64_t v) {
+    return MemOp{this, a, v, size, true};
+  }
+  MemOp load_u8(Addr a) { return load(a, 1); }
+  MemOp load_u16(Addr a) { return load(a, 2); }
+  MemOp load_u32(Addr a) { return load(a, 4); }
+  MemOp load_u64(Addr a) { return load(a, 8); }
+  MemOp store_u8(Addr a, std::uint64_t v) { return store(a, 1, v); }
+  MemOp store_u16(Addr a, std::uint64_t v) { return store(a, 2, v); }
+  MemOp store_u32(Addr a, std::uint64_t v) { return store(a, 4, v); }
+  MemOp store_u64(Addr a, std::uint64_t v) { return store(a, 8, v); }
+
+  WorkOp work(Cycle n) { return WorkOp{this, n}; }
+  WorkOp yield() { return WorkOp{this, 1}; }
+  WaitOp wait(Cycle n) { return WaitOp{this, n}; }
+
+  // ---- transactions ---------------------------------------------------------
+
+  /// Run `body` (a callable returning Task<void>) as one transaction,
+  /// retrying with exponential backoff until it commits. The body must be
+  /// re-invocable: aborted attempts leave no trace in simulated memory.
+  ///
+  /// Best-effort contract: after repeated capacity aborts (a footprint that
+  /// can never fit the 2-way L1) or pathological retry counts, the body is
+  /// executed under the serializing software fallback lock, lock-elision
+  /// style — every transaction subscribes to the lock word, so acquiring it
+  /// aborts all in-flight transactions and stalls new ones (this is how
+  /// real ASF software stacks guarantee progress).
+  template <typename Body>
+  Task<void> run_tx(Body body) {
+    std::uint32_t capacity_aborts = 0;
+    // ATS extension: a core in an abort storm dispatches its transactions
+    // through the serializing scheduler slot until its contention EMA cools.
+    AdaptiveScheduler* sched = rt_.scheduler();
+    bool ats_slot = false;
+    if (sched != nullptr && sched->should_serialize(core_)) {
+      while (!sched->try_acquire(core_)) co_await WaitOp{this, 120};
+      ats_slot = true;
+      rt_.note_ats_dispatch();
+    }
+    for (;;) {
+      if (capacity_aborts >= 3 || rt_.retries(core_) >= 24) {
+        co_await acquire_fallback();
+        co_await body();  // runs non-transactionally under the global lock
+        co_await store_u64(fallback_lock_, 0);
+        rt_.note_fallback(core_);
+        if (ats_slot) sched->release(core_);
+        co_return;
+      }
+      const bool entered = co_await begin_subscribed();
+      if (!entered) continue;  // lock was held; waited, try again
+      bool aborted = false;
+      try {
+        co_await body();
+        co_await CommitOp{this};
+      } catch (const TxAbort&) {
+        aborted = true;  // co_await is not allowed in a handler; retry below
+      }
+      if (!aborted) {
+        rt_.reset_retries(core_);
+        if (ats_slot) sched->release(core_);
+        co_return;
+      }
+      if (rt_.doom_cause(core_) == AbortCause::kCapacity) ++capacity_aborts;
+      rt_.finish_abort(core_);
+      co_await WaitOp{this, cfg_.abort_latency + rt_.backoff_wait(core_)};
+    }
+  }
+
+  /// Attempt `body` as one transaction WITHOUT retrying. Returns true when
+  /// committed. Use when the caller must recompute inputs between attempts
+  /// (e.g. labyrinth replans its path after a validation abort); run_tx would
+  /// retry the identical body and spin.
+  template <typename Body>
+  Task<bool> try_tx(Body body) {
+    const bool entered = co_await begin_subscribed();
+    if (!entered) co_return false;
+    bool aborted = false;
+    try {
+      co_await body();
+      co_await CommitOp{this};
+    } catch (const TxAbort&) {
+      aborted = true;
+    }
+    if (!aborted) {
+      rt_.reset_retries(core_);
+      co_return true;
+    }
+    rt_.finish_abort(core_);
+    co_await WaitOp{this, cfg_.abort_latency + rt_.backoff_wait(core_)};
+    co_return false;
+  }
+
+  /// Begin a transaction subscribed to the fallback lock. Returns false if
+  /// the lock was held (after waiting out the holder, without starting).
+  Task<bool> begin_subscribed() {
+    // Cheap non-transactional peek first.
+    for (;;) {
+      const std::uint64_t lk = co_await load_u64(fallback_lock_);
+      if (lk == 0) break;
+      co_await WaitOp{this, 150};
+    }
+    rt_.begin(core_);
+    bool aborted = false;
+    try {
+      // Subscribe: the lock word joins the read set, so a fallback acquirer
+      // aborts this transaction via the normal conflict path.
+      const std::uint64_t lk = co_await load_u64(fallback_lock_);
+      if (lk != 0) {
+        rt_.self_doom(core_, AbortCause::kLockWait);
+        throw TxAbort{AbortCause::kLockWait};
+      }
+    } catch (const TxAbort&) {
+      aborted = true;
+    }
+    if (!aborted) co_return true;
+    rt_.finish_abort(core_);
+    co_await WaitOp{this, 150};
+    co_return false;
+  }
+
+  /// Spin until the fallback lock is acquired (non-transactional swap).
+  Task<void> acquire_fallback() {
+    for (;;) {
+      const std::uint64_t old =
+          co_await AtomicSwapOp{this, fallback_lock_, 1};
+      if (old == 0) co_return;
+      co_await WaitOp{this, 200};
+    }
+  }
+
+  /// Guest-requested abort of the current transaction (retries via run_tx).
+  [[noreturn]] void user_abort() {
+    rt_.self_doom(core_, AbortCause::kUser);
+    throw TxAbort{AbortCause::kUser};
+  }
+
+ private:
+  Kernel& kernel_;
+  MemorySystem& mem_;
+  AsfRuntime& rt_;
+  GAllocator& galloc_;
+  const SimConfig& cfg_;
+  CoreId core_;
+  Addr fallback_lock_;
+  Rng rng_;
+};
+
+}  // namespace asfsim

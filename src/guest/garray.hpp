@@ -1,0 +1,71 @@
+// Typed fixed-width array views over guest (simulated) memory.
+//
+// Element width is the crucial knob for false-sharing studies: a GArray<4>
+// packs sixteen elements per 64-byte line (kmeans-style 32-bit data), a
+// GArray<8> packs eight (pointer-sized data, the common STAMP case).
+#pragma once
+
+#include <cstdint>
+
+#include "guest/ctx.hpp"
+#include "guest/machine.hpp"
+#include "mem/gallocator.hpp"
+
+namespace asfsim {
+
+template <std::uint32_t W>
+class GArray {
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8, "element width");
+
+ public:
+  GArray() = default;
+  explicit GArray(Addr base) : base_(base) {}
+
+  static GArray alloc(GAllocator& ga, std::uint64_t count,
+                      std::uint64_t align = W) {
+    return GArray(ga.alloc(count * W, align));
+  }
+
+  [[nodiscard]] Addr base() const { return base_; }
+  [[nodiscard]] Addr addr(std::uint64_t i) const { return base_ + i * W; }
+  [[nodiscard]] bool valid() const { return base_ != 0; }
+
+  /// Awaitable element load/store (simulated access).
+  [[nodiscard]] GuestCtx::MemOp get(GuestCtx& c, std::uint64_t i) const {
+    return c.load(addr(i), W);
+  }
+  [[nodiscard]] GuestCtx::MemOp set(GuestCtx& c, std::uint64_t i,
+                                    std::uint64_t v) const {
+    return c.store(addr(i), W, v);
+  }
+
+  /// Host-time (setup phase) element access — no simulated cycles.
+  void poke(Machine& m, std::uint64_t i, std::uint64_t v) const {
+    m.poke(addr(i), W, v);
+  }
+  [[nodiscard]] std::uint64_t peek(const Machine& m, std::uint64_t i) const {
+    return m.peek(addr(i), W);
+  }
+
+ private:
+  Addr base_ = 0;
+};
+
+using GArray8 = GArray<1>;
+using GArray16 = GArray<2>;
+using GArray32 = GArray<4>;
+using GArray64 = GArray<8>;
+
+/// Bit-cast helpers for storing floats in 32-bit guest cells.
+[[nodiscard]] inline std::uint32_t f2u(float f) {
+  std::uint32_t u;
+  __builtin_memcpy(&u, &f, 4);
+  return u;
+}
+[[nodiscard]] inline float u2f(std::uint32_t u) {
+  float f;
+  __builtin_memcpy(&f, &u, 4);
+  return f;
+}
+
+}  // namespace asfsim

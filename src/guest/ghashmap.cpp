@@ -1,0 +1,117 @@
+#include "guest/ghashmap.hpp"
+
+namespace asfsim {
+
+GHashMap GHashMap::create(Machine& m, std::uint64_t nbuckets) {
+  const Addr buckets = m.galloc().alloc(nbuckets * 8, kLineBytes);
+  for (std::uint64_t i = 0; i < nbuckets; ++i) m.poke(buckets + i * 8, 8, 0);
+  return GHashMap(buckets, nbuckets);
+}
+
+Task<bool> GHashMap::insert(GuestCtx& c, std::uint64_t key,
+                            std::uint64_t value) {
+  const Addr bucket = bucket_addr(key);
+  Addr cur = co_await c.load_u64(bucket);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) co_return false;
+    cur = co_await c.load_u64(cur + gnode::kNext);
+  }
+  const Addr node = galloc_node(c);
+  const Addr head = co_await c.load_u64(bucket);
+  co_await c.store_u64(node + gnode::kKey, key);
+  co_await c.store_u64(node + gnode::kValue, value);
+  co_await c.store_u64(node + gnode::kNext, head);
+  co_await c.store_u64(bucket, node);
+  co_return true;
+}
+
+Task<std::uint64_t> GHashMap::find(GuestCtx& c, std::uint64_t key,
+                                   std::uint64_t notfound) {
+  Addr cur = co_await c.load_u64(bucket_addr(key));
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) {
+      const std::uint64_t v = co_await c.load_u64(cur + gnode::kValue);
+      co_return v;
+    }
+    cur = co_await c.load_u64(cur + gnode::kNext);
+  }
+  co_return notfound;
+}
+
+Task<bool> GHashMap::contains(GuestCtx& c, std::uint64_t key) {
+  Addr cur = co_await c.load_u64(bucket_addr(key));
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) co_return true;
+    cur = co_await c.load_u64(cur + gnode::kNext);
+  }
+  co_return false;
+}
+
+Task<std::uint64_t> GHashMap::add(GuestCtx& c, std::uint64_t key,
+                                  std::uint64_t delta) {
+  const Addr bucket = bucket_addr(key);
+  Addr cur = co_await c.load_u64(bucket);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) {
+      const std::uint64_t old = co_await c.load_u64(cur + gnode::kValue);
+      const std::uint64_t v = old + delta;
+      co_await c.store_u64(cur + gnode::kValue, v);
+      co_return v;
+    }
+    cur = co_await c.load_u64(cur + gnode::kNext);
+  }
+  const Addr node = galloc_node(c);
+  const Addr head = co_await c.load_u64(bucket);
+  co_await c.store_u64(node + gnode::kKey, key);
+  co_await c.store_u64(node + gnode::kValue, delta);
+  co_await c.store_u64(node + gnode::kNext, head);
+  co_await c.store_u64(bucket, node);
+  co_return delta;
+}
+
+Task<bool> GHashMap::erase(GuestCtx& c, std::uint64_t key) {
+  const Addr bucket = bucket_addr(key);
+  Addr link = bucket;
+  Addr cur = co_await c.load_u64(link);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) {
+      const Addr next = co_await c.load_u64(cur + gnode::kNext);
+      co_await c.store_u64(link, next);
+      co_return true;
+    }
+    link = cur + gnode::kNext;
+    cur = co_await c.load_u64(link);
+  }
+  co_return false;
+}
+
+std::uint64_t GHashMap::host_sum_values(const Machine& m) const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t b = 0; b < nbuckets_; ++b) {
+    Addr cur = m.peek(buckets_ + b * 8, 8);
+    while (cur != 0) {
+      sum += m.peek(cur + gnode::kValue, 8);
+      cur = m.peek(cur + gnode::kNext, 8);
+    }
+  }
+  return sum;
+}
+
+std::uint64_t GHashMap::host_size(const Machine& m) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t b = 0; b < nbuckets_; ++b) {
+    Addr cur = m.peek(buckets_ + b * 8, 8);
+    while (cur != 0) {
+      ++n;
+      cur = m.peek(cur + gnode::kNext, 8);
+    }
+  }
+  return n;
+}
+
+}  // namespace asfsim

@@ -1,0 +1,50 @@
+// Chained hash map in guest memory (STAMP genome/intruder/vacation style).
+//
+// Buckets are an unpadded array of 8-byte head pointers; nodes are
+// malloc-packed {key, value, next} triples — so distinct buckets and
+// distinct nodes routinely share cache lines, which is exactly the false-
+// sharing surface the paper measures.
+#pragma once
+
+#include <cstdint>
+
+#include "guest/garray.hpp"
+#include "guest/glist.hpp"
+
+namespace asfsim {
+
+class GHashMap {
+ public:
+  GHashMap() = default;
+
+  static GHashMap create(Machine& m, std::uint64_t nbuckets);
+
+  [[nodiscard]] std::uint64_t nbuckets() const { return nbuckets_; }
+
+  /// Insert key→value if absent. Returns false if the key already exists.
+  Task<bool> insert(GuestCtx& c, std::uint64_t key, std::uint64_t value);
+  /// Lookup; returns `notfound` when absent.
+  Task<std::uint64_t> find(GuestCtx& c, std::uint64_t key,
+                           std::uint64_t notfound);
+  Task<bool> contains(GuestCtx& c, std::uint64_t key);
+  /// value += delta, inserting with `delta` when absent. Returns new value.
+  Task<std::uint64_t> add(GuestCtx& c, std::uint64_t key, std::uint64_t delta);
+  /// Remove by key; returns true if removed.
+  Task<bool> erase(GuestCtx& c, std::uint64_t key);
+
+  /// Host-time (setup/verification) full scan: sum of all values.
+  [[nodiscard]] std::uint64_t host_sum_values(const Machine& m) const;
+  [[nodiscard]] std::uint64_t host_size(const Machine& m) const;
+
+ private:
+  GHashMap(Addr buckets, std::uint64_t n) : buckets_(buckets), nbuckets_(n) {}
+  [[nodiscard]] Addr bucket_addr(std::uint64_t key) const {
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return buckets_ + (h % nbuckets_) * 8;
+  }
+  Addr buckets_ = 0;
+  std::uint64_t nbuckets_ = 0;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,94 @@
+#include "guest/gheap.hpp"
+
+#include <stdexcept>
+
+namespace asfsim {
+
+GHeap GHeap::create(Machine& m, std::uint64_t capacity) {
+  const Addr ctrl = m.galloc().alloc(kLineBytes, kLineBytes);
+  const Addr slots = m.galloc().alloc(capacity * 8, kLineBytes);
+  m.poke(ctrl, 8, 0);
+  return GHeap(ctrl, slots, capacity);
+}
+
+Task<void> GHeap::push(GuestCtx& c, std::uint64_t key) {
+  std::uint64_t n = co_await c.load_u64(size_addr());
+  if (n >= cap_) throw std::runtime_error("GHeap: capacity exceeded");
+  // Sift up.
+  std::uint64_t i = n;
+  while (i > 0) {
+    const std::uint64_t parent = (i - 1) / 2;
+    const std::uint64_t pv = co_await c.load_u64(slot(parent));
+    if (pv <= key) break;
+    co_await c.store_u64(slot(i), pv);
+    i = parent;
+  }
+  co_await c.store_u64(slot(i), key);
+  co_await c.store_u64(size_addr(), n + 1);
+}
+
+Task<std::uint64_t> GHeap::pop(GuestCtx& c) {
+  const std::uint64_t n = co_await c.load_u64(size_addr());
+  if (n == 0) co_return kEmpty;
+  const std::uint64_t top = co_await c.load_u64(slot(0));
+  const std::uint64_t last = co_await c.load_u64(slot(n - 1));
+  co_await c.store_u64(size_addr(), n - 1);
+  // Sift the former last element down from the root.
+  std::uint64_t i = 0;
+  const std::uint64_t count = n - 1;
+  for (;;) {
+    const std::uint64_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l >= count) break;
+    std::uint64_t child = l;
+    std::uint64_t cv = co_await c.load_u64(slot(l));
+    if (r < count) {
+      const std::uint64_t rv = co_await c.load_u64(slot(r));
+      if (rv < cv) {
+        child = r;
+        cv = rv;
+      }
+    }
+    if (last <= cv) break;
+    co_await c.store_u64(slot(i), cv);
+    i = child;
+  }
+  if (count > 0) co_await c.store_u64(slot(i), last);
+  co_return top;
+}
+
+Task<std::uint64_t> GHeap::size(GuestCtx& c) {
+  const std::uint64_t n = co_await c.load_u64(size_addr());
+  co_return n;
+}
+
+void GHeap::host_push(Machine& m, std::uint64_t key) {
+  const std::uint64_t n = m.peek(size_addr(), 8);
+  if (n >= cap_) throw std::runtime_error("GHeap: capacity exceeded");
+  std::uint64_t i = n;
+  while (i > 0) {
+    const std::uint64_t parent = (i - 1) / 2;
+    const std::uint64_t pv = m.peek(slot(parent), 8);
+    if (pv <= key) break;
+    m.poke(slot(i), 8, pv);
+    i = parent;
+  }
+  m.poke(slot(i), 8, key);
+  m.poke(size_addr(), 8, n + 1);
+}
+
+std::uint64_t GHeap::host_size(const Machine& m) const {
+  return m.peek(size_addr(), 8);
+}
+
+std::string GHeap::host_validate(const Machine& m) const {
+  const std::uint64_t n = host_size(m);
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const std::uint64_t parent = (i - 1) / 2;
+    if (m.peek(slot(parent), 8) > m.peek(slot(i), 8)) {
+      return "heap property violated at index " + std::to_string(i);
+    }
+  }
+  return {};
+}
+
+}  // namespace asfsim

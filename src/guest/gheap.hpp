@@ -1,0 +1,47 @@
+// Array-based binary min-heap in guest memory (the STAMP priority work
+// queue: labyrinth and yada order their work by cost/quality).
+//
+// Layout: a control line {size, pad...} followed by a packed array of
+// 8-byte keys. All sift operations are transactional guest accesses, so a
+// concurrent pop/push pair conflicts exactly where a real shared heap
+// would: on the size word and the touched path of the array.
+#pragma once
+
+#include <cstdint>
+
+#include "guest/ctx.hpp"
+#include "guest/machine.hpp"
+#include "sim/task.hpp"
+
+namespace asfsim {
+
+class GHeap {
+ public:
+  GHeap() = default;
+  static GHeap create(Machine& m, std::uint64_t capacity);
+
+  /// Insert a key (min-heap order).
+  Task<void> push(GuestCtx& c, std::uint64_t key);
+  /// Pop the minimum key; returns ~0ull when empty.
+  Task<std::uint64_t> pop(GuestCtx& c);
+  Task<std::uint64_t> size(GuestCtx& c);
+
+  void host_push(Machine& m, std::uint64_t key);
+  [[nodiscard]] std::uint64_t host_size(const Machine& m) const;
+  /// Min-heap property audit; empty string when it holds.
+  [[nodiscard]] std::string host_validate(const Machine& m) const;
+
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+ private:
+  GHeap(Addr ctrl, Addr slots, std::uint64_t cap)
+      : ctrl_(ctrl), slots_(slots), cap_(cap) {}
+  [[nodiscard]] Addr size_addr() const { return ctrl_; }
+  [[nodiscard]] Addr slot(std::uint64_t i) const { return slots_ + i * 8; }
+
+  Addr ctrl_ = 0;
+  Addr slots_ = 0;
+  std::uint64_t cap_ = 0;
+};
+
+}  // namespace asfsim

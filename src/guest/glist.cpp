@@ -1,0 +1,172 @@
+#include "guest/glist.hpp"
+
+namespace asfsim {
+
+Addr galloc_node(GuestCtx& c) { return c.alloc_local(gnode::kSize, 8); }
+
+GList GList::create(Machine& m) {
+  // Container control blocks are fat structs in real code; give each its
+  // own line so unrelated containers do not false-share their headers.
+  const Addr head = m.galloc().alloc(kLineBytes, kLineBytes);
+  m.poke(head, 8, 0);
+  return GList(head);
+}
+
+Task<bool> GList::insert(GuestCtx& c, std::uint64_t key, std::uint64_t value) {
+  // Walk to the first node with node.key >= key, remembering the link cell
+  // we came through (head pointer or predecessor's next field).
+  Addr link = head_;
+  Addr cur = co_await c.load_u64(link);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) co_return false;
+    if (k > key) break;
+    link = cur + gnode::kNext;
+    cur = co_await c.load_u64(link);
+  }
+  const Addr node = galloc_node(c);
+  co_await c.store_u64(node + gnode::kKey, key);
+  co_await c.store_u64(node + gnode::kValue, value);
+  co_await c.store_u64(node + gnode::kNext, cur);
+  co_await c.store_u64(link, node);
+  co_return true;
+}
+
+Task<std::uint64_t> GList::find(GuestCtx& c, std::uint64_t key,
+                                std::uint64_t notfound) {
+  Addr cur = co_await c.load_u64(head_);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) {
+      const std::uint64_t v = co_await c.load_u64(cur + gnode::kValue);
+      co_return v;
+    }
+    if (k > key) break;
+    cur = co_await c.load_u64(cur + gnode::kNext);
+  }
+  co_return notfound;
+}
+
+Task<bool> GList::erase(GuestCtx& c, std::uint64_t key) {
+  Addr link = head_;
+  Addr cur = co_await c.load_u64(link);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + gnode::kKey);
+    if (k == key) {
+      const Addr next = co_await c.load_u64(cur + gnode::kNext);
+      co_await c.store_u64(link, next);
+      co_return true;  // the node itself leaks (no guest free), as in STAMP
+    }
+    if (k > key) break;
+    link = cur + gnode::kNext;
+    cur = co_await c.load_u64(link);
+  }
+  co_return false;
+}
+
+Task<std::uint64_t> GList::size(GuestCtx& c) {
+  std::uint64_t n = 0;
+  Addr cur = co_await c.load_u64(head_);
+  while (cur != 0) {
+    ++n;
+    cur = co_await c.load_u64(cur + gnode::kNext);
+  }
+  co_return n;
+}
+
+GQueue GQueue::create(Machine& m) {
+  const Addr base = m.galloc().alloc(kLineBytes, kLineBytes);
+  m.poke(base, 8, 0);
+  m.poke(base + 8, 8, 0);
+  return GQueue(base);
+}
+
+Task<void> GQueue::push(GuestCtx& c, std::uint64_t key, std::uint64_t value) {
+  const Addr node = galloc_node(c);
+  co_await c.store_u64(node + gnode::kKey, key);
+  co_await c.store_u64(node + gnode::kValue, value);
+  co_await c.store_u64(node + gnode::kNext, 0);
+  const Addr tail = co_await c.load_u64(tail_addr());
+  if (tail == 0) {
+    co_await c.store_u64(head_addr(), node);
+  } else {
+    co_await c.store_u64(tail + gnode::kNext, node);
+  }
+  co_await c.store_u64(tail_addr(), node);
+}
+
+Task<bool> GQueue::pop(GuestCtx& c, std::uint64_t* key, std::uint64_t* value) {
+  const Addr head = co_await c.load_u64(head_addr());
+  if (head == 0) co_return false;
+  if (key != nullptr) *key = co_await c.load_u64(head + gnode::kKey);
+  if (value != nullptr) *value = co_await c.load_u64(head + gnode::kValue);
+  const Addr next = co_await c.load_u64(head + gnode::kNext);
+  co_await c.store_u64(head_addr(), next);
+  if (next == 0) co_await c.store_u64(tail_addr(), 0);
+  co_return true;
+}
+
+void GQueue::host_push(Machine& m, std::uint64_t key, std::uint64_t value) {
+  const Addr node = m.galloc().alloc(gnode::kSize, 8);
+  m.poke(node + gnode::kKey, 8, key);
+  m.poke(node + gnode::kValue, 8, value);
+  m.poke(node + gnode::kNext, 8, 0);
+  const Addr tail = m.peek(tail_addr(), 8);
+  if (tail == 0) {
+    m.poke(head_addr(), 8, node);
+  } else {
+    m.poke(tail + gnode::kNext, 8, node);
+  }
+  m.poke(tail_addr(), 8, node);
+}
+
+std::uint64_t GQueue::host_size(const Machine& m) const {
+  std::uint64_t n = 0;
+  Addr cur = m.peek(head_addr(), 8);
+  while (cur != 0) {
+    ++n;
+    cur = m.peek(cur + gnode::kNext, 8);
+  }
+  return n;
+}
+
+Task<bool> GQueue::empty(GuestCtx& c) {
+  const Addr head = co_await c.load_u64(head_addr());
+  co_return head == 0;
+}
+
+GRing GRing::create(Machine& m, std::uint64_t capacity) {
+  const Addr ctrl = m.galloc().alloc(kLineBytes, kLineBytes);
+  const Addr slots = m.galloc().alloc(capacity * 8, kLineBytes);
+  m.poke(ctrl, 8, 0);       // head index
+  m.poke(ctrl + 16, 8, 0);  // tail index
+  for (std::uint64_t i = 0; i < capacity; ++i) m.poke(slots + i * 8, 8, 0);
+  return GRing(ctrl, slots, capacity);
+}
+
+Task<void> GRing::push(GuestCtx& c, std::uint64_t value) {
+  const std::uint64_t t = co_await c.load_u64(tail_addr());
+  co_await c.store_u64(slot(t), value);
+  co_await c.store_u64(tail_addr(), t + 1);
+}
+
+Task<std::uint64_t> GRing::pop(GuestCtx& c) {
+  const std::uint64_t h = co_await c.load_u64(head_addr());
+  const std::uint64_t v = co_await c.load_u64(slot(h));
+  if (v == 0) co_return 0;  // empty (occupied-slot protocol, no tail read)
+  co_await c.store_u64(slot(h), 0);
+  co_await c.store_u64(head_addr(), h + 1);
+  co_return v;
+}
+
+void GRing::host_push(Machine& m, std::uint64_t value) {
+  const std::uint64_t t = m.peek(tail_addr(), 8);
+  m.poke(slot(t), 8, value);
+  m.poke(tail_addr(), 8, t + 1);
+}
+
+std::uint64_t GRing::host_size(const Machine& m) const {
+  return m.peek(tail_addr(), 8) - m.peek(head_addr(), 8);
+}
+
+}  // namespace asfsim

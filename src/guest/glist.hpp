@@ -1,0 +1,110 @@
+// Singly-linked sorted list and FIFO queue in guest memory.
+//
+// Node layout (8-byte fields, malloc-packed): {key, value, next}.
+// The 8-byte-granular pointer chasing over unpadded nodes is what gives
+// STAMP-style programs their "scattered at 8-byte granularity" intra-line
+// access pattern (paper Fig. 5).
+#pragma once
+
+#include <cstdint>
+
+#include "guest/ctx.hpp"
+#include "guest/machine.hpp"
+#include "sim/task.hpp"
+
+namespace asfsim {
+
+namespace gnode {
+inline constexpr std::uint32_t kKey = 0;
+inline constexpr std::uint32_t kValue = 8;
+inline constexpr std::uint32_t kNext = 16;
+inline constexpr std::uint32_t kSize = 24;
+}  // namespace gnode
+
+/// Allocate one {key,value,next} node from the calling core's pool (guest
+/// contents are written transactionally by the caller).
+[[nodiscard]] Addr galloc_node(GuestCtx& c);
+
+/// Sorted singly-linked list with unique keys. The head pointer lives at a
+/// fixed guest address so it is shared (and conflicted on) like any data.
+class GList {
+ public:
+  GList() = default;
+  explicit GList(Addr head_ptr) : head_(head_ptr) {}
+
+  /// Create an empty list (allocates + zeroes the head pointer cell).
+  static GList create(Machine& m);
+
+  [[nodiscard]] Addr head_addr() const { return head_; }
+
+  /// Insert key→value if absent; returns false if the key already exists.
+  Task<bool> insert(GuestCtx& c, std::uint64_t key, std::uint64_t value);
+  /// Find value by key; returns `notfound` when absent.
+  Task<std::uint64_t> find(GuestCtx& c, std::uint64_t key,
+                           std::uint64_t notfound);
+  /// Remove by key; returns true if removed.
+  Task<bool> erase(GuestCtx& c, std::uint64_t key);
+  /// Number of elements (walks the list).
+  Task<std::uint64_t> size(GuestCtx& c);
+
+ private:
+  Addr head_ = 0;
+};
+
+/// FIFO queue of {key,value} pairs (linked, head+tail pointers).
+class GQueue {
+ public:
+  GQueue() = default;
+  static GQueue create(Machine& m);
+
+  Task<void> push(GuestCtx& c, std::uint64_t key, std::uint64_t value);
+  /// Pop the front node; returns false when empty. key/value are host-side
+  /// out-params (the caller's coroutine frame).
+  Task<bool> pop(GuestCtx& c, std::uint64_t* key, std::uint64_t* value);
+  Task<bool> empty(GuestCtx& c);
+
+  /// Host-time (setup phase) push — no simulated cycles.
+  void host_push(Machine& m, std::uint64_t key, std::uint64_t value);
+  [[nodiscard]] std::uint64_t host_size(const Machine& m) const;
+
+ private:
+  explicit GQueue(Addr base) : base_(base) {}
+  [[nodiscard]] Addr head_addr() const { return base_; }
+  [[nodiscard]] Addr tail_addr() const { return base_ + 8; }
+  Addr base_ = 0;  // {head, tail}
+};
+
+/// Array-based ring buffer (the STAMP queue_t shape): head and tail indices
+/// live in the same control line (different 16-byte sub-blocks), slots are
+/// packed 8-byte cells. Concurrent pop/push therefore false-share the
+/// control line and the slot lines — the main false-conflict source of
+/// queue-centric programs like intruder. Capacity must exceed the number of
+/// in-flight items (no wraparound growth).
+class GRing {
+ public:
+  GRing() = default;
+  static GRing create(Machine& m, std::uint64_t capacity);
+
+  /// Push value (non-zero!) at the tail. Capacity overrun asserts via the
+  /// slot-occupied check in debug; callers size rings generously.
+  Task<void> push(GuestCtx& c, std::uint64_t value);
+  /// Pop the head value; returns 0 when empty (values must be non-zero).
+  Task<std::uint64_t> pop(GuestCtx& c);
+
+  void host_push(Machine& m, std::uint64_t value);
+  [[nodiscard]] std::uint64_t host_size(const Machine& m) const;
+
+ private:
+  GRing(Addr ctrl, Addr slots, std::uint64_t cap)
+      : ctrl_(ctrl), slots_(slots), cap_(cap) {}
+  [[nodiscard]] Addr head_addr() const { return ctrl_; }
+  [[nodiscard]] Addr tail_addr() const { return ctrl_ + 16; }
+  [[nodiscard]] Addr slot(std::uint64_t i) const {
+    return slots_ + (i % cap_) * 8;
+  }
+  Addr ctrl_ = 0;
+  Addr slots_ = 0;
+  std::uint64_t cap_ = 0;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,507 @@
+#include "guest/grbtree.hpp"
+
+// STYLE RULE (load-bearing): never place co_await inside a condition
+// expression (if / else-if / while / ternary) when the controlled branch
+// also suspends — GCC 12 miscompiles that shape (the coroutine frame's
+// state index is corrupted; the first resume silently runs the destroyer
+// instead of the body). Always hoist the awaited value into a named local
+// first. See tests/test_compiler_workaround.cpp.
+
+namespace asfsim {
+
+GRBTree GRBTree::create(Machine& m) {
+  // Fat container header: own cache line (see GList::create).
+  const Addr root = m.galloc().alloc(kLineBytes, kLineBytes);
+  m.poke(root, 8, 0);
+  return GRBTree(root);
+}
+
+Task<Addr> GRBTree::find_node(GuestCtx& c, std::uint64_t key) {
+  Addr cur = co_await c.load_u64(root_);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + kKey);
+    if (k == key) co_return cur;
+    cur = co_await c.load_u64(cur + (key < k ? kLeft : kRight));
+  }
+  co_return 0;
+}
+
+Task<std::uint64_t> GRBTree::find(GuestCtx& c, std::uint64_t key,
+                                  std::uint64_t notfound) {
+  const Addr n = co_await find_node(c, key);
+  if (n == 0) co_return notfound;
+  const std::uint64_t v = co_await c.load_u64(n + kVal);
+  co_return v;
+}
+
+Task<bool> GRBTree::contains(GuestCtx& c, std::uint64_t key) {
+  const Addr n = co_await find_node(c, key);
+  co_return n != 0;
+}
+
+Task<bool> GRBTree::update(GuestCtx& c, std::uint64_t key,
+                           std::uint64_t value) {
+  const Addr n = co_await find_node(c, key);
+  if (n == 0) co_return false;
+  co_await c.store_u64(n + kVal, value);
+  co_return true;
+}
+
+Task<bool> GRBTree::lower_bound(GuestCtx& c, std::uint64_t key,
+                                std::uint64_t* out_key,
+                                std::uint64_t* out_value) {
+  Addr best = 0;
+  Addr cur = co_await c.load_u64(root_);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + kKey);
+    if (k == key) {
+      best = cur;
+      break;
+    }
+    if (k > key) {
+      best = cur;
+      cur = co_await c.load_u64(cur + kLeft);
+    } else {
+      cur = co_await c.load_u64(cur + kRight);
+    }
+  }
+  if (best == 0) co_return false;
+  const std::uint64_t bk = co_await c.load_u64(best + kKey);
+  const std::uint64_t bv = co_await c.load_u64(best + kVal);
+  if (out_key != nullptr) *out_key = bk;
+  if (out_value != nullptr) *out_value = bv;
+  co_return true;
+}
+
+Task<void> GRBTree::rotate_left(GuestCtx& c, Addr x) {
+  const Addr y = co_await c.load_u64(x + kRight);
+  const Addr yl = co_await c.load_u64(y + kLeft);
+  co_await c.store_u64(x + kRight, yl);
+  if (yl != 0) co_await c.store_u64(yl + kParent, x);
+  const Addr xp = co_await c.load_u64(x + kParent);
+  co_await c.store_u64(y + kParent, xp);
+  if (xp == 0) {
+    co_await c.store_u64(root_, y);
+  } else {
+    const Addr xp_left = co_await c.load_u64(xp + kLeft);
+    if (xp_left == x) {
+      co_await c.store_u64(xp + kLeft, y);
+    } else {
+      co_await c.store_u64(xp + kRight, y);
+    }
+  }
+  co_await c.store_u64(y + kLeft, x);
+  co_await c.store_u64(x + kParent, y);
+}
+
+Task<void> GRBTree::rotate_right(GuestCtx& c, Addr x) {
+  const Addr y = co_await c.load_u64(x + kLeft);
+  const Addr yr = co_await c.load_u64(y + kRight);
+  co_await c.store_u64(x + kLeft, yr);
+  if (yr != 0) co_await c.store_u64(yr + kParent, x);
+  const Addr xp = co_await c.load_u64(x + kParent);
+  co_await c.store_u64(y + kParent, xp);
+  if (xp == 0) {
+    co_await c.store_u64(root_, y);
+  } else {
+    const Addr xp_right = co_await c.load_u64(xp + kRight);
+    if (xp_right == x) {
+      co_await c.store_u64(xp + kRight, y);
+    } else {
+      co_await c.store_u64(xp + kLeft, y);
+    }
+  }
+  co_await c.store_u64(y + kRight, x);
+  co_await c.store_u64(x + kParent, y);
+}
+
+Task<void> GRBTree::fixup_insert(GuestCtx& c, Addr z) {
+  for (;;) {
+    Addr p = co_await c.load_u64(z + kParent);
+    if (p == 0) break;
+    const std::uint64_t pcolor = co_await c.load_u64(p + kColor);
+    if (pcolor == kBlack) break;
+    const Addr g = co_await c.load_u64(p + kParent);  // red parent => exists
+    const Addr gleft = co_await c.load_u64(g + kLeft);
+    if (p == gleft) {
+      const Addr u = co_await c.load_u64(g + kRight);
+      const std::uint64_t ucolor =
+          u == 0 ? kBlack : co_await c.load_u64(u + kColor);
+      if (ucolor == kRed) {
+        co_await c.store_u64(p + kColor, kBlack);
+        co_await c.store_u64(u + kColor, kBlack);
+        co_await c.store_u64(g + kColor, kRed);
+        z = g;
+        continue;
+      }
+      const Addr p_right = co_await c.load_u64(p + kRight);
+      if (p_right == z) {
+        z = p;
+        co_await rotate_left(c, z);
+        p = co_await c.load_u64(z + kParent);
+      }
+      co_await c.store_u64(p + kColor, kBlack);
+      co_await c.store_u64(g + kColor, kRed);
+      co_await rotate_right(c, g);
+    } else {
+      const Addr u = gleft;
+      const std::uint64_t ucolor =
+          u == 0 ? kBlack : co_await c.load_u64(u + kColor);
+      if (ucolor == kRed) {
+        co_await c.store_u64(p + kColor, kBlack);
+        co_await c.store_u64(u + kColor, kBlack);
+        co_await c.store_u64(g + kColor, kRed);
+        z = g;
+        continue;
+      }
+      const Addr p_left = co_await c.load_u64(p + kLeft);
+      if (p_left == z) {
+        z = p;
+        co_await rotate_right(c, z);
+        p = co_await c.load_u64(z + kParent);
+      }
+      co_await c.store_u64(p + kColor, kBlack);
+      co_await c.store_u64(g + kColor, kRed);
+      co_await rotate_left(c, g);
+    }
+  }
+  const Addr root = co_await c.load_u64(root_);
+  if (root != 0) {
+    const std::uint64_t rcolor = co_await c.load_u64(root + kColor);
+    if (rcolor != kBlack) co_await c.store_u64(root + kColor, kBlack);
+  }
+}
+
+Task<bool> GRBTree::insert(GuestCtx& c, std::uint64_t key,
+                           std::uint64_t value) {
+  Addr parent = 0;
+  bool went_left = false;
+  Addr cur = co_await c.load_u64(root_);
+  while (cur != 0) {
+    const std::uint64_t k = co_await c.load_u64(cur + kKey);
+    if (k == key) co_return false;
+    parent = cur;
+    went_left = key < k;
+    cur = co_await c.load_u64(cur + (went_left ? kLeft : kRight));
+  }
+  const Addr z = c.alloc_local(kNodeSize, 8);
+  co_await c.store_u64(z + kKey, key);
+  co_await c.store_u64(z + kVal, value);
+  co_await c.store_u64(z + kLeft, 0);
+  co_await c.store_u64(z + kRight, 0);
+  co_await c.store_u64(z + kParent, parent);
+  co_await c.store_u64(z + kColor, kRed);
+  if (parent == 0) {
+    co_await c.store_u64(root_, z);
+  } else {
+    co_await c.store_u64(parent + (went_left ? kLeft : kRight), z);
+  }
+  co_await fixup_insert(c, z);
+  co_return true;
+}
+
+Task<void> GRBTree::transplant(GuestCtx& c, Addr u, Addr uparent, Addr v) {
+  if (uparent == 0) {
+    co_await c.store_u64(root_, v);
+  } else {
+    const Addr up_left = co_await c.load_u64(uparent + kLeft);
+    if (up_left == u) {
+      co_await c.store_u64(uparent + kLeft, v);
+    } else {
+      co_await c.store_u64(uparent + kRight, v);
+    }
+  }
+  if (v != 0) co_await c.store_u64(v + kParent, uparent);
+}
+
+Task<void> GRBTree::fixup_erase(GuestCtx& c, Addr x, Addr xparent) {
+  for (;;) {
+    const Addr root = co_await c.load_u64(root_);
+    if (x == root) break;
+    if (x != 0) {
+      const std::uint64_t xcolor = co_await c.load_u64(x + kColor);
+      if (xcolor == kRed) break;
+    }
+    // x is (conceptually) doubly black; its sibling w is non-null.
+    const Addr pleft = co_await c.load_u64(xparent + kLeft);
+    if (x == pleft) {
+      Addr w = co_await c.load_u64(xparent + kRight);
+      const std::uint64_t wcolor = co_await c.load_u64(w + kColor);
+      if (wcolor == kRed) {
+        co_await c.store_u64(w + kColor, kBlack);
+        co_await c.store_u64(xparent + kColor, kRed);
+        co_await rotate_left(c, xparent);
+        w = co_await c.load_u64(xparent + kRight);
+      }
+      const Addr wl = co_await c.load_u64(w + kLeft);
+      const Addr wr = co_await c.load_u64(w + kRight);
+      const std::uint64_t wl_color =
+          wl == 0 ? kBlack : co_await c.load_u64(wl + kColor);
+      const std::uint64_t wr_color =
+          wr == 0 ? kBlack : co_await c.load_u64(wr + kColor);
+      if (wl_color == kBlack && wr_color == kBlack) {
+        co_await c.store_u64(w + kColor, kRed);
+        x = xparent;
+        xparent = co_await c.load_u64(x + kParent);
+        continue;
+      }
+      if (wr_color == kBlack) {
+        if (wl != 0) co_await c.store_u64(wl + kColor, kBlack);
+        co_await c.store_u64(w + kColor, kRed);
+        co_await rotate_right(c, w);
+        w = co_await c.load_u64(xparent + kRight);
+      }
+      const std::uint64_t pcolor = co_await c.load_u64(xparent + kColor);
+      co_await c.store_u64(w + kColor, pcolor);
+      co_await c.store_u64(xparent + kColor, kBlack);
+      const Addr wr2 = co_await c.load_u64(w + kRight);
+      if (wr2 != 0) co_await c.store_u64(wr2 + kColor, kBlack);
+      co_await rotate_left(c, xparent);
+      break;
+    } else {
+      Addr w = pleft;
+      const std::uint64_t wcolor = co_await c.load_u64(w + kColor);
+      if (wcolor == kRed) {
+        co_await c.store_u64(w + kColor, kBlack);
+        co_await c.store_u64(xparent + kColor, kRed);
+        co_await rotate_right(c, xparent);
+        w = co_await c.load_u64(xparent + kLeft);
+      }
+      const Addr wl = co_await c.load_u64(w + kLeft);
+      const Addr wr = co_await c.load_u64(w + kRight);
+      const std::uint64_t wl_color =
+          wl == 0 ? kBlack : co_await c.load_u64(wl + kColor);
+      const std::uint64_t wr_color =
+          wr == 0 ? kBlack : co_await c.load_u64(wr + kColor);
+      if (wl_color == kBlack && wr_color == kBlack) {
+        co_await c.store_u64(w + kColor, kRed);
+        x = xparent;
+        xparent = co_await c.load_u64(x + kParent);
+        continue;
+      }
+      if (wl_color == kBlack) {
+        if (wr != 0) co_await c.store_u64(wr + kColor, kBlack);
+        co_await c.store_u64(w + kColor, kRed);
+        co_await rotate_left(c, w);
+        w = co_await c.load_u64(xparent + kLeft);
+      }
+      const std::uint64_t pcolor = co_await c.load_u64(xparent + kColor);
+      co_await c.store_u64(w + kColor, pcolor);
+      co_await c.store_u64(xparent + kColor, kBlack);
+      const Addr wl2 = co_await c.load_u64(w + kLeft);
+      if (wl2 != 0) co_await c.store_u64(wl2 + kColor, kBlack);
+      co_await rotate_right(c, xparent);
+      break;
+    }
+  }
+  if (x != 0) co_await c.store_u64(x + kColor, kBlack);
+}
+
+Task<bool> GRBTree::erase(GuestCtx& c, std::uint64_t key) {
+  const Addr z = co_await find_node(c, key);
+  if (z == 0) co_return false;
+
+  Addr x = 0;
+  Addr xparent = 0;
+  std::uint64_t removed_color = co_await c.load_u64(z + kColor);
+  const Addr zl = co_await c.load_u64(z + kLeft);
+  const Addr zr = co_await c.load_u64(z + kRight);
+  const Addr zp = co_await c.load_u64(z + kParent);
+
+  if (zl == 0) {
+    x = zr;
+    xparent = zp;
+    co_await transplant(c, z, zp, zr);
+  } else if (zr == 0) {
+    x = zl;
+    xparent = zp;
+    co_await transplant(c, z, zp, zl);
+  } else {
+    // y = minimum of z's right subtree; it replaces z.
+    Addr y = zr;
+    for (;;) {
+      const Addr yl = co_await c.load_u64(y + kLeft);
+      if (yl == 0) break;
+      y = yl;
+    }
+    removed_color = co_await c.load_u64(y + kColor);
+    x = co_await c.load_u64(y + kRight);
+    const Addr yp = co_await c.load_u64(y + kParent);
+    if (yp == z) {
+      xparent = y;
+    } else {
+      xparent = yp;
+      co_await transplant(c, y, yp, x);
+      co_await c.store_u64(y + kRight, zr);
+      co_await c.store_u64(zr + kParent, y);
+    }
+    co_await transplant(c, z, zp, y);
+    co_await c.store_u64(y + kLeft, zl);
+    co_await c.store_u64(zl + kParent, y);
+    const std::uint64_t zcolor = co_await c.load_u64(z + kColor);
+    co_await c.store_u64(y + kColor, zcolor);
+  }
+  if (removed_color == kBlack) co_await fixup_erase(c, x, xparent);
+  co_return true;  // the removed node leaks (no guest free), as in STAMP
+}
+
+// ---- host-time operations ---------------------------------------------------
+
+void GRBTree::host_insert(Machine& m, std::uint64_t key, std::uint64_t value) {
+  auto rd = [&](Addr a) { return m.peek(a, 8); };
+  auto wr = [&](Addr a, std::uint64_t v) { m.poke(a, 8, v); };
+
+  Addr parent = 0;
+  bool went_left = false;
+  Addr cur = rd(root_);
+  while (cur != 0) {
+    const std::uint64_t k = rd(cur + kKey);
+    if (k == key) {
+      wr(cur + kVal, value);
+      return;
+    }
+    parent = cur;
+    went_left = key < k;
+    cur = rd(cur + (went_left ? kLeft : kRight));
+  }
+  const Addr z = m.galloc().alloc(kNodeSize, 8);
+  wr(z + kKey, key);
+  wr(z + kVal, value);
+  wr(z + kLeft, 0);
+  wr(z + kRight, 0);
+  wr(z + kParent, parent);
+  wr(z + kColor, kRed);
+  if (parent == 0) {
+    wr(root_, z);
+  } else {
+    wr(parent + (went_left ? kLeft : kRight), z);
+  }
+
+  auto rot = [&](Addr x, bool left) {
+    const std::uint32_t a = left ? kRight : kLeft;
+    const std::uint32_t b = left ? kLeft : kRight;
+    const Addr y = rd(x + a);
+    const Addr yb = rd(y + b);
+    wr(x + a, yb);
+    if (yb != 0) wr(yb + kParent, x);
+    const Addr xp = rd(x + kParent);
+    wr(y + kParent, xp);
+    if (xp == 0) {
+      wr(root_, y);
+    } else if (rd(xp + kLeft) == x) {
+      wr(xp + kLeft, y);
+    } else {
+      wr(xp + kRight, y);
+    }
+    wr(y + b, x);
+    wr(x + kParent, y);
+  };
+
+  Addr n = z;
+  for (;;) {
+    Addr p = rd(n + kParent);
+    if (p == 0 || rd(p + kColor) == kBlack) break;
+    const Addr g = rd(p + kParent);
+    const bool pleft = rd(g + kLeft) == p;
+    const Addr u = rd(g + (pleft ? kRight : kLeft));
+    if (u != 0 && rd(u + kColor) == kRed) {
+      wr(p + kColor, kBlack);
+      wr(u + kColor, kBlack);
+      wr(g + kColor, kRed);
+      n = g;
+      continue;
+    }
+    if (rd(p + (pleft ? kRight : kLeft)) == n) {
+      n = p;
+      rot(n, pleft);
+      p = rd(n + kParent);
+    }
+    wr(p + kColor, kBlack);
+    wr(g + kColor, kRed);
+    rot(g, !pleft);
+  }
+  const Addr root = rd(root_);
+  if (root != 0) wr(root + kColor, kBlack);
+}
+
+std::uint64_t GRBTree::host_size(const Machine& m) const {
+  std::uint64_t n = 0;
+  // Iterative in-order walk using parent pointers (no host recursion).
+  Addr cur = m.peek(root_, 8);
+  Addr prev = 0;
+  while (cur != 0) {
+    const Addr left = m.peek(cur + kLeft, 8);
+    const Addr right = m.peek(cur + kRight, 8);
+    const Addr parent = m.peek(cur + kParent, 8);
+    if (prev == parent) {
+      if (left != 0) {
+        prev = cur;
+        cur = left;
+        continue;
+      }
+      ++n;
+      if (right != 0) {
+        prev = cur;
+        cur = right;
+        continue;
+      }
+      prev = cur;
+      cur = parent;
+    } else if (prev == left) {
+      ++n;
+      if (right != 0) {
+        prev = cur;
+        cur = right;
+      } else {
+        prev = cur;
+        cur = parent;
+      }
+    } else {  // coming back up from the right child
+      prev = cur;
+      cur = parent;
+    }
+  }
+  return n;
+}
+
+std::uint64_t GRBTree::host_find(const Machine& m, std::uint64_t key,
+                                 std::uint64_t notfound) const {
+  Addr cur = m.peek(root_, 8);
+  while (cur != 0) {
+    const std::uint64_t k = m.peek(cur + kKey, 8);
+    if (k == key) return m.peek(cur + kVal, 8);
+    cur = m.peek(cur + (key < k ? kLeft : kRight), 8);
+  }
+  return notfound;
+}
+
+int GRBTree::host_validate_rec(const Machine& m, Addr n, std::uint64_t lo,
+                               std::uint64_t hi, bool has_lo,
+                               bool has_hi) const {
+  if (n == 0) return 1;  // null leaves are black
+  const std::uint64_t k = m.peek(n + kKey, 8);
+  if ((has_lo && k <= lo) || (has_hi && k >= hi)) return -1;
+  const std::uint64_t color = m.peek(n + kColor, 8);
+  const Addr l = m.peek(n + kLeft, 8);
+  const Addr r = m.peek(n + kRight, 8);
+  if (color == kRed) {
+    if (l != 0 && m.peek(l + kColor, 8) == kRed) return -1;
+    if (r != 0 && m.peek(r + kColor, 8) == kRed) return -1;
+  }
+  if (l != 0 && m.peek(l + kParent, 8) != n) return -1;
+  if (r != 0 && m.peek(r + kParent, 8) != n) return -1;
+  const int hl = host_validate_rec(m, l, lo, k, has_lo, true);
+  const int hr = host_validate_rec(m, r, k, hi, true, has_hi);
+  if (hl < 0 || hr < 0 || hl != hr) return -1;
+  return hl + (color == kBlack ? 1 : 0);
+}
+
+int GRBTree::host_validate(const Machine& m) const {
+  const Addr root = m.peek(root_, 8);
+  if (root == 0) return 1;
+  if (m.peek(root + kColor, 8) != kBlack) return -1;
+  if (m.peek(root + kParent, 8) != 0) return -1;
+  return host_validate_rec(m, root, 0, 0, false, false);
+}
+
+}  // namespace asfsim

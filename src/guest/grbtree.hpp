@@ -1,0 +1,79 @@
+// Red-black tree in guest memory (the STAMP vacation reservation tables).
+//
+// Node layout (8-byte fields, malloc-packed, 48 bytes — 1.33 nodes/line):
+//   {key, value, left, right, parent, color}
+// Null children are guest address 0 and the parent of the root is 0; there
+// is NO shared sentinel node (a written sentinel would fabricate true
+// conflicts between otherwise-independent transactions).
+//
+// All operations are guest coroutines: every pointer dereference is a
+// simulated, conflict-detected memory access.
+#pragma once
+
+#include <cstdint>
+
+#include "guest/ctx.hpp"
+#include "guest/machine.hpp"
+#include "sim/task.hpp"
+
+namespace asfsim {
+
+class GRBTree {
+ public:
+  GRBTree() = default;
+
+  static GRBTree create(Machine& m);
+
+  [[nodiscard]] Addr root_addr() const { return root_; }
+
+  /// Insert key→value if absent. Returns false if the key already exists.
+  Task<bool> insert(GuestCtx& c, std::uint64_t key, std::uint64_t value);
+  /// Lookup; returns `notfound` when absent.
+  Task<std::uint64_t> find(GuestCtx& c, std::uint64_t key,
+                           std::uint64_t notfound);
+  Task<bool> contains(GuestCtx& c, std::uint64_t key);
+  /// Overwrite the value of an existing key. Returns false when absent.
+  Task<bool> update(GuestCtx& c, std::uint64_t key, std::uint64_t value);
+  /// Remove by key; returns true if removed.
+  Task<bool> erase(GuestCtx& c, std::uint64_t key);
+  /// Smallest key >= `key`; writes result via out-params, returns found flag.
+  Task<bool> lower_bound(GuestCtx& c, std::uint64_t key, std::uint64_t* out_key,
+                         std::uint64_t* out_value);
+
+  // ---- host-time (setup / verification) ------------------------------------
+  /// Setup-phase insert without simulated cycles (builds initial tables).
+  void host_insert(Machine& m, std::uint64_t key, std::uint64_t value);
+  [[nodiscard]] std::uint64_t host_size(const Machine& m) const;
+  /// Validate BST order + red-black invariants; returns black-height or -1.
+  [[nodiscard]] int host_validate(const Machine& m) const;
+  [[nodiscard]] std::uint64_t host_find(const Machine& m, std::uint64_t key,
+                                        std::uint64_t notfound) const;
+
+ private:
+  explicit GRBTree(Addr root_ptr) : root_(root_ptr) {}
+
+  // Guest node field addresses. Traversal fields (key/left/right/parent)
+  // and the mutable value live in different 16-byte sub-blocks, so a value
+  // update never truly overlaps a traversal read of the same node — 48-byte
+  // nodes start on 16-byte boundaries, which is why four sub-blocks remove
+  // nearly all of vacation's false conflicts (paper Fig 8).
+  static constexpr std::uint32_t kKey = 0, kLeft = 8, kRight = 16,
+                                 kParent = 24, kColor = 32, kVal = 40,
+                                 kNodeSize = 48;
+  static constexpr std::uint64_t kRed = 0, kBlack = 1;
+
+  Task<Addr> find_node(GuestCtx& c, std::uint64_t key);
+  Task<void> rotate_left(GuestCtx& c, Addr x);
+  Task<void> rotate_right(GuestCtx& c, Addr x);
+  Task<void> fixup_insert(GuestCtx& c, Addr z);
+  Task<void> fixup_erase(GuestCtx& c, Addr x, Addr xparent);
+  /// Replace subtree `u` (child of `uparent`) with `v` in u's slot.
+  Task<void> transplant(GuestCtx& c, Addr u, Addr uparent, Addr v);
+
+  int host_validate_rec(const Machine& m, Addr n, std::uint64_t lo,
+                        std::uint64_t hi, bool has_lo, bool has_hi) const;
+
+  Addr root_ = 0;  // guest address of the root pointer cell
+};
+
+}  // namespace asfsim

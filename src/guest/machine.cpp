@@ -1,0 +1,30 @@
+#include "guest/machine.hpp"
+
+namespace asfsim {
+
+Machine::Machine(const SimConfig& cfg, DetectorKind detector,
+                 std::uint32_t nsub)
+    : cfg_(cfg),
+      kernel_(cfg_.ncores),
+      detector_(make_detector(detector, nsub)),
+      mem_(kernel_, cfg_, stats_),
+      runtime_(kernel_, mem_, backing_, stats_, cfg_) {
+  mem_.set_detector(detector_.get());
+  mem_.set_tx_control(&runtime_);
+  // The software-fallback lock word gets a cache line of its own.
+  fallback_lock_ = galloc_.alloc(kLineBytes, kLineBytes);
+  backing_.write(fallback_lock_, 8, 0);
+  ctxs_.reserve(cfg_.ncores);
+  for (CoreId c = 0; c < cfg_.ncores; ++c) {
+    ctxs_.push_back(std::make_unique<GuestCtx>(
+        kernel_, mem_, runtime_, galloc_, cfg_, c, fallback_lock_));
+  }
+}
+
+Cycle Machine::run(Cycle max_cycles) {
+  const Cycle end = kernel_.run(max_cycles);
+  stats_.total_cycles = end;
+  return end;
+}
+
+}  // namespace asfsim

@@ -1,0 +1,82 @@
+// Machine: one fully-wired simulated system — the library's main entry point.
+//
+//   Machine m(SimConfig{}, DetectorKind::kSubBlock, /*nsub=*/4);
+//   Addr counter = m.galloc().alloc(8);
+//   for (CoreId c = 0; c < m.config().ncores; ++c)
+//     m.spawn(c, worker(m.ctx(c), counter));
+//   m.run();
+//   // inspect m.stats()
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "guest/ctx.hpp"
+#include "htm/asf_runtime.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/coherence.hpp"
+#include "mem/gallocator.hpp"
+#include "sim/config.hpp"
+#include "sim/kernel.hpp"
+#include "stats/counters.hpp"
+#include "stats/txtrace.hpp"
+
+namespace asfsim {
+
+class Machine {
+ public:
+  explicit Machine(const SimConfig& cfg = SimConfig{},
+                   DetectorKind detector = DetectorKind::kBaseline,
+                   std::uint32_t nsub = 4);
+
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+  [[nodiscard]] Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] BackingStore& backing() { return backing_; }
+  [[nodiscard]] MemorySystem& mem() { return mem_; }
+  [[nodiscard]] AsfRuntime& runtime() { return runtime_; }
+  [[nodiscard]] GAllocator& galloc() { return galloc_; }
+  [[nodiscard]] ConflictDetector& detector() { return *detector_; }
+  [[nodiscard]] GuestCtx& ctx(CoreId core) { return *ctxs_[core]; }
+
+  /// Bind a guest thread to a core (one thread per core).
+  void spawn(CoreId core, Task<void> thread) {
+    kernel_.spawn(core, std::move(thread));
+  }
+
+  /// Run to completion; records the final cycle into stats().total_cycles.
+  Cycle run(Cycle max_cycles = ~Cycle{0});
+
+  /// Enable the transaction event trace (ring of `depth` events).
+  TxTrace& enable_trace(std::size_t depth = 4096) {
+    trace_ = std::make_unique<TxTrace>(depth);
+    runtime_.set_trace(trace_.get());
+    return *trace_;
+  }
+  [[nodiscard]] TxTrace* trace() { return trace_.get(); }
+
+  // ---- setup-phase helpers (host-time, no simulated cycles) ---------------
+  void poke(Addr a, std::uint32_t size, std::uint64_t v) {
+    backing_.write(a, size, v);
+  }
+  [[nodiscard]] std::uint64_t peek(Addr a, std::uint32_t size) const {
+    return backing_.read(a, size);
+  }
+
+ private:
+  SimConfig cfg_;
+  Stats stats_;
+  Kernel kernel_;
+  BackingStore backing_;
+  std::unique_ptr<ConflictDetector> detector_;
+  MemorySystem mem_;
+  AsfRuntime runtime_;
+  GAllocator galloc_;
+  Addr fallback_lock_ = 0;
+  std::unique_ptr<TxTrace> trace_;
+  std::vector<std::unique_ptr<GuestCtx>> ctxs_;
+};
+
+}  // namespace asfsim

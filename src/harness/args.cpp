@@ -1,0 +1,42 @@
+#include "harness/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace asfsim {
+
+CliOptions parse_cli(int argc, char** argv, double default_scale) {
+  CliOptions o;
+  o.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      o.scale = std::atof(need_value("--scale"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      o.threads = static_cast<std::uint32_t>(std::atoi(need_value("--threads")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      o.csv_dir = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale f] [--threads n] [--seed n] [--csv dir]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (see --help)\n", argv[0],
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+}  // namespace asfsim

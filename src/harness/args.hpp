@@ -1,0 +1,27 @@
+// Tiny CLI parsing shared by bench binaries and examples.
+//
+// Common flags:
+//   --scale <f>    input-size multiplier (default 1.0; benches use smaller
+//                  defaults so `for b in build/bench/*; do $b; done` is fast)
+//   --threads <n>  guest threads (default 8, the paper's core count)
+//   --seed <n>     deterministic seed (default 1)
+//   --csv <dir>    also write CSV series into <dir>
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asfsim {
+
+struct CliOptions {
+  double scale = 1.0;
+  std::uint32_t threads = 8;
+  std::uint64_t seed = 1;
+  std::string csv_dir;
+};
+
+/// Parse the common flags; exits with a usage message on errors.
+[[nodiscard]] CliOptions parse_cli(int argc, char** argv,
+                                   double default_scale = 1.0);
+
+}  // namespace asfsim

@@ -1,0 +1,32 @@
+#include "harness/experiment.hpp"
+
+#include <stdexcept>
+
+#include "guest/machine.hpp"
+
+namespace asfsim {
+
+ExperimentResult run_experiment(const std::string& workload,
+                                const ExperimentConfig& cfg) {
+  SimConfig sim = cfg.sim;
+  sim.seed = cfg.params.seed;
+  if (cfg.params.threads > sim.ncores) {
+    throw std::invalid_argument("run_experiment: threads > ncores");
+  }
+
+  Machine m(sim, cfg.detector, cfg.nsub);
+  m.stats().record_timeseries = cfg.timeseries;
+
+  auto wl = make_workload(workload);
+  wl->setup(m, cfg.params);
+  m.run(cfg.max_cycles);
+
+  ExperimentResult r;
+  r.workload = workload;
+  r.detector = m.detector().name();
+  r.validation_error = wl->validate(m);
+  r.stats = m.stats();
+  return r;
+}
+
+}  // namespace asfsim

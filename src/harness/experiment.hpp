@@ -1,0 +1,46 @@
+// Experiment runner: one (workload × detector × configuration) simulation.
+#pragma once
+
+#include <string>
+
+#include "core/detector.hpp"
+#include "sim/config.hpp"
+#include "stats/counters.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+struct ExperimentConfig {
+  DetectorKind detector = DetectorKind::kBaseline;
+  std::uint32_t nsub = 4;  // sub-blocks per line (sub-blocking detectors)
+  SimConfig sim;
+  WorkloadParams params;
+  bool timeseries = false;  // record Fig-3 style time series
+  Cycle max_cycles = Cycle{1} << 36;  // livelock guard
+
+  /// Convenience: same experiment with a different detector.
+  [[nodiscard]] ExperimentConfig with(DetectorKind d,
+                                      std::uint32_t n = 4) const {
+    ExperimentConfig c = *this;
+    c.detector = d;
+    c.nsub = n;
+    return c;
+  }
+};
+
+struct ExperimentResult {
+  std::string workload;
+  std::string detector;
+  Stats stats;
+  std::string validation_error;  // empty string = outputs validated OK
+
+  [[nodiscard]] bool ok() const { return validation_error.empty(); }
+};
+
+/// Run one experiment to completion. Throws on simulator-level failures
+/// (deadlock, cycle-limit); workload validation failures are reported in the
+/// result instead.
+[[nodiscard]] ExperimentResult run_experiment(const std::string& workload,
+                                              const ExperimentConfig& cfg);
+
+}  // namespace asfsim

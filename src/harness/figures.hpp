@@ -1,0 +1,44 @@
+// Per-figure/table reproduction logic (one bench binary per entry point).
+//
+// Every function prints the paper's rows/series to `os`, optionally mirrors
+// them as CSV into opts.csv_dir, and returns 0 on success (non-zero when a
+// sanity expectation fails badly enough that the figure is meaningless,
+// e.g. a workload failed validation).
+#pragma once
+
+#include <iostream>
+
+#include "harness/args.hpp"
+
+namespace asfsim::figures {
+
+// ---- tables ----------------------------------------------------------------
+int table1_states(const CliOptions& opts, std::ostream& os);       // Table I + Fig 6/7
+int table2_config(const CliOptions& opts, std::ostream& os);       // Table II
+int table3_benchmarks(const CliOptions& opts, std::ostream& os);   // Table III
+
+// ---- characterization figures ----------------------------------------------
+int fig1_false_conflict_rate(const CliOptions& opts, std::ostream& os);
+int fig2_conflict_type_breakdown(const CliOptions& opts, std::ostream& os);
+int fig3_time_distribution(const CliOptions& opts, std::ostream& os);
+int fig4_line_distribution(const CliOptions& opts, std::ostream& os);
+int fig5_intra_line_access(const CliOptions& opts, std::ostream& os);
+
+// ---- evaluation figures ------------------------------------------------------
+int fig8_subblock_sensitivity(const CliOptions& opts, std::ostream& os);
+int fig9_overall_conflict_reduction(const CliOptions& opts, std::ostream& os);
+int fig10_execution_time(const CliOptions& opts, std::ostream& os);
+
+// ---- ablations / overhead (paper §II and §IV-E) ------------------------------
+int ablation_waronly(const CliOptions& opts, std::ostream& os);
+int ablation_ats(const CliOptions& opts, std::ostream& os);
+int ablation_cores(const CliOptions& opts, std::ostream& os);
+int ablation_variance(const CliOptions& opts, std::ostream& os);
+int ablation_waw_rule(const CliOptions& opts, std::ostream& os);
+int ablation_overhead(const CliOptions& opts, std::ostream& os);
+int ablation_capacity(const CliOptions& opts, std::ostream& os);
+int ablation_l1_geometry(const CliOptions& opts, std::ostream& os);
+int ablation_scale(const CliOptions& opts, std::ostream& os);
+int ablation_timing(const CliOptions& opts, std::ostream& os);
+
+}  // namespace asfsim::figures

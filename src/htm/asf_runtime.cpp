@@ -1,0 +1,145 @@
+#include "htm/asf_runtime.hpp"
+
+#include <cassert>
+
+#include "sim/kernel.hpp"
+
+namespace asfsim {
+
+AsfRuntime::AsfRuntime(Kernel& kernel, MemorySystem& mem,
+                       BackingStore& backing, Stats& stats,
+                       const SimConfig& cfg)
+    : kernel_(kernel),
+      mem_(mem),
+      backing_(backing),
+      stats_(stats),
+      backoff_(cfg, cfg.seed ^ 0x9e3779b97f4a7c15ULL),
+      cores_(cfg.ncores) {
+  if (cfg.enable_ats) {
+    scheduler_ = std::make_unique<AdaptiveScheduler>(cfg.ncores, cfg.ats_alpha,
+                                                     cfg.ats_threshold);
+  }
+}
+
+void AsfRuntime::begin(CoreId core) {
+  PerCore& p = cores_[core];
+  assert(!p.active && "nested transactions are not supported");
+  p.active = true;
+  p.doomed = false;
+  p.cause = AbortCause::kConflict;
+  p.tx_start = kernel_.now();
+  stats_.on_tx_attempt(kernel_.now());
+  if (trace_) {
+    trace_->record({TxEventKind::kBegin, core, kInvalidCore, kernel_.now(),
+                    AbortCause::kConflict, ConflictType::kWAR, false, 0});
+  }
+}
+
+void AsfRuntime::doom(CoreId victim, const ConflictRecord& rec) {
+  if (trace_) {
+    trace_->record({TxEventKind::kConflict, victim, rec.requester,
+                    kernel_.now(), AbortCause::kConflict, rec.type,
+                    rec.is_false, rec.line});
+  }
+  PerCore& p = cores_[victim];
+  assert(p.active && !p.doomed);
+  p.doomed = true;
+  p.cause = AbortCause::kConflict;
+  // Architectural abort happens at message-receipt time: discard all
+  // speculative data and reset the bits (paper §IV-A).
+  p.overlay.clear();
+  mem_.clear_spec(victim, /*discard_written_lines=*/true);
+}
+
+void AsfRuntime::self_doom(CoreId core, AbortCause cause) {
+  PerCore& p = cores_[core];
+  assert(p.active);
+  if (p.doomed) return;  // a remote conflict already got here first
+  p.doomed = true;
+  p.cause = cause;
+  p.overlay.clear();
+  mem_.clear_spec(core, /*discard_written_lines=*/true);
+}
+
+void AsfRuntime::commit(CoreId core) {
+  PerCore& p = cores_[core];
+  assert(p.active && !p.doomed);
+  // Apply the write overlay to committed memory (gang-commit), validating
+  // still-speculating readers whose read sets the commit overwrites.
+  for (const auto& [line, ov] : p.overlay) {
+    mem_.validate_readers_at_commit(core, line, ov.mask);
+    for (std::uint32_t b = 0; b < kLineBytes; ++b) {
+      if (ov.mask & (ByteMask{1} << b)) backing_.write(line + b, 1, ov.data[b]);
+    }
+  }
+  p.overlay.clear();
+  mem_.clear_spec(core, /*discard_written_lines=*/false);
+  p.active = false;
+  stats_.tx_busy_cycles += kernel_.now() - p.tx_start;
+  stats_.on_tx_commit();
+  if (scheduler_) scheduler_->on_tx_end(core, /*aborted=*/false);
+  if (trace_) {
+    trace_->record({TxEventKind::kCommit, core, kInvalidCore, kernel_.now(),
+                    AbortCause::kConflict, ConflictType::kWAR, false, 0});
+  }
+}
+
+std::uint32_t AsfRuntime::finish_abort(CoreId core) {
+  PerCore& p = cores_[core];
+  assert(p.active && p.doomed);
+  stats_.on_tx_abort(p.cause);
+  stats_.tx_busy_cycles += kernel_.now() - p.tx_start;
+  p.active = false;
+  p.doomed = false;
+  if (scheduler_) scheduler_->on_tx_end(core, /*aborted=*/true);
+  if (trace_) {
+    trace_->record({TxEventKind::kAbort, core, kInvalidCore, kernel_.now(),
+                    p.cause, ConflictType::kWAR, false, 0});
+  }
+  return ++p.retries;
+}
+
+void AsfRuntime::note_fallback(CoreId core) {
+  cores_[core].retries = 0;
+  ++stats_.fallback_runs;
+  ++stats_.tx_commits;  // the work did complete exactly once
+  if (trace_) {
+    trace_->record({TxEventKind::kFallback, core, kInvalidCore, kernel_.now(),
+                    AbortCause::kCapacity, ConflictType::kWAR, false, 0});
+  }
+}
+
+std::uint64_t AsfRuntime::read_value(CoreId core, Addr a,
+                                     std::uint32_t size) const {
+  std::uint64_t v = backing_.read(a, size);
+  const PerCore& p = cores_[core];
+  if (!p.active || p.overlay.empty()) return v;
+  auto it = p.overlay.find(line_of(a));
+  if (it == p.overlay.end()) return v;
+  const OverlayLine& ov = it->second;
+  const std::uint32_t off = line_offset(a);
+  for (std::uint32_t b = 0; b < size; ++b) {
+    if (ov.mask & (ByteMask{1} << (off + b))) {
+      v &= ~(std::uint64_t{0xff} << (8 * b));
+      v |= std::uint64_t{ov.data[off + b]} << (8 * b);
+    }
+  }
+  return v;
+}
+
+void AsfRuntime::write_value(CoreId core, Addr a, std::uint32_t size,
+                             std::uint64_t v) {
+  PerCore& p = cores_[core];
+  if (!p.active || p.doomed) {
+    backing_.write(a, size, v);
+    return;
+  }
+  OverlayLine& ov = p.overlay[line_of(a)];
+  const std::uint32_t off = line_offset(a);
+  for (std::uint32_t b = 0; b < size; ++b) {
+    ov.data[off + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    ov.mask |= ByteMask{1} << (off + b);
+  }
+}
+
+}  // namespace asfsim

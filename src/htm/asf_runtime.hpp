@@ -1,0 +1,124 @@
+// ASF-like hardware-transactional-memory runtime.
+//
+// Versioning is lazy: transactional stores are buffered in a per-core write
+// overlay (the architectural analogue of speculative data parked in the L1)
+// and applied to the BackingStore only at commit. The BackingStore therefore
+// always holds committed data, which is what other cores read — exactly the
+// visibility the paper's piggy-back/Dirty machinery expects (speculatively-
+// written sub-blocks travel as pre-transaction values and are marked Dirty
+// at the requester).
+//
+// Conflict resolution is requester-wins: the MemorySystem calls doom() on
+// the victim while processing the conflicting access; the victim's
+// speculative data and metadata are discarded immediately, and the victim's
+// coroutine observes the abort (TxAbort is thrown) at its next resume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "htm/backoff.hpp"
+#include "htm/scheduler.hpp"
+#include "htm/tx_control.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/coherence.hpp"
+#include "stats/counters.hpp"
+#include "stats/txtrace.hpp"
+
+namespace asfsim {
+
+class Kernel;
+
+/// Thrown inside guest coroutines to unwind an aborted transaction to its
+/// retry loop (GuestCtx::run_tx).
+struct TxAbort {
+  AbortCause cause = AbortCause::kConflict;
+};
+
+class AsfRuntime final : public ITxControl {
+ public:
+  AsfRuntime(Kernel& kernel, MemorySystem& mem, BackingStore& backing,
+             Stats& stats, const SimConfig& cfg);
+
+  // ---- ITxControl --------------------------------------------------------
+  [[nodiscard]] bool in_tx(CoreId core) const override {
+    const PerCore& p = cores_[core];
+    return p.active && !p.doomed;
+  }
+  void doom(CoreId victim, const ConflictRecord& rec) override;
+
+  // ---- guest-side transaction lifecycle -----------------------------------
+  void begin(CoreId core);
+  /// Architectural commit: applies the overlay, clears speculative state.
+  /// Pre-condition: !doomed(core).
+  void commit(CoreId core);
+  /// Self-inflicted abort (capacity or guest-requested).
+  void self_doom(CoreId core, AbortCause cause);
+  /// Called from the retry loop after TxAbort unwinds: final abort stats.
+  /// Returns the retry count (1 = about to run the first retry).
+  std::uint32_t finish_abort(CoreId core);
+
+  [[nodiscard]] bool active(CoreId core) const { return cores_[core].active; }
+  [[nodiscard]] bool doomed(CoreId core) const { return cores_[core].doomed; }
+  [[nodiscard]] AbortCause doom_cause(CoreId core) const {
+    return cores_[core].cause;
+  }
+  [[nodiscard]] std::uint32_t retries(CoreId core) const {
+    return cores_[core].retries;
+  }
+  void reset_retries(CoreId core) { cores_[core].retries = 0; }
+  /// A transaction completed via the serializing software fallback.
+  void note_fallback(CoreId core);
+  [[nodiscard]] Cycle backoff_wait(CoreId core) {
+    return backoff_.wait_for(cores_[core].retries);
+  }
+
+  /// Optional ATS extension (SimConfig::enable_ats); null when disabled.
+  [[nodiscard]] AdaptiveScheduler* scheduler() { return scheduler_.get(); }
+  void note_ats_dispatch() { ++stats_.ats_serialized; }
+
+  /// Optional transaction event trace (null when disabled).
+  void set_trace(TxTrace* trace) { trace_ = trace; }
+  [[nodiscard]] TxTrace* trace() { return trace_; }
+
+  // ---- value path ---------------------------------------------------------
+  /// Read `size` bytes at `a` as seen by `core`: its own overlay bytes win,
+  /// everything else comes from committed memory.
+  [[nodiscard]] std::uint64_t read_value(CoreId core, Addr a,
+                                         std::uint32_t size) const;
+  /// Write `size` bytes: into the overlay inside a transaction, else
+  /// directly to committed memory.
+  void write_value(CoreId core, Addr a, std::uint32_t size, std::uint64_t v);
+
+  [[nodiscard]] std::uint64_t overlay_lines(CoreId core) const {
+    return cores_[core].overlay.size();
+  }
+
+ private:
+  struct OverlayLine {
+    ByteMask mask = 0;
+    std::array<std::uint8_t, kLineBytes> data{};
+  };
+  struct PerCore {
+    Cycle tx_start = 0;
+    bool active = false;
+    bool doomed = false;
+    AbortCause cause = AbortCause::kConflict;
+    std::uint32_t retries = 0;
+    std::unordered_map<Addr, OverlayLine> overlay;  // keyed by line address
+  };
+
+  Kernel& kernel_;
+  MemorySystem& mem_;
+  BackingStore& backing_;
+  Stats& stats_;
+  BackoffManager backoff_;
+  std::unique_ptr<AdaptiveScheduler> scheduler_;
+  TxTrace* trace_ = nullptr;
+  std::vector<PerCore> cores_;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,2 @@
+// BackoffManager is header-only; this TU exists to anchor the module.
+#include "htm/backoff.hpp"

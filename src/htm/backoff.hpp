@@ -1,0 +1,33 @@
+// Software exponential backoff manager (paper §V-A: the TM library
+// exponentially increases backoff time with transaction retry count to
+// avoid livelock under the requester-wins resolution policy).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/random.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+class BackoffManager {
+ public:
+  BackoffManager(const SimConfig& cfg, std::uint64_t seed)
+      : base_(cfg.backoff_base), cap_shift_(cfg.backoff_cap_shift), rng_(seed) {}
+
+  /// Backoff wait for the given retry count (1 = first retry). Randomized in
+  /// [window/2, window] where window = base << min(retry, cap).
+  [[nodiscard]] Cycle wait_for(std::uint32_t retry) {
+    const std::uint32_t shift = retry < cap_shift_ ? retry : cap_shift_;
+    const Cycle window = base_ << shift;
+    return window / 2 + rng_.below(window / 2 + 1);
+  }
+
+ private:
+  Cycle base_;
+  std::uint32_t cap_shift_;
+  Rng rng_;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,25 @@
+// Narrow interface through which the memory system controls transactions.
+// Implemented by AsfRuntime; kept abstract to break the mem <-> htm cycle
+// and to let unit tests substitute a scripted transaction controller.
+#pragma once
+
+#include "core/conflict.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+class ITxControl {
+ public:
+  virtual ~ITxControl() = default;
+
+  /// Is `core` currently inside a (not yet doomed) transaction?
+  [[nodiscard]] virtual bool in_tx(CoreId core) const = 0;
+
+  /// Doom `victim`'s transaction because of a detected conflict. Called by
+  /// the memory system while processing the conflicting access; the victim's
+  /// speculative data is discarded immediately (architectural abort), and
+  /// the victim's coroutine observes the abort when it next resumes.
+  virtual void doom(CoreId victim, const ConflictRecord& rec) = 0;
+};
+
+}  // namespace asfsim

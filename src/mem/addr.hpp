@@ -1,0 +1,72 @@
+// Address math: cache-line and sub-block decomposition, byte masks.
+//
+// The whole library fixes the cache-line size at 64 bytes (the paper's
+// configuration, Table II). A 64-bit mask then describes any set of bytes
+// within one line, which makes conflict-overlap checks single AND
+// instructions. Sub-block masks (up to 16 sub-blocks per line) quantize byte
+// masks to the sub-block granularity used by the speculative sub-blocking
+// detector.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+inline constexpr std::uint32_t kLineBytes = 64;
+inline constexpr std::uint32_t kLineShift = 6;
+inline constexpr std::uint32_t kMaxSubBlocks = 16;
+
+/// Mask of bytes within one line; bit i = byte i.
+using ByteMask = std::uint64_t;
+/// Mask of sub-blocks within one line; bit i = sub-block i (<= 16 bits used).
+using SubBlockMask = std::uint16_t;
+
+[[nodiscard]] constexpr Addr line_of(Addr a) { return a & ~Addr{kLineBytes - 1}; }
+[[nodiscard]] constexpr std::uint32_t line_offset(Addr a) {
+  return static_cast<std::uint32_t>(a & (kLineBytes - 1));
+}
+
+/// Byte mask for an access of `size` bytes at byte offset `off` in a line.
+/// The access must not cross the line boundary.
+[[nodiscard]] constexpr ByteMask byte_mask(std::uint32_t off, std::uint32_t size) {
+  assert(size >= 1 && off + size <= kLineBytes);
+  return (size >= 64 ? ~ByteMask{0} : ((ByteMask{1} << size) - 1)) << off;
+}
+
+[[nodiscard]] constexpr ByteMask byte_mask_of(Addr a, std::uint32_t size) {
+  return byte_mask(line_offset(a), size);
+}
+
+/// Quantize a byte mask to `nsub` sub-blocks (nsub in {1,2,4,8,16}).
+/// A sub-block bit is set iff any byte of that sub-block is set.
+[[nodiscard]] constexpr SubBlockMask quantize(ByteMask bytes, std::uint32_t nsub) {
+  assert(nsub >= 1 && nsub <= kMaxSubBlocks && (nsub & (nsub - 1)) == 0);
+  const std::uint32_t sub_bytes = kLineBytes / nsub;
+  SubBlockMask out = 0;
+  for (std::uint32_t i = 0; i < nsub; ++i) {
+    const ByteMask sub = byte_mask(i * sub_bytes, sub_bytes);
+    if (bytes & sub) out |= static_cast<SubBlockMask>(1u << i);
+  }
+  return out;
+}
+
+/// Expand a sub-block mask back to the byte mask it covers.
+[[nodiscard]] constexpr ByteMask expand(SubBlockMask subs, std::uint32_t nsub) {
+  const std::uint32_t sub_bytes = kLineBytes / nsub;
+  ByteMask out = 0;
+  for (std::uint32_t i = 0; i < nsub; ++i) {
+    if (subs & (1u << i)) out |= byte_mask(i * sub_bytes, sub_bytes);
+  }
+  return out;
+}
+
+/// Index of the sub-block containing byte offset `off`.
+[[nodiscard]] constexpr std::uint32_t subblock_index(std::uint32_t off,
+                                                     std::uint32_t nsub) {
+  return off / (kLineBytes / nsub);
+}
+
+}  // namespace asfsim

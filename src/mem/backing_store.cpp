@@ -1,0 +1,38 @@
+#include "mem/backing_store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace asfsim {
+
+const BackingStore::Page* BackingStore::find_page(Addr a) const {
+  auto it = pages_.find(a / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+BackingStore::Page& BackingStore::page_for(Addr a) {
+  auto& slot = pages_[a / kPageBytes];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+std::uint64_t BackingStore::read(Addr a, std::uint32_t size) const {
+  assert(size >= 1 && size <= 8);
+  assert(a % kPageBytes + size <= kPageBytes);
+  const Page* p = find_page(a);
+  if (!p) return 0;
+  std::uint64_t v = 0;
+  std::memcpy(&v, p->data() + a % kPageBytes, size);
+  return v;
+}
+
+void BackingStore::write(Addr a, std::uint32_t size, std::uint64_t v) {
+  assert(size >= 1 && size <= 8);
+  assert(a % kPageBytes + size <= kPageBytes);
+  std::memcpy(page_for(a).data() + a % kPageBytes, &v, size);
+}
+
+}  // namespace asfsim

@@ -1,0 +1,39 @@
+// Sparse simulated physical memory.
+//
+// The backing store always holds *committed* data: non-transactional stores
+// write it directly, transactional stores are buffered in the per-transaction
+// write overlay (htm/asf_runtime) and applied here only at commit. This is
+// what makes the sub-blocking piggy-back/dirty path naturally return pre-
+// transaction values for speculatively-written sub-blocks (DESIGN.md §6.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+class BackingStore {
+ public:
+  static constexpr std::uint32_t kPageBytes = 4096;
+
+  /// Read `size` (1..8) bytes at `a`, little-endian, zero-fill for untouched
+  /// memory. The access must not cross a page boundary (callers are aligned).
+  [[nodiscard]] std::uint64_t read(Addr a, std::uint32_t size) const;
+
+  /// Write the low `size` bytes of `v` at `a`.
+  void write(Addr a, std::uint32_t size, std::uint64_t v);
+
+  [[nodiscard]] std::size_t pages_touched() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+  const Page* find_page(Addr a) const;
+  Page& page_for(Addr a);
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace asfsim

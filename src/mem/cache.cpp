@@ -1,0 +1,79 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace asfsim {
+
+const char* to_string(Moesi s) {
+  switch (s) {
+    case Moesi::kInvalid: return "I";
+    case Moesi::kShared: return "S";
+    case Moesi::kExclusive: return "E";
+    case Moesi::kOwned: return "O";
+    case Moesi::kModified: return "M";
+  }
+  return "?";
+}
+
+TagArray::TagArray(const CacheLevelConfig& cfg)
+    : sets_(cfg.num_sets()), ways_(cfg.ways), entries_(sets_ * ways_) {
+  if (cfg.line_bytes != kLineBytes) {
+    throw std::invalid_argument("TagArray: line size must be 64 bytes");
+  }
+  if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0) {
+    throw std::invalid_argument("TagArray: number of sets must be a power of 2");
+  }
+}
+
+TagArray::Entry* TagArray::set_of(Addr line) {
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>((line >> kLineShift) & (sets_ - 1));
+  return &entries_[idx * ways_];
+}
+
+const TagArray::Entry* TagArray::set_of(Addr line) const {
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>((line >> kLineShift) & (sets_ - 1));
+  return &entries_[idx * ways_];
+}
+
+TagArray::Entry* TagArray::find(Addr line) {
+  Entry* set = set_of(line);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if ((set[w].state != Moesi::kInvalid || set[w].retained) &&
+        set[w].line == line) {
+      return &set[w];
+    }
+  }
+  return nullptr;
+}
+
+const TagArray::Entry* TagArray::find(Addr line) const {
+  return const_cast<TagArray*>(this)->find(line);
+}
+
+void TagArray::touch(Addr line) {
+  if (Entry* e = find(line)) e->lru = ++tick_;
+}
+
+void TagArray::fill(Entry* victim, Addr line, Moesi state) {
+  assert(victim != nullptr);
+  if (victim->state != Moesi::kInvalid || victim->retained) ++evictions_;
+  victim->line = line;
+  victim->state = state;
+  victim->retained = false;
+  victim->lru = ++tick_;
+  ++fills_;
+}
+
+void TagArray::drop(Addr line) {
+  if (Entry* e = find(line)) {
+    e->state = Moesi::kInvalid;
+    e->retained = false;
+    e->line = 0;
+    e->lru = 0;
+  }
+}
+
+}  // namespace asfsim

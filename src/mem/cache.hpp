@@ -1,0 +1,90 @@
+// Set-associative tag array with true-LRU replacement.
+//
+// One TagArray instance models one cache level of one core. L1 entries carry
+// MOESI state; L2/L3 reuse the array as presence/timing filters with a simple
+// valid state. Data never lives here — functional data flows through the
+// BackingStore plus per-transaction overlays — so the array is purely a
+// timing/occupancy model, which is all the paper's results depend on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// MOESI coherence states; kInvalid doubles as "empty way".
+enum class Moesi : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,
+  kOwned,
+  kModified,
+};
+
+[[nodiscard]] const char* to_string(Moesi s);
+
+class TagArray {
+ public:
+  struct Entry {
+    Addr line = 0;                 // line-aligned address
+    Moesi state = Moesi::kInvalid;
+    bool retained = false;  // invalid, but still holding speculative info
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  explicit TagArray(const CacheLevelConfig& cfg);
+
+  [[nodiscard]] std::uint32_t num_sets() const { return sets_; }
+  [[nodiscard]] std::uint32_t ways() const { return ways_; }
+
+  /// Find the entry for `line` (valid or retained), or nullptr.
+  [[nodiscard]] Entry* find(Addr line);
+  [[nodiscard]] const Entry* find(Addr line) const;
+
+  /// Mark `line` most-recently-used (no-op if absent).
+  void touch(Addr line);
+
+  /// Pick a victim way in `line`'s set. `pinned(victim_line)` marks ways that
+  /// must not be evicted (lines holding speculative info). Preference order:
+  /// empty way, then LRU among unpinned. Returns nullptr when every way is
+  /// pinned, which the caller turns into an ASF capacity abort.
+  template <typename PinnedFn>
+  Entry* find_victim(Addr line, PinnedFn&& pinned) {
+    Entry* set = set_of(line);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (set[w].state == Moesi::kInvalid && !set[w].retained) return &set[w];
+    }
+    Entry* best = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (pinned(set[w].line)) continue;
+      if (!best || set[w].lru < best->lru) best = &set[w];
+    }
+    return best;
+  }
+
+  /// Install `line` into `victim` (obtained from find_victim) with `state`.
+  void fill(Entry* victim, Addr line, Moesi state);
+
+  /// Drop `line` entirely (eviction / plain invalidation without retention).
+  void drop(Addr line);
+
+  [[nodiscard]] std::uint64_t fills() const { return fills_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  Entry* set_of(Addr line);
+  const Entry* set_of(Addr line) const;
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Entry> entries_;  // sets_ * ways_, set-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t fills_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace asfsim

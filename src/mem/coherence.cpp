@@ -1,0 +1,425 @@
+#include "mem/coherence.hpp"
+
+#include <cassert>
+
+#include "core/classifier.hpp"
+#include "sim/kernel.hpp"
+
+namespace asfsim {
+
+MemorySystem::MemorySystem(Kernel& kernel, const SimConfig& cfg, Stats& stats)
+    : kernel_(kernel), cfg_(cfg), stats_(stats) {
+  for (std::uint32_t c = 0; c < cfg_.ncores; ++c) {
+    l1_.emplace_back(cfg_.l1);
+    l2_.emplace_back(cfg_.l2);
+    l3_.emplace_back(cfg_.l3);
+  }
+  spec_meta_.resize(cfg_.ncores);
+  dirty_marks_.resize(cfg_.ncores);
+}
+
+bool MemorySystem::line_pinned(CoreId core, Addr line) const {
+  return spec_meta_[core].find(line) != spec_meta_[core].end();
+}
+
+const SpecState* MemorySystem::spec_state(CoreId core, Addr line) const {
+  auto it = spec_meta_[core].find(line);
+  return it == spec_meta_[core].end() ? nullptr : &it->second;
+}
+
+SubBlockMask MemorySystem::dirty_marks(CoreId core, Addr line) const {
+  auto it = dirty_marks_[core].find(line);
+  return it == dirty_marks_[core].end() ? SubBlockMask{0} : it->second;
+}
+
+Moesi MemorySystem::l1_state(CoreId core, Addr line) const {
+  const TagArray::Entry* e = l1_[core].find(line);
+  return (e && e->state != Moesi::kInvalid) ? e->state : Moesi::kInvalid;
+}
+
+SubBlockState MemorySystem::subblock_state(CoreId core, Addr line,
+                                           std::uint32_t sub) const {
+  // Paper Table I view: Dirty marks win over Non-speculative; S-RD/S-WR come
+  // from the transaction's architectural bits.
+  if (const SpecState* m = spec_state(core, line)) {
+    const SubBlockState s = m->bits.state(sub);
+    if (s != SubBlockState::kNonSpec) return s;
+  }
+  if (dirty_marks(core, line) & (1u << sub)) return SubBlockState::kDirty;
+  return SubBlockState::kNonSpec;
+}
+
+void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
+                                      bool is_write) {
+  SpecState& m = spec_meta_[core][line];
+  const SubBlockMask q = quantize(mask, detector_->nsub());
+  if (is_write) {
+    m.write_bytes |= mask;
+    m.bits.spec |= q;
+    m.bits.wr |= q;
+  } else {
+    m.read_bytes |= mask;
+    m.bits.spec |= q;  // a read of an S-WR sub-block leaves it S-WR
+  }
+}
+
+Cycle MemorySystem::bus_acquire() {
+  if (cfg_.bus_occupancy == 0) return 0;
+  const Cycle now = kernel_.now();
+  const Cycle start = bus_free_at_ > now ? bus_free_at_ : now;
+  bus_free_at_ = start + cfg_.bus_occupancy;
+  stats_.bus_wait_cycles += start - now;
+  return start - now;
+}
+
+MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
+                                                       Addr line,
+                                                       ByteMask mask,
+                                                       bool invalidating,
+                                                       SubBlockMask* piggyback) {
+  ProbeOutcome out;
+  ++stats_.probes_sent;
+  const bool oracle = detector_->global_oracle();
+
+  for (CoreId o = 0; o < cfg_.ncores; ++o) {
+    if (o == requester) continue;
+
+    // --- conflict detection against o's speculative state -----------------
+    bool retain = false;
+    auto it = spec_meta_[o].find(line);
+    if (it != spec_meta_[o].end() && txctl_ && txctl_->in_tx(o)) {
+      const SpecState& meta = it->second;
+      const ProbeCheck pc = detector_->check_probe(meta, mask, invalidating);
+      const bool truly = true_conflict(meta, mask, invalidating);
+      if (pc.conflict) {
+        ConflictRecord rec;
+        rec.requester = requester;
+        rec.victim = o;
+        rec.line = line;
+        rec.probe_bytes = mask;
+        rec.victim_bytes = invalidating ? (meta.read_bytes | meta.write_bytes)
+                                        : meta.write_bytes;
+        rec.invalidating = invalidating;
+        const Classification cls = classify_conflict(meta, mask, invalidating);
+        rec.is_false = cls.is_false;
+        rec.type = cls.type;
+        rec.cycle = kernel_.now();
+        stats_.on_conflict(rec);
+        txctl_->doom(o, rec);  // clears o's spec metadata via clear_spec()
+      } else {
+        // This detector declined a conflict baseline ASF would have signaled
+        // (and, for the oracle, that the oracle will not signal either).
+        if (baseline_would_conflict(meta, invalidating) &&
+            !(oracle && truly)) {
+          stats_.on_avoided_false_conflict();
+        }
+        if (pc.piggyback != 0 && piggyback != nullptr) {
+          *piggyback |= pc.piggyback;
+          ++stats_.piggyback_messages;
+        }
+        retain = pc.retain_spec_info;
+      }
+    }
+
+    // --- MOESI state handling (re-find: doom() may have dropped lines) ----
+    TagArray::Entry* e = l1_[o].find(line);
+    if (e != nullptr && e->state != Moesi::kInvalid) {
+      out.remote_owner = true;  // any valid remote copy can supply (c2c)
+      if (invalidating) {
+        if (retain) {
+          e->state = Moesi::kInvalid;
+          e->retained = true;  // speculative info stays inside the line
+        } else {
+          l1_[o].drop(line);
+          dirty_marks_[o].erase(line);
+        }
+        l2_[o].drop(line);
+        l3_[o].drop(line);
+      } else {
+        if (e->state == Moesi::kModified) e->state = Moesi::kOwned;
+        if (e->state == Moesi::kExclusive) e->state = Moesi::kShared;
+      }
+    }
+  }
+  return out;
+}
+
+bool MemorySystem::fill_l1(CoreId core, Addr line, Moesi state) {
+  // A line can already be present as an invalid-but-retained entry (paper
+  // §IV-B); refetching must revalidate that entry, never duplicate the tag.
+  if (TagArray::Entry* e = l1_[core].find(line)) {
+    e->state = state;
+    e->retained = false;
+    l1_[core].touch(line);
+    return true;
+  }
+  TagArray::Entry* victim = l1_[core].find_victim(
+      line, [&](Addr vl) { return line_pinned(core, vl); });
+  if (victim == nullptr) return false;  // every way pinned: capacity abort
+  if (victim->state != Moesi::kInvalid || victim->retained) {
+    dirty_marks_[core].erase(victim->line);
+  }
+  l1_[core].fill(victim, line, state);
+  return true;
+}
+
+void MemorySystem::oracle_check(CoreId requester, Addr line, ByteMask mask,
+                                bool is_write) {
+  for (CoreId o = 0; o < cfg_.ncores; ++o) {
+    if (o == requester) continue;
+    auto it = spec_meta_[o].find(line);
+    if (it == spec_meta_[o].end() || txctl_ == nullptr || !txctl_->in_tx(o)) {
+      continue;
+    }
+    const SpecState& meta = it->second;
+    if (!true_conflict(meta, mask, is_write)) continue;
+    ConflictRecord rec;
+    rec.requester = requester;
+    rec.victim = o;
+    rec.line = line;
+    rec.probe_bytes = mask;
+    rec.victim_bytes =
+        is_write ? (meta.read_bytes | meta.write_bytes) : meta.write_bytes;
+    rec.invalidating = is_write;
+    const Classification cls = classify_conflict(meta, mask, is_write);
+    rec.is_false = cls.is_false;  // always false==false: oracle finds true only
+    rec.type = cls.type;
+    rec.cycle = kernel_.now();
+    stats_.on_conflict(rec);
+    txctl_->doom(o, rec);
+  }
+}
+
+bool MemorySystem::would_broadcast(CoreId core, Addr addr, std::uint32_t size,
+                                   bool is_write, bool is_tx) const {
+  const Addr line = line_of(addr);
+  const TagArray::Entry* e = l1_[core].find(line);
+  const bool valid = e != nullptr && e->state != Moesi::kInvalid;
+  if (!valid) return true;  // miss (or retained-invalid): probes
+  if (is_write) {
+    return e->state != Moesi::kModified && e->state != Moesi::kExclusive;
+  }
+  return is_tx &&
+         detector_->dirty_hit(dirty_marks(core, line), byte_mask_of(addr, size));
+}
+
+AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
+                                  bool is_write, bool is_tx) {
+  assert(detector_ != nullptr && txctl_ != nullptr);
+  assert(size >= 1 && size <= 8);
+  assert(addr % size == 0 && "guest accesses must be naturally aligned");
+  const Addr line = line_of(addr);
+  const ByteMask mask = byte_mask_of(addr, size);
+
+  ++stats_.accesses;
+  if (is_tx) {
+    ++stats_.tx_accesses;
+    stats_.on_tx_access(line_offset(addr));
+  }
+
+  AccessResult r;
+  TagArray& l1 = l1_[core];
+  TagArray::Entry* e = l1.find(line);
+  const bool valid = e != nullptr && e->state != Moesi::kInvalid;
+
+  auto source_latency = [&](bool remote_owner) -> Cycle {
+    if (remote_owner) {
+      ++stats_.c2c_transfers;
+      r.source = DataSource::kRemoteL1;
+      return cfg_.cache2cache_latency;
+    }
+    if (l2_[core].find(line) != nullptr) {
+      l2_[core].touch(line);
+      ++stats_.l2_hits;
+      r.source = DataSource::kL2;
+      return cfg_.l2.latency;
+    }
+    if (l3_[core].find(line) != nullptr) {
+      l3_[core].touch(line);
+      ++stats_.l3_hits;
+      r.source = DataSource::kL3;
+      // promote into L2 (private, inclusive-ish)
+      if (auto* v = l2_[core].find_victim(line, [](Addr) { return false; })) {
+        l2_[core].fill(v, line, Moesi::kShared);
+      }
+      return cfg_.l3.latency;
+    }
+    ++stats_.mem_fetches;
+    r.source = DataSource::kMemory;
+    if (auto* v = l3_[core].find_victim(line, [](Addr) { return false; })) {
+      l3_[core].fill(v, line, Moesi::kShared);
+    }
+    if (auto* v = l2_[core].find_victim(line, [](Addr) { return false; })) {
+      l2_[core].fill(v, line, Moesi::kShared);
+    }
+    return cfg_.mem_latency;
+  };
+
+  if (is_write) {
+    if (valid &&
+        (e->state == Moesi::kModified || e->state == Moesi::kExclusive)) {
+      e->state = Moesi::kModified;
+      l1.touch(line);
+      ++stats_.l1_hits;
+      r.latency = cfg_.l1.latency;
+    } else {
+      const Cycle bus_wait = bus_acquire();
+      SubBlockMask pb = 0;
+      const ProbeOutcome po = probe_remotes(core, line, mask, true, &pb);
+      // (invalidating probes never produce piggyback info)
+      e = l1.find(line);  // doom() handling cannot touch our line, but re-find
+      r.latency += bus_wait;
+      if (valid) {
+        // S or O upgrade: data already local, pay the invalidation round trip.
+        e->state = Moesi::kModified;
+        l1.touch(line);
+        ++stats_.upgrades;
+        r.latency += cfg_.upgrade_latency;
+      } else {
+        r.latency += source_latency(po.remote_owner);
+        if (!fill_l1(core, line, Moesi::kModified)) {
+          r.capacity_abort = true;
+          return r;
+        }
+        dirty_marks_[core].erase(line);  // full-line refetch
+      }
+    }
+  } else {  // load
+    const bool dirty_force =
+        valid && is_tx && detector_->dirty_hit(dirty_marks(core, line), mask);
+    if (valid && !dirty_force) {
+      l1.touch(line);
+      ++stats_.l1_hits;
+      r.latency = cfg_.l1.latency;
+    } else {
+      const Cycle bus_wait = bus_acquire();
+      SubBlockMask pb = 0;
+      const ProbeOutcome po = probe_remotes(core, line, mask, false, &pb);
+      r.latency = bus_wait + source_latency(po.remote_owner);
+      if (valid) {
+        // Dirty-forced refetch: the line stays resident; its stale marks are
+        // cleared and fresh piggy-back info (if any) re-applied below.
+        ++stats_.dirty_refetches;
+        dirty_marks_[core].erase(line);
+        l1.touch(line);
+      } else {
+        const Moesi st = po.remote_owner ? Moesi::kShared : Moesi::kExclusive;
+        if (!fill_l1(core, line, st)) {
+          r.capacity_abort = true;
+          return r;
+        }
+        dirty_marks_[core].erase(line);
+      }
+      if (pb != 0) dirty_marks_[core][line] |= pb;
+    }
+  }
+
+  if (is_tx) record_spec_access(core, line, mask, is_write);
+  if (detector_->global_oracle()) oracle_check(core, line, mask, is_write);
+  return r;
+}
+
+void MemorySystem::validate_readers_at_commit(CoreId committer, Addr line,
+                                              ByteMask written) {
+  if (detector_->global_oracle()) return;  // the oracle never misses
+  for (CoreId o = 0; o < cfg_.ncores; ++o) {
+    if (o == committer) continue;
+    auto it = spec_meta_[o].find(line);
+    if (it == spec_meta_[o].end() || txctl_ == nullptr || !txctl_->in_tx(o)) {
+      continue;
+    }
+    const SpecState& meta = it->second;
+    if ((written & (meta.read_bytes | meta.write_bytes)) == 0) continue;
+    ConflictRecord rec;
+    rec.requester = committer;
+    rec.victim = o;
+    rec.line = line;
+    rec.probe_bytes = written;
+    rec.victim_bytes = meta.read_bytes | meta.write_bytes;
+    rec.invalidating = true;
+    const Classification cls = classify_conflict(meta, written, true);
+    rec.is_false = cls.is_false;  // true overlap by construction
+    rec.type = cls.type;
+    rec.cycle = kernel_.now();
+    stats_.on_conflict(rec);
+    txctl_->doom(o, rec);
+  }
+}
+
+std::string MemorySystem::check_invariants() const {
+  // Candidate lines: everything any core's metadata or dirty marks mention
+  // (the interesting lines); exclusivity is verified by direct state
+  // queries on each of them.
+  std::vector<Addr> lines;
+  for (CoreId c = 0; c < cfg_.ncores; ++c) {
+    for (const auto& [line, meta] : spec_meta_[c]) lines.push_back(line);
+    for (const auto& [line, marks] : dirty_marks_[c]) lines.push_back(line);
+  }
+  for (const Addr line : lines) {
+    int m_or_e = 0, owned = 0, valid = 0;
+    for (CoreId c = 0; c < cfg_.ncores; ++c) {
+      const Moesi st = l1_state(c, line);
+      if (st == Moesi::kModified || st == Moesi::kExclusive) ++m_or_e;
+      if (st == Moesi::kOwned) ++owned;
+      if (st != Moesi::kInvalid) ++valid;
+    }
+    if (m_or_e > 1) {
+      return "line " + std::to_string(line) + ": multiple M/E holders";
+    }
+    if (m_or_e == 1 && valid > 1) {
+      return "line " + std::to_string(line) + ": M/E coexists with copies";
+    }
+    if (owned > 1) {
+      return "line " + std::to_string(line) + ": multiple O owners";
+    }
+  }
+  // Metadata residency + mask/bit agreement. Residency only binds the
+  // probe-based detectors: the perfect oracle checks metadata centrally and
+  // deliberately survives invalidation + eviction (its upper-bound role).
+  const bool oracle = detector_->global_oracle();
+  for (CoreId c = 0; c < cfg_.ncores; ++c) {
+    for (const auto& [line, meta] : spec_meta_[c]) {
+      const TagArray::Entry* e = l1_[c].find(line);
+      if (e == nullptr && !oracle) {
+        return "core " + std::to_string(c) + " line " + std::to_string(line) +
+               ": speculative metadata without a resident line";
+      }
+      const std::uint32_t n = detector_->nsub();
+      const SubBlockMask expect_spec = static_cast<SubBlockMask>(
+          quantize(meta.read_bytes | meta.write_bytes, n));
+      const SubBlockMask expect_wr =
+          static_cast<SubBlockMask>(quantize(meta.write_bytes, n));
+      if (meta.bits.spec != expect_spec || meta.bits.wr != expect_wr) {
+        return "core " + std::to_string(c) + " line " + std::to_string(line) +
+               ": sub-block bits disagree with byte masks";
+      }
+      if (e != nullptr && e->retained && e->state != Moesi::kInvalid) {
+        return "core " + std::to_string(c) + " line " + std::to_string(line) +
+               ": retained flag on a valid line";
+      }
+    }
+  }
+  return {};
+}
+
+void MemorySystem::clear_spec(CoreId core, bool discard_written_lines) {
+  for (auto& [line, meta] : spec_meta_[core]) {
+    TagArray::Entry* e = l1_[core].find(line);
+    if (e == nullptr) continue;
+    if (e->retained) {
+      // Invalid-but-retained line: its speculative info dies with the tx.
+      l1_[core].drop(line);
+    } else if (discard_written_lines && meta.write_bytes != 0) {
+      // Abort: discard speculatively-modified lines (ASF §IV-A).
+      l1_[core].drop(line);
+      l2_[core].drop(line);
+      l3_[core].drop(line);
+      dirty_marks_[core].erase(line);
+    }
+    // Clean speculatively-read lines stay valid; committed written lines
+    // stay Modified (their data is now the committed data).
+  }
+  spec_meta_[core].clear();
+}
+
+}  // namespace asfsim

@@ -1,0 +1,144 @@
+// MemorySystem: the simulated cache hierarchy, MOESI snooping coherence,
+// and the point where conflict detection happens.
+//
+// Timing model (DESIGN.md §2): the whole coherence transaction for an access
+// is resolved atomically at issue time and a load-to-use latency is charged
+// based on where the data came from (L1 / remote L1 / private L2 / private
+// L3 / memory, per paper Table II). Functional data never flows through the
+// caches — the BackingStore plus per-transaction write overlays are the
+// ground truth — so caches are pure timing/occupancy models, which is all
+// the paper's (relative) results depend on.
+//
+// Speculative metadata: one SpecState per (core, line) with an active
+// transaction, owned here, checked by the pluggable ConflictDetector on
+// every incoming probe — for valid lines and for invalidated lines whose
+// speculative info was retained (paper §IV-B). Dirty sub-block marks (paper
+// §IV-C) persist independently of transaction lifetime until refetch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "htm/tx_control.hpp"
+#include "mem/cache.hpp"
+#include "sim/config.hpp"
+#include "stats/counters.hpp"
+
+namespace asfsim {
+
+class Kernel;
+
+/// Where a miss was served from (for stats and latency).
+enum class DataSource : std::uint8_t {
+  kL1 = 0,
+  kRemoteL1,
+  kL2,
+  kL3,
+  kMemory,
+};
+
+struct AccessResult {
+  Cycle latency = 0;
+  bool capacity_abort = false;  // requester's own tx cannot keep its
+                                // speculative lines in the L1
+  DataSource source = DataSource::kL1;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(Kernel& kernel, const SimConfig& cfg, Stats& stats);
+
+  void set_tx_control(ITxControl* txctl) { txctl_ = txctl; }
+  void set_detector(ConflictDetector* det) { detector_ = det; }
+  [[nodiscard]] ConflictDetector& detector() const { return *detector_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// Perform one aligned access (size 1..8, not crossing a line). Resolves
+  /// coherence, runs conflict detection, updates speculative metadata, and
+  /// returns the latency to charge. Does NOT move data (see file comment).
+  AccessResult access(CoreId core, Addr addr, std::uint32_t size,
+                      bool is_write, bool is_tx);
+
+  /// Would this access need a probe broadcast (L1 miss, upgrade, or a
+  /// Dirty-forced refetch)? Used by the delayed-probe timing mode to decide
+  /// whether to stall before issuing. Read-only.
+  [[nodiscard]] bool would_broadcast(CoreId core, Addr addr,
+                                     std::uint32_t size, bool is_write,
+                                     bool is_tx) const;
+
+  /// Commit-time read-set validation (DPTM-style soundness net): a committing
+  /// writer checks each committed line's written bytes against other active
+  /// transactions' speculative byte masks and dooms true-overlap victims.
+  /// This closes the silent-store window that line-invalidation retention
+  /// opens (a writer holding M writes into a retained remote read set with no
+  /// probe; see DESIGN.md §6). No-op for baseline (it never retains) and for
+  /// the oracle (which already checks every access).
+  void validate_readers_at_commit(CoreId committer, Addr line,
+                                  ByteMask written);
+
+  /// Transaction end (commit or abort): clear core's speculative metadata,
+  /// drop speculatively-written lines on abort, unpin everything.
+  /// Dirty marks on OTHER cores' lines are left alone (paper §IV-D3).
+  void clear_spec(CoreId core, bool discard_written_lines);
+
+  // ---- introspection (tests, Fig 7 walkthrough) -------------------------
+  [[nodiscard]] const SpecState* spec_state(CoreId core, Addr line) const;
+  [[nodiscard]] SubBlockMask dirty_marks(CoreId core, Addr line) const;
+  [[nodiscard]] Moesi l1_state(CoreId core, Addr line) const;
+  /// Paper Table I view of one sub-block of a core's line.
+  [[nodiscard]] SubBlockState subblock_state(CoreId core, Addr line,
+                                             std::uint32_t sub) const;
+  [[nodiscard]] std::uint64_t spec_lines(CoreId core) const {
+    return spec_meta_[core].size();
+  }
+  [[nodiscard]] Cycle bus_busy_until() const { return bus_free_at_; }
+
+  /// Audit the global coherence/metadata invariants; returns an empty string
+  /// when everything holds, else a description of the first violation:
+  ///   * at most one core holds a line in M or E;
+  ///   * an M/E holder excludes every other valid copy;
+  ///   * at most one O owner per line;
+  ///   * retained (invalid-with-info) entries are backed by live metadata;
+  ///   * every speculative-metadata line is resident (valid or retained);
+  ///   * byte masks and architectural sub-block bits agree.
+  [[nodiscard]] std::string check_invariants() const;
+
+ private:
+  struct ProbeOutcome {
+    bool remote_owner = false;  // some remote L1 can supply the data
+  };
+
+  /// Probe all other cores: conflict checks + MOESI state changes.
+  ProbeOutcome probe_remotes(CoreId requester, Addr line, ByteMask mask,
+                             bool invalidating, SubBlockMask* piggyback);
+
+  /// Fill `line` into `core`'s L1. Returns false on capacity abort.
+  bool fill_l1(CoreId core, Addr line, Moesi state);
+
+  void record_spec_access(CoreId core, Addr line, ByteMask mask, bool is_write);
+  void oracle_check(CoreId requester, Addr line, ByteMask mask, bool is_write);
+  [[nodiscard]] bool line_pinned(CoreId core, Addr line) const;
+
+  Kernel& kernel_;
+  const SimConfig cfg_;
+  Stats& stats_;
+  ITxControl* txctl_ = nullptr;
+  ConflictDetector* detector_ = nullptr;
+
+  /// Serialize a probe broadcast on the snoop bus: returns the queuing
+  /// delay (cycles the requester stalls behind earlier broadcasts).
+  Cycle bus_acquire();
+
+  std::vector<TagArray> l1_, l2_, l3_;  // one per core (private hierarchy)
+  Cycle bus_free_at_ = 0;  // snoop bus busy-until cycle
+  // Speculative metadata for the core's current transaction, keyed by line.
+  mutable std::vector<std::unordered_map<Addr, SpecState>> spec_meta_;
+  // Persistent Dirty sub-block marks, keyed by line.
+  std::vector<std::unordered_map<Addr, SubBlockMask>> dirty_marks_;
+};
+
+}  // namespace asfsim

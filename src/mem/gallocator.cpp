@@ -1,0 +1,2 @@
+// GAllocator is header-only; this TU exists to anchor the module.
+#include "mem/gallocator.hpp"

@@ -1,0 +1,89 @@
+#include "sim/kernel.hpp"
+
+#include <cassert>
+
+namespace asfsim {
+
+Kernel::Kernel(std::uint32_t ncores) : cores_(ncores) {
+  if (ncores == 0) throw std::invalid_argument("Kernel: ncores must be > 0");
+}
+
+void Kernel::spawn(CoreId core, Task<void> root, Cycle start) {
+  auto& slot = cores_.at(core);
+  if (slot.spawned) throw std::logic_error("Kernel::spawn: core already used");
+  slot.root = std::move(root);
+  slot.spawned = true;
+  schedule(core, slot.root.raw_handle(), start);
+}
+
+void Kernel::schedule(CoreId core, std::coroutine_handle<> h, Cycle at) {
+  auto& slot = cores_.at(core);
+  assert(!slot.has_event && "one pending resume per core");
+  slot.pending = h;
+  slot.callback = nullptr;
+  slot.ready_at = at < now_ ? now_ : at;
+  slot.seq = seq_counter_++;
+  slot.has_event = true;
+}
+
+void Kernel::schedule_callback(CoreId core, std::function<void()> fn,
+                               Cycle at) {
+  auto& slot = cores_.at(core);
+  assert(!slot.has_event && "one pending event per core");
+  slot.pending = {};
+  slot.callback = std::move(fn);
+  slot.ready_at = at < now_ ? now_ : at;
+  slot.seq = seq_counter_++;
+  slot.has_event = true;
+}
+
+Cycle Kernel::run(Cycle max_cycles) {
+  for (;;) {
+    // Pick the earliest pending event; FIFO among equal cycles.
+    CoreId best = kInvalidCore;
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+      const auto& s = cores_[c];
+      if (!s.has_event) continue;
+      if (best == kInvalidCore || s.ready_at < cores_[best].ready_at ||
+          (s.ready_at == cores_[best].ready_at && s.seq < cores_[best].seq)) {
+        best = c;
+      }
+    }
+    if (best == kInvalidCore) {
+      // No events: either everything finished, or we are deadlocked.
+      for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (cores_[c].spawned && !cores_[c].finished) {
+          throw DeadlockError(
+              "Kernel::run: live guest threads but no pending events "
+              "(guest-side deadlock, e.g. a barrier nobody reaches)");
+        }
+      }
+      return now_;
+    }
+
+    auto& slot = cores_[best];
+    if (slot.ready_at > now_) now_ = slot.ready_at;
+    if (now_ > max_cycles) {
+      throw CycleLimitError("Kernel::run: cycle limit exceeded (livelock?)");
+    }
+    slot.has_event = false;
+    auto h = slot.pending;
+    auto cb = std::move(slot.callback);
+    slot.pending = {};
+    slot.callback = nullptr;
+    ++events_;
+    if (cb) {
+      cb();  // deferred action; it reschedules the guest itself
+    } else {
+      h.resume();  // guest runs until its next leaf suspension or completion
+    }
+
+    if (slot.spawned && !slot.finished && slot.root.done()) {
+      slot.finished = true;
+      slot.finish_cycle = now_;
+      slot.root.rethrow_if_error();  // guest bugs surface immediately
+    }
+  }
+}
+
+}  // namespace asfsim

@@ -1,0 +1,86 @@
+// The cycle-driven simulation kernel.
+//
+// The kernel owns one slot per simulated core. A guest thread is a Task<void>
+// coroutine bound to a core. Leaf awaitables (memory accesses, compute
+// quanta, backoff waits) call Kernel::schedule() to ask to be resumed at a
+// later cycle; the kernel's run loop pops the earliest pending resume and
+// transfers control back into the guest coroutine stack.
+//
+// Determinism: events are ordered by (cycle, schedule-sequence-number), so a
+// given workload + seed always produces the identical interleaving, cycle
+// count and statistics, regardless of host conditions.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// Thrown when run() finds live guest threads but no pending events.
+struct DeadlockError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when run() exceeds its cycle limit (livelock guard).
+struct CycleLimitError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(std::uint32_t ncores);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] std::uint32_t ncores() const {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+  /// Bind a guest thread to a core and arm it to start at cycle `start`.
+  /// Each core runs at most one guest thread per simulation.
+  void spawn(CoreId core, Task<void> root, Cycle start = 0);
+
+  /// Ask the kernel to resume `h` on behalf of `core` at cycle `at`
+  /// (clamped to now()). Exactly one resume may be pending per core.
+  void schedule(CoreId core, std::coroutine_handle<> h, Cycle at);
+
+  /// Run `fn` on behalf of `core` at cycle `at` instead of resuming a
+  /// coroutine (the delayed-probe mode uses this to execute an access at
+  /// probe-delivery time and only then schedule the guest's resume).
+  void schedule_callback(CoreId core, std::function<void()> fn, Cycle at);
+
+  /// Run until every spawned guest thread completes. Returns the final cycle.
+  /// Throws DeadlockError / CycleLimitError / any exception escaping a root.
+  Cycle run(Cycle max_cycles = ~Cycle{0});
+
+  [[nodiscard]] bool core_done(CoreId c) const { return cores_[c].finished; }
+  [[nodiscard]] Cycle core_finish_cycle(CoreId c) const {
+    return cores_[c].finish_cycle;
+  }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct CoreSlot {
+    Task<void> root;
+    std::coroutine_handle<> pending;  // continuation to resume, or null
+    std::function<void()> callback;   // ... or a deferred action
+    Cycle ready_at = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break among equal cycles
+    bool has_event = false;
+    bool spawned = false;
+    bool finished = false;
+    Cycle finish_cycle = 0;
+  };
+
+  std::vector<CoreSlot> cores_;
+  Cycle now_ = 0;
+  std::uint64_t seq_counter_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,25 @@
+#include "sim/log.hpp"
+
+#include <cstdarg>
+
+namespace asfsim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel lvl) noexcept { g_level = lvl; }
+
+namespace detail {
+void vlog(const char* tag, const char* fmt, ...) {
+  std::fprintf(stderr, "[asfsim %s] ", tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace asfsim

@@ -1,0 +1,31 @@
+// Lightweight trace logging, disabled by default.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace asfsim {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kTrace = 2 };
+
+/// Global log level; tests/benches may raise it for debugging.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+namespace detail {
+void vlog(const char* tag, const char* fmt, ...);
+}  // namespace detail
+
+#define ASFSIM_INFO(...)                                     \
+  do {                                                       \
+    if (::asfsim::log_level() >= ::asfsim::LogLevel::kInfo)  \
+      ::asfsim::detail::vlog("info", __VA_ARGS__);           \
+  } while (0)
+
+#define ASFSIM_TRACE(...)                                    \
+  do {                                                       \
+    if (::asfsim::log_level() >= ::asfsim::LogLevel::kTrace) \
+      ::asfsim::detail::vlog("trace", __VA_ARGS__);          \
+  } while (0)
+
+}  // namespace asfsim

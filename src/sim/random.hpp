@@ -1,0 +1,60 @@
+// Deterministic PRNG for reproducible simulations (splitmix64 + xoshiro256**).
+#pragma once
+
+#include <cstdint>
+
+namespace asfsim {
+
+/// Small, fast, deterministic PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) {
+    // splitmix64 to spread the seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace asfsim

@@ -1,0 +1,19 @@
+// Fundamental simulator-wide types.
+#pragma once
+
+#include <cstdint>
+
+namespace asfsim {
+
+/// Simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Simulated core identifier (0..ncores-1).
+using CoreId = std::uint32_t;
+
+/// Simulated physical byte address.
+using Addr = std::uint64_t;
+
+inline constexpr CoreId kInvalidCore = ~CoreId{0};
+
+}  // namespace asfsim

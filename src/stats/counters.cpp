@@ -1,0 +1,42 @@
+#include "stats/counters.hpp"
+
+namespace asfsim {
+
+void Stats::on_tx_attempt(Cycle now) {
+  ++tx_attempts;
+  if (record_timeseries) tx_start_cycles.push_back(now);
+}
+
+void Stats::on_tx_commit() { ++tx_commits; }
+
+void Stats::on_tx_abort(AbortCause cause) {
+  ++tx_aborts;
+  ++aborts_by_cause[static_cast<std::size_t>(cause)];
+}
+
+void Stats::on_conflict(const ConflictRecord& rec) {
+  ++conflicts_total;
+  if (rec.is_false) {
+    ++conflicts_false;
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      const std::uint32_t nsub = 1u << i;
+      if (quantize(rec.probe_bytes, nsub) &
+          quantize(rec.victim_bytes, nsub)) {
+        ++false_surviving_at[i];
+      }
+    }
+    ++false_by_type[static_cast<std::size_t>(rec.type)];
+    ++false_by_line[rec.line];
+    if (record_timeseries) false_conflict_cycles.push_back(rec.cycle);
+  } else {
+    ++true_by_type[static_cast<std::size_t>(rec.type)];
+  }
+}
+
+void Stats::on_avoided_false_conflict() { ++false_conflicts_avoided; }
+
+void Stats::on_tx_access(std::uint32_t line_off) {
+  ++tx_access_by_offset[line_off & 63];
+}
+
+}  // namespace asfsim

@@ -1,0 +1,68 @@
+#include "stats/report.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace asfsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      if (row[i].size() > width[i]) width[i] = row[i].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << (i == 0 ? "" : "  ");
+      os << cell;
+      for (std::size_t p = cell.size(); p < width[i]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = width.size() > 1 ? 2 * (width.size() - 1) : 0;
+  for (const auto w : width) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return;
+  path_ = dir + "/" + name + ".csv";
+  out_.open(path_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace asfsim

@@ -1,0 +1,50 @@
+#include "stats/txtrace.hpp"
+
+#include <ostream>
+
+namespace asfsim {
+
+const char* to_string(TxEventKind k) {
+  switch (k) {
+    case TxEventKind::kBegin: return "begin";
+    case TxEventKind::kCommit: return "commit";
+    case TxEventKind::kAbort: return "abort";
+    case TxEventKind::kConflict: return "conflict";
+    case TxEventKind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+std::vector<TxEvent> TxTrace::events() const {
+  std::vector<TxEvent> out;
+  if (ring_.empty() || next_ == 0) return out;
+  const std::size_t n = next_ < ring_.size() ? next_ : ring_.size();
+  const std::size_t start = next_ < ring_.size() ? 0 : next_ % ring_.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TxTrace::print(std::ostream& os) const {
+  for (const TxEvent& ev : events()) {
+    os << "cycle " << ev.cycle << "  core " << ev.core << "  "
+       << to_string(ev.kind);
+    switch (ev.kind) {
+      case TxEventKind::kAbort:
+        os << " (" << to_string(ev.cause) << ")";
+        break;
+      case TxEventKind::kConflict:
+        os << " " << (ev.is_false ? "FALSE " : "true ") << to_string(ev.type)
+           << " by core " << ev.other << " on line 0x" << std::hex << ev.line
+           << std::dec;
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace asfsim

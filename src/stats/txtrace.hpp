@@ -1,0 +1,60 @@
+// Transaction event trace: a bounded ring of begin/commit/abort/conflict
+// events for post-mortem debugging of contention pathologies. Disabled by
+// default (zero overhead beyond a null check); enabled via
+// SimConfig::trace_depth or Machine::enable_trace().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/conflict.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+enum class TxEventKind : std::uint8_t {
+  kBegin = 0,
+  kCommit,
+  kAbort,
+  kConflict,  // victim's view: who killed it, where, why
+  kFallback,
+};
+
+[[nodiscard]] const char* to_string(TxEventKind k);
+
+struct TxEvent {
+  TxEventKind kind = TxEventKind::kBegin;
+  CoreId core = kInvalidCore;       // acting core (victim for kConflict)
+  CoreId other = kInvalidCore;      // requester for kConflict
+  Cycle cycle = 0;
+  AbortCause cause = AbortCause::kConflict;  // for kAbort
+  ConflictType type = ConflictType::kWAR;    // for kConflict
+  bool is_false = false;                     // for kConflict
+  Addr line = 0;                             // for kConflict
+};
+
+class TxTrace {
+ public:
+  explicit TxTrace(std::size_t depth) : ring_(depth) {}
+
+  void record(const TxEvent& ev) {
+    if (ring_.empty()) return;
+    ring_[next_ % ring_.size()] = ev;
+    ++next_;
+  }
+
+  /// Events in chronological order (oldest retained first).
+  [[nodiscard]] std::vector<TxEvent> events() const;
+  [[nodiscard]] std::uint64_t total_recorded() const { return next_; }
+  [[nodiscard]] std::size_t depth() const { return ring_.size(); }
+
+  /// Human-readable dump of the retained window.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<TxEvent> ring_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,77 @@
+// bank — microworkload: random transfers between accounts. Its invariant
+// (total balance conservation plus a per-account audit) is the library's
+// serializability witness (DESIGN.md §5, property 4).
+#include "guest/garray.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+namespace {
+
+class BankWorkload final : public Workload {
+ public:
+  const char* name() const override { return "bank"; }
+  const char* description() const override {
+    return "random account transfers (serializability witness)";
+  }
+
+  void setup(Machine& m, const WorkloadParams& p) override {
+    naccounts_ = 128;
+    ntx_per_thread_ = p.scaled(300);
+    accounts_ = GArray64::alloc(m.galloc(), naccounts_);
+    for (std::uint64_t i = 0; i < naccounts_; ++i) {
+      accounts_.poke(m, i, kInitialBalance);
+    }
+    threads_ = p.threads;
+    for (CoreId t = 0; t < threads_; ++t) {
+      m.spawn(t, worker(m.ctx(t), this, ntx_per_thread_));
+    }
+  }
+
+  std::string validate(Machine& m) override {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < naccounts_; ++i) {
+      const std::uint64_t bal = accounts_.peek(m, i);
+      if (static_cast<std::int64_t>(bal) < 0) {
+        return "account " + std::to_string(i) + " went negative";
+      }
+      sum += bal;
+    }
+    const std::uint64_t expect = naccounts_ * kInitialBalance;
+    if (sum != expect) {
+      return "total balance not conserved: got " + std::to_string(sum) +
+             ", expected " + std::to_string(expect);
+    }
+    return {};
+  }
+
+ private:
+  static constexpr std::uint64_t kInitialBalance = 1000;
+
+  static Task<void> worker(GuestCtx& c, BankWorkload* w, std::uint64_t ntx) {
+    for (std::uint64_t i = 0; i < ntx; ++i) {
+      const std::uint64_t from = c.rng().below(w->naccounts_);
+      std::uint64_t to = c.rng().below(w->naccounts_);
+      if (to == from) to = (to + 1) % w->naccounts_;
+      const std::uint64_t amount = 1 + c.rng().below(50);
+      co_await c.run_tx([&]() -> Task<void> {
+        const std::uint64_t bf = co_await w->accounts_.get(c, from);
+        if (bf < amount) co_return;  // insufficient funds: empty commit
+        const std::uint64_t bt = co_await w->accounts_.get(c, to);
+        co_await w->accounts_.set(c, from, bf - amount);
+        co_await w->accounts_.set(c, to, bt + amount);
+      });
+      co_await c.work(10);
+    }
+  }
+
+  GArray64 accounts_;
+  std::uint64_t naccounts_ = 0;
+  std::uint64_t ntx_per_thread_ = 0;
+  std::uint32_t threads_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bank() { return std::make_unique<BankWorkload>(); }
+
+}  // namespace asfsim

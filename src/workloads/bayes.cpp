@@ -1,0 +1,130 @@
+// bayes — Bayesian network structure learning (STAMP). The paper excludes
+// bayes "because of its non-deterministic finishing conditions" (§III
+// footnote): on real hardware the learned structure depends on the racy
+// work order. This simulator is DETERMINISTIC, so the port runs and
+// validates — a capability the paper's testbed did not have. It is kept out
+// of paper_benchmarks() so the regenerated figures match the paper's set.
+//
+// Kernel: hill-climbing edge insertion. Workers draw candidate edges
+// (u -> v with u < v, so the network is a DAG by construction), score them
+// against the shared parent-count vector, and transactionally insert the
+// edge when the score improves: update the adjacency cell, the child's
+// parent count, and the global log-likelihood accumulator.
+#include <vector>
+
+#include "guest/garray.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+namespace {
+
+class BayesWorkload final : public Workload {
+ public:
+  const char* name() const override { return "bayes"; }
+  const char* description() const override {
+    return "Bayesian network structure learning (excluded by the paper for "
+           "non-determinism; deterministic here)";
+  }
+
+  void setup(Machine& m, const WorkloadParams& p) override {
+    ncandidates_ = p.scaled(320);
+    threads_ = p.threads;
+    ncandidates_ -= ncandidates_ % threads_;
+
+    // adjacency[u * kVars + v] in {0,1}; 4-byte cells, unpadded.
+    adjacency_ = GArray32::alloc(m.galloc(), kVars * kVars);
+    parents_ = GArray32::alloc(m.galloc(), kVars);
+    for (std::uint64_t i = 0; i < kVars * kVars; ++i) adjacency_.poke(m, i, 0);
+    for (std::uint64_t i = 0; i < kVars; ++i) parents_.poke(m, i, 0);
+    loglik_ = m.galloc().alloc(64, 64);
+    m.poke(loglik_, 8, 0);
+
+    Rng rng(p.seed * 271 + 13);
+    candidates_.clear();
+    for (std::uint64_t i = 0; i < ncandidates_; ++i) {
+      std::uint32_t u = static_cast<std::uint32_t>(rng.below(kVars));
+      std::uint32_t v = static_cast<std::uint32_t>(rng.below(kVars));
+      if (u == v) v = (v + 1) % kVars;
+      if (u > v) std::swap(u, v);  // u < v: acyclic by construction
+      candidates_.emplace_back(u, v);
+    }
+
+    const std::uint64_t per = ncandidates_ / threads_;
+    for (CoreId t = 0; t < threads_; ++t) {
+      m.spawn(t, worker(m.ctx(t), this, t * per, (t + 1) * per));
+    }
+  }
+
+  std::string validate(Machine& m) override {
+    // Structural audit: parent counts must equal the adjacency column sums,
+    // every edge obeys u < v (DAG), no parent limit is violated, and the
+    // log-likelihood accumulator equals the edge count (unit gain per edge).
+    std::uint64_t edges = 0;
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+      std::uint64_t col = 0;
+      for (std::uint32_t u = 0; u < kVars; ++u) {
+        const std::uint64_t a = adjacency_.peek(m, u * kVars + v);
+        if (a > 1) return "bayes: adjacency cell not boolean";
+        if (a == 1 && u >= v) return "bayes: cycle-capable edge recorded";
+        col += a;
+        edges += a;
+      }
+      if (parents_.peek(m, v) != col) {
+        return "bayes: parent count of " + std::to_string(v) +
+               " disagrees with adjacency";
+      }
+      if (col > kMaxParents) return "bayes: parent limit violated";
+    }
+    if (m.peek(loglik_, 8) != edges) {
+      return "bayes: log-likelihood accumulator out of sync";
+    }
+    if (edges == 0) return "bayes: learned an empty network";
+    return {};
+  }
+
+ private:
+  static constexpr std::uint32_t kVars = 24;
+  static constexpr std::uint32_t kMaxParents = 4;
+
+  static Task<void> worker(GuestCtx& c, BayesWorkload* w, std::uint64_t lo,
+                           std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const auto [u, v] = w->candidates_[i];
+      co_await c.run_tx([&]() -> Task<void> {
+        // Score: read the child's family (its full adjacency column slice
+        // and parent count) — a long read phase over unpadded 4-byte cells.
+        const std::uint64_t nparents = co_await w->parents_.get(c, v);
+        if (nparents >= kMaxParents) co_return;  // family saturated
+        const std::uint64_t present =
+            co_await w->adjacency_.get(c, u * kVars + v);
+        if (present != 0) co_return;  // already learned
+        std::uint64_t family_mass = 0;
+        for (std::uint32_t p = 0; p < kVars; p += 4) {
+          family_mass += co_await w->adjacency_.get(c, p * kVars + v);
+        }
+        (void)family_mass;
+        co_await c.work(40);  // local score computation
+        // Insert the edge.
+        co_await w->adjacency_.set(c, u * kVars + v, 1);
+        co_await w->parents_.set(c, v, nparents + 1);
+        const std::uint64_t ll = co_await c.load_u64(w->loglik_);
+        co_await c.store_u64(w->loglik_, ll + 1);
+      });
+      co_await c.work(25);
+    }
+  }
+
+  GArray32 adjacency_, parents_;
+  Addr loglik_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates_;
+  std::uint64_t ncandidates_ = 0;
+  std::uint32_t threads_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bayes() {
+  return std::make_unique<BayesWorkload>();
+}
+
+}  // namespace asfsim

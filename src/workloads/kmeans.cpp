@@ -1,0 +1,165 @@
+// kmeans — K-means clustering (STAMP).
+//
+// Paper-relevant structure: the shared accumulators (new_centers,
+// new_counts) are unpadded 32-bit float/int arrays with an odd dimension
+// count, so logically-distinct cluster rows straddle 8- and 16-byte
+// boundaries. That reproduces the paper's kmeans signature: 4-byte-granular
+// intra-line accesses (Fig 5), false conflicts concentrated on the few
+// accumulator lines (Fig 4), RAW-dominant false conflicts (Fig 2), and
+// residual false sharing even with 8-byte sub-blocks (Fig 8).
+#include <cmath>
+#include <vector>
+
+#include "guest/barrier.hpp"
+#include "guest/garray.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+namespace {
+
+class KmeansWorkload final : public Workload {
+ public:
+  const char* name() const override { return "kmeans"; }
+  const char* description() const override { return "K-means clustering"; }
+
+  void setup(Machine& m, const WorkloadParams& p) override {
+    npoints_ = p.scaled(640);
+    threads_ = p.threads;
+    npoints_ -= npoints_ % threads_;  // even partition
+
+    points_ = GArray32::alloc(m.galloc(), npoints_ * kDims);
+    centers_ = GArray32::alloc(m.galloc(), kClusters * kDims);
+    new_centers_ = GArray32::alloc(m.galloc(), kClusters * kDims);
+    new_counts_ = GArray32::alloc(m.galloc(), kClusters);
+    memberships_ = GArray32::alloc(m.galloc(), npoints_);
+
+    Rng rng(p.seed * 77 + 5);
+    // Points drawn around kClusters fuzzy blobs.
+    for (std::uint64_t i = 0; i < npoints_; ++i) {
+      const std::uint64_t blob = rng.below(kClusters);
+      for (std::uint32_t d = 0; d < kDims; ++d) {
+        const float v = static_cast<float>(blob) * 10.0f +
+                        static_cast<float>(rng.next_double() * 4.0 - 2.0);
+        points_.poke(m, i * kDims + d, f2u(v));
+      }
+      memberships_.poke(m, i, kClusters);  // invalid -> forces first update
+    }
+    // Initial centers: first kClusters points.
+    for (std::uint32_t k = 0; k < kClusters; ++k) {
+      for (std::uint32_t d = 0; d < kDims; ++d) {
+        centers_.poke(m, k * kDims + d, points_.peek(m, k * kDims + d));
+      }
+      new_counts_.poke(m, k, 0);
+    }
+    for (std::uint64_t i = 0; i < kClusters * kDims; ++i) {
+      new_centers_.poke(m, i, f2u(0.0f));
+    }
+
+    barrier_ = std::make_unique<GuestBarrier>(m.kernel(), threads_);
+    const std::uint64_t per = npoints_ / threads_;
+    for (CoreId t = 0; t < threads_; ++t) {
+      m.spawn(t, worker(m.ctx(t), this, t * per, (t + 1) * per, t == 0));
+    }
+  }
+
+  std::string validate(Machine& m) override {
+    // Final-iteration accumulators must account for every point exactly once.
+    std::uint64_t total = 0;
+    for (std::uint32_t k = 0; k < kClusters; ++k) {
+      total += new_counts_.peek(m, k);
+    }
+    if (total != npoints_) {
+      return "kmeans: accumulated counts " + std::to_string(total) +
+             " != npoints " + std::to_string(npoints_);
+    }
+    for (std::uint64_t i = 0; i < npoints_; ++i) {
+      if (memberships_.peek(m, i) >= kClusters) {
+        return "kmeans: invalid membership for point " + std::to_string(i);
+      }
+    }
+    return {};
+  }
+
+ private:
+  static constexpr std::uint32_t kDims = 7;  // odd: rows straddle sub-blocks
+  static constexpr std::uint32_t kClusters = 13;
+  static constexpr std::uint32_t kIters = 3;
+
+  static Task<void> worker(GuestCtx& c, KmeansWorkload* w, std::uint64_t lo,
+                           std::uint64_t hi, bool leader) {
+    for (std::uint32_t iter = 0; iter < kIters; ++iter) {
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        // Nearest-center search: non-transactional shared reads (as in
+        // STAMP, the distance computation is outside the transaction).
+        float point[kDims];
+        for (std::uint32_t d = 0; d < kDims; ++d) {
+          point[d] = u2f(static_cast<std::uint32_t>(
+              co_await w->points_.get(c, i * kDims + d)));
+        }
+        std::uint32_t best = 0;
+        float best_dist = 1e30f;
+        for (std::uint32_t k = 0; k < kClusters; ++k) {
+          float dist = 0.0f;
+          for (std::uint32_t d = 0; d < kDims; ++d) {
+            const float cd = u2f(static_cast<std::uint32_t>(
+                co_await w->centers_.get(c, k * kDims + d)));
+            const float diff = point[d] - cd;
+            dist += diff * diff;
+          }
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = k;
+          }
+        }
+        co_await w->memberships_.set(c, i, best);
+        co_await c.work(kDims * 4);  // distance arithmetic
+
+        // Transactional accumulation into the shared new-center row.
+        co_await c.run_tx([&]() -> Task<void> {
+          for (std::uint32_t d = 0; d < kDims; ++d) {
+            const std::uint64_t idx = best * kDims + d;
+            const float cur = u2f(static_cast<std::uint32_t>(
+                co_await w->new_centers_.get(c, idx)));
+            co_await w->new_centers_.set(c, idx, f2u(cur + point[d]));
+          }
+          const std::uint64_t cnt = co_await w->new_counts_.get(c, best);
+          co_await w->new_counts_.set(c, best, cnt + 1);
+        });
+      }
+
+      co_await w->barrier_->arrive_and_wait(c);
+      if (leader && iter + 1 < kIters) {
+        // Leader recomputes the centers and resets the accumulators
+        // (non-transactional phase, as in the original).
+        for (std::uint32_t k = 0; k < kClusters; ++k) {
+          const std::uint64_t cnt = co_await w->new_counts_.get(c, k);
+          for (std::uint32_t d = 0; d < kDims; ++d) {
+            const std::uint64_t idx = k * kDims + d;
+            if (cnt > 0) {
+              const float sum = u2f(static_cast<std::uint32_t>(
+                  co_await w->new_centers_.get(c, idx)));
+              co_await w->centers_.set(
+                  c, idx, f2u(sum / static_cast<float>(cnt)));
+            }
+            co_await w->new_centers_.set(c, idx, f2u(0.0f));
+          }
+          co_await w->new_counts_.set(c, k, 0);
+        }
+      }
+      co_await w->barrier_->arrive_and_wait(c);
+    }
+  }
+
+  GArray32 points_, centers_, new_centers_, new_counts_, memberships_;
+  std::unique_ptr<GuestBarrier> barrier_;
+  std::uint64_t npoints_ = 0;
+  std::uint32_t threads_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_kmeans() {
+  return std::make_unique<KmeansWorkload>();
+}
+
+}  // namespace asfsim

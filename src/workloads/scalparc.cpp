@@ -1,0 +1,112 @@
+// scalparc — ScalParC decision-tree classification (RMS-TM).
+//
+// The split-evaluation phase accumulates per-(attribute, value) class
+// statistics into shared 16-byte stat objects {count, class1_count}. Both
+// fields of an object are updated together, so same-object collisions are
+// true conflicts while different-object collisions in the same line are
+// false — and since objects are exactly one 16-byte sub-block, a 4-sub-block
+// configuration removes nearly all of them (the paper's near-perfect
+// reduction for ScalParC in Fig 8).
+#include <vector>
+
+#include "guest/garray.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+namespace {
+
+class ScalparcWorkload final : public Workload {
+ public:
+  const char* name() const override { return "scalparc"; }
+  const char* description() const override {
+    return "decision tree classification";
+  }
+
+  void setup(Machine& m, const WorkloadParams& p) override {
+    nrecords_ = p.scaled(480);
+    threads_ = p.threads;
+    nrecords_ -= nrecords_ % threads_;
+
+    // stats[attr][value] = {total count, class-1 count, gini scratch, pad}:
+    // fat 32-byte objects, two per line. Both live fields sit in one 16-byte
+    // sub-block, so four sub-blocks separate distinct objects completely
+    // (paper Fig 8: near-perfect reduction for ScalParC).
+    stats_ = GArray64::alloc(m.galloc(), kAttrs * kValues * 4, 32);
+    for (std::uint64_t i = 0; i < kAttrs * kValues * 4; ++i) {
+      stats_.poke(m, i, 0);
+    }
+
+    // Records: kAttrs categorical attributes + binary class label.
+    Rng rng(p.seed * 43 + 19);
+    records_.resize(nrecords_ * kAttrs);
+    labels_.resize(nrecords_);
+    for (std::uint64_t r = 0; r < nrecords_; ++r) {
+      for (std::uint32_t a = 0; a < kAttrs; ++a) {
+        records_[r * kAttrs + a] =
+            static_cast<std::uint8_t>(rng.below(kValues));
+      }
+      labels_[r] = rng.chance(0.5) ? 1 : 0;
+    }
+
+    const std::uint64_t per = nrecords_ / threads_;
+    for (CoreId t = 0; t < threads_; ++t) {
+      m.spawn(t, worker(m.ctx(t), this, t * per, (t + 1) * per));
+    }
+  }
+
+  std::string validate(Machine& m) override {
+    // Reconstruct the histogram on the host and compare exactly.
+    std::vector<std::uint64_t> expect(kAttrs * kValues * 2, 0);
+    for (std::uint64_t r = 0; r < nrecords_; ++r) {
+      for (std::uint32_t a = 0; a < kAttrs; ++a) {
+        const std::uint32_t v = records_[r * kAttrs + a];
+        expect[(a * kValues + v) * 2] += 1;
+        expect[(a * kValues + v) * 2 + 1] += labels_[r];
+      }
+    }
+    for (std::uint64_t i = 0; i < kAttrs * kValues; ++i) {
+      if (stats_.peek(m, i * 4) != expect[i * 2] ||
+          stats_.peek(m, i * 4 + 1) != expect[i * 2 + 1]) {
+        return "scalparc: histogram cell " + std::to_string(i) + " mismatch";
+      }
+    }
+    return {};
+  }
+
+ private:
+  static constexpr std::uint32_t kAttrs = 6;
+  static constexpr std::uint32_t kValues = 12;
+
+  static Task<void> worker(GuestCtx& c, ScalparcWorkload* w, std::uint64_t lo,
+                           std::uint64_t hi) {
+    for (std::uint64_t r = lo; r < hi; ++r) {
+      const std::uint64_t label = w->labels_[r];
+      // One transaction per record: update every attribute's stat object.
+      co_await c.run_tx([&]() -> Task<void> {
+        for (std::uint32_t a = 0; a < kAttrs; ++a) {
+          const std::uint32_t v = w->records_[r * kAttrs + a];
+          const std::uint64_t obj = (a * std::uint64_t{kValues} + v) * 4;
+          const std::uint64_t cnt = co_await w->stats_.get(c, obj);
+          co_await w->stats_.set(c, obj, cnt + 1);
+          const std::uint64_t c1 = co_await w->stats_.get(c, obj + 1);
+          co_await w->stats_.set(c, obj + 1, c1 + label);
+        }
+      });
+      co_await c.work(kAttrs * 6);  // gini computation share
+    }
+  }
+
+  GArray64 stats_;
+  std::vector<std::uint8_t> records_;
+  std::vector<std::uint64_t> labels_;
+  std::uint64_t nrecords_ = 0;
+  std::uint32_t threads_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_scalparc() {
+  return std::make_unique<ScalparcWorkload>();
+}
+
+}  // namespace asfsim

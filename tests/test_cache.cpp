@@ -1,0 +1,133 @@
+// Unit tests: TagArray geometry, LRU replacement, pinning, retention.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace asfsim {
+namespace {
+
+CacheLevelConfig small_l1() {
+  CacheLevelConfig c;
+  c.size_bytes = 4 * 64 * 2;  // 4 sets, 2 ways
+  c.line_bytes = 64;
+  c.ways = 2;
+  c.latency = 3;
+  return c;
+}
+
+Addr line_in_set(std::uint32_t set, std::uint32_t k, std::uint32_t nsets = 4) {
+  return (Addr{k} * nsets + set) << kLineShift;
+}
+
+TEST(TagArray, RejectsNon64ByteLines) {
+  CacheLevelConfig c = small_l1();
+  c.line_bytes = 32;
+  EXPECT_THROW(TagArray{c}, std::invalid_argument);
+}
+
+TEST(TagArray, GeometryFromConfig) {
+  TagArray t(small_l1());
+  EXPECT_EQ(t.num_sets(), 4u);
+  EXPECT_EQ(t.ways(), 2u);
+  SimConfig def;
+  TagArray l1(def.l1);
+  EXPECT_EQ(l1.num_sets(), 512u);  // 64KB / 64B / 2 ways (paper Table II)
+}
+
+TEST(TagArray, FindMissesOnEmptyAndHitsAfterFill) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(1, 0);
+  EXPECT_EQ(t.find(a), nullptr);
+  auto* v = t.find_victim(a, [](Addr) { return false; });
+  ASSERT_NE(v, nullptr);
+  t.fill(v, a, Moesi::kExclusive);
+  ASSERT_NE(t.find(a), nullptr);
+  EXPECT_EQ(t.find(a)->state, Moesi::kExclusive);
+}
+
+TEST(TagArray, LruEvictsLeastRecentlyTouched) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(2, 0), b = line_in_set(2, 1), c = line_in_set(2, 2);
+  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kShared);
+  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kShared);
+  t.touch(a);  // b is now LRU
+  t.fill(t.find_victim(c, [](Addr) { return false; }), c, Moesi::kShared);
+  EXPECT_NE(t.find(a), nullptr);
+  EXPECT_EQ(t.find(b), nullptr) << "LRU way must have been evicted";
+  EXPECT_NE(t.find(c), nullptr);
+}
+
+TEST(TagArray, VictimPrefersEmptyWay) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(0, 0), b = line_in_set(0, 1);
+  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kModified);
+  auto* v = t.find_victim(b, [](Addr) { return false; });
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->state, Moesi::kInvalid) << "must pick the empty way";
+  EXPECT_NE(t.find(a), nullptr);
+}
+
+TEST(TagArray, PinnedLinesAreNotEvicted) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(3, 0), b = line_in_set(3, 1), c = line_in_set(3, 2);
+  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kModified);
+  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kShared);
+  auto pin_a = [&](Addr line) { return line == a; };
+  auto* v = t.find_victim(c, pin_a);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->line, b) << "pinned line a must be skipped";
+}
+
+TEST(TagArray, AllWaysPinnedReturnsNull) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(1, 0), b = line_in_set(1, 1), c = line_in_set(1, 2);
+  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kModified);
+  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kModified);
+  EXPECT_EQ(t.find_victim(c, [](Addr) { return true; }), nullptr)
+      << "capacity abort signal when every way holds speculative state";
+}
+
+TEST(TagArray, RetainedEntriesStayFindable) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(0, 0);
+  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kShared);
+  auto* e = t.find(a);
+  e->state = Moesi::kInvalid;
+  e->retained = true;  // invalidated with speculative-info retention
+  ASSERT_NE(t.find(a), nullptr);
+  EXPECT_TRUE(t.find(a)->retained);
+  t.drop(a);
+  EXPECT_EQ(t.find(a), nullptr);
+}
+
+TEST(TagArray, DropIsIdempotentAndAddressSpecific) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(0, 0), b = line_in_set(0, 1);
+  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kShared);
+  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kShared);
+  t.drop(a);
+  t.drop(a);
+  EXPECT_EQ(t.find(a), nullptr);
+  EXPECT_NE(t.find(b), nullptr);
+}
+
+TEST(TagArray, CountsFillsAndEvictions) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(2, 0), b = line_in_set(2, 1), c = line_in_set(2, 2);
+  for (const Addr x : {a, b, c}) {
+    t.fill(t.find_victim(x, [](Addr) { return false; }), x, Moesi::kShared);
+  }
+  EXPECT_EQ(t.fills(), 3u);
+  EXPECT_EQ(t.evictions(), 1u);  // only the third fill displaced anything
+}
+
+TEST(Moesi, StateNames) {
+  EXPECT_STREQ(to_string(Moesi::kInvalid), "I");
+  EXPECT_STREQ(to_string(Moesi::kShared), "S");
+  EXPECT_STREQ(to_string(Moesi::kExclusive), "E");
+  EXPECT_STREQ(to_string(Moesi::kOwned), "O");
+  EXPECT_STREQ(to_string(Moesi::kModified), "M");
+}
+
+}  // namespace
+}  // namespace asfsim

@@ -1,0 +1,277 @@
+// Unit tests: conflict-detection policies (Table I state machine, probe
+// checks at every granularity, classifier ground truth).
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "core/line_detector.hpp"
+#include "core/perfect_detector.hpp"
+#include "core/subblock_detector.hpp"
+#include "core/subblock_state.hpp"
+#include "core/waronly_detector.hpp"
+
+namespace asfsim {
+namespace {
+
+SpecState read_state(ByteMask bytes, std::uint32_t nsub) {
+  SpecState s;
+  s.read_bytes = bytes;
+  s.bits.spec = quantize(bytes, nsub);
+  return s;
+}
+
+SpecState write_state(ByteMask bytes, std::uint32_t nsub) {
+  SpecState s;
+  s.write_bytes = bytes;
+  s.bits.spec = quantize(bytes, nsub);
+  s.bits.wr = quantize(bytes, nsub);
+  return s;
+}
+
+// ---- Table I encoding -------------------------------------------------------
+
+TEST(SubBlockState, TableIEncoding) {
+  EXPECT_EQ(make_state(false, false), SubBlockState::kNonSpec);
+  EXPECT_EQ(make_state(false, true), SubBlockState::kDirty);
+  EXPECT_EQ(make_state(true, false), SubBlockState::kSpecRead);
+  EXPECT_EQ(make_state(true, true), SubBlockState::kSpecWrite);
+  for (const auto s : {SubBlockState::kNonSpec, SubBlockState::kDirty,
+                       SubBlockState::kSpecRead, SubBlockState::kSpecWrite}) {
+    EXPECT_EQ(make_state(spec_bit(s), wr_bit(s)), s);
+  }
+}
+
+TEST(SubBlockState, PackedBitsRoundTrip) {
+  SubBlockBits b;
+  b.set(0, SubBlockState::kSpecRead);
+  b.set(1, SubBlockState::kSpecWrite);
+  b.set(3, SubBlockState::kDirty);
+  EXPECT_EQ(b.state(0), SubBlockState::kSpecRead);
+  EXPECT_EQ(b.state(1), SubBlockState::kSpecWrite);
+  EXPECT_EQ(b.state(2), SubBlockState::kNonSpec);
+  EXPECT_EQ(b.state(3), SubBlockState::kDirty);
+  EXPECT_EQ(b.speculative(), 0b0011u);
+  EXPECT_EQ(b.spec_written(), 0b0010u);
+  EXPECT_EQ(b.spec_read_only(), 0b0001u);
+  EXPECT_EQ(b.dirty(), 0b1000u);
+}
+
+TEST(SubBlockState, SetOverwritesPreviousState) {
+  SubBlockBits b;
+  b.set(2, SubBlockState::kSpecWrite);
+  b.set(2, SubBlockState::kSpecRead);
+  EXPECT_EQ(b.state(2), SubBlockState::kSpecRead);
+  b.set(2, SubBlockState::kNonSpec);
+  EXPECT_EQ(b.state(2), SubBlockState::kNonSpec);
+}
+
+// ---- baseline (per-line SR/SW) ----------------------------------------------
+
+TEST(LineDetector, InvalidatingProbeConflictsWithAnySpecState) {
+  LineDetector d;
+  EXPECT_TRUE(d.check_probe(read_state(byte_mask(0, 8), 1), byte_mask(32, 8),
+                            true).conflict);
+  EXPECT_TRUE(d.check_probe(write_state(byte_mask(0, 8), 1), byte_mask(32, 8),
+                            true).conflict);
+  EXPECT_FALSE(d.check_probe(SpecState{}, byte_mask(0, 8), true).conflict);
+}
+
+TEST(LineDetector, LoadProbeConflictsOnlyWithSpecWrites) {
+  LineDetector d;
+  EXPECT_FALSE(d.check_probe(read_state(byte_mask(0, 8), 1), byte_mask(0, 8),
+                             false).conflict);
+  EXPECT_TRUE(d.check_probe(write_state(byte_mask(0, 8), 1), byte_mask(32, 8),
+                            false).conflict);
+}
+
+// ---- speculative sub-blocking -----------------------------------------------
+
+class SubBlockDetectorTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  [[nodiscard]] std::uint32_t nsub() const { return GetParam(); }
+  [[nodiscard]] std::uint32_t sub_bytes() const { return 64 / nsub(); }
+};
+
+TEST_P(SubBlockDetectorTest, LoadVsRemoteWriteSameSubBlockConflicts) {
+  SubBlockDetector d(nsub());
+  const auto victim = write_state(byte_mask(0, 4), nsub());
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(0, 4), false).conflict);
+}
+
+TEST_P(SubBlockDetectorTest, LoadVsRemoteWriteOtherSubBlockPiggybacks) {
+  SubBlockDetector d(nsub());
+  const auto victim = write_state(byte_mask(0, 4), nsub());
+  const ByteMask probe = byte_mask(64 - 4, 4);  // last sub-block
+  const ProbeCheck pc = d.check_probe(victim, probe, false);
+  EXPECT_FALSE(pc.conflict);
+  EXPECT_EQ(pc.piggyback, victim.bits.spec_written())
+      << "the response must carry the S-WR sub-block mask";
+}
+
+TEST_P(SubBlockDetectorTest, StoreVsRemoteReadOtherSubBlockRetains) {
+  SubBlockDetector d(nsub());
+  const auto victim = read_state(byte_mask(0, 4), nsub());
+  const ProbeCheck pc = d.check_probe(victim, byte_mask(64 - 4, 4), true);
+  EXPECT_FALSE(pc.conflict);
+  EXPECT_TRUE(pc.retain_spec_info)
+      << "false WAR must keep speculative info in the invalidated line";
+}
+
+TEST_P(SubBlockDetectorTest, StoreVsRemoteReadSameSubBlockConflicts) {
+  SubBlockDetector d(nsub());
+  const auto victim = read_state(byte_mask(0, 4), nsub());
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(0, 4), true).conflict);
+}
+
+TEST_P(SubBlockDetectorTest, DirtyHitTriggersOnlyOnMarkedSubBlocks) {
+  SubBlockDetector d(nsub());
+  const SubBlockMask dirty0 = 1;  // sub-block 0 dirty
+  EXPECT_TRUE(d.dirty_hit(dirty0, byte_mask(0, 4)));
+  EXPECT_FALSE(d.dirty_hit(dirty0, byte_mask(64 - 4, 4)));
+  EXPECT_FALSE(d.dirty_hit(0, byte_mask(0, 4)));
+}
+
+TEST_P(SubBlockDetectorTest, NoDirtyVariantNeverPiggybacksOrForcesMisses) {
+  SubBlockDetector d(nsub(), /*dirty_handling=*/false);
+  const auto victim = write_state(byte_mask(0, 4), nsub());
+  const ProbeCheck pc = d.check_probe(victim, byte_mask(64 - 4, 4), false);
+  EXPECT_FALSE(pc.conflict);
+  EXPECT_EQ(pc.piggyback, 0u);
+  EXPECT_FALSE(d.dirty_hit(0xffff, byte_mask(0, 8)));
+}
+
+TEST_P(SubBlockDetectorTest, WawDefaultIsSubBlockGranular) {
+  SubBlockDetector d(nsub());
+  const auto victim = write_state(byte_mask(0, 4), nsub());
+  const ProbeCheck pc = d.check_probe(victim, byte_mask(64 - 4, 4), true);
+  EXPECT_FALSE(pc.conflict);
+  EXPECT_TRUE(pc.retain_spec_info);
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(0, 4), true).conflict);
+}
+
+TEST_P(SubBlockDetectorTest, WawLineVariantAbortsOnAnySpecWrite) {
+  SubBlockDetector d(nsub(), true, /*waw_line=*/true);
+  const auto victim = write_state(byte_mask(0, 4), nsub());
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(64 - 4, 4), true).conflict)
+      << "paper §IV-D2: losing a speculatively-written line must abort";
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, SubBlockDetectorTest,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(SubBlockDetector, RejectsBadSubBlockCounts) {
+  EXPECT_THROW(SubBlockDetector(0), std::invalid_argument);
+  EXPECT_THROW(SubBlockDetector(1), std::invalid_argument);
+  EXPECT_THROW(SubBlockDetector(3), std::invalid_argument);
+  EXPECT_THROW(SubBlockDetector(32), std::invalid_argument);
+}
+
+TEST(SubBlockDetector, CoarserGranularityConflictsMore) {
+  // Adjacent 4-byte words: conflict at 2/4/8 sub-blocks, not at 16.
+  const ByteMask a = byte_mask(16, 4), b = byte_mask(20, 4);
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    SubBlockDetector d(n);
+    EXPECT_TRUE(d.check_probe(write_state(a, n), b, false).conflict) << n;
+  }
+  SubBlockDetector d16(16);
+  EXPECT_FALSE(d16.check_probe(write_state(a, 16), b, false).conflict);
+}
+
+// ---- perfect & WAR-only ------------------------------------------------------
+
+TEST(PerfectDetector, NeverSignalsOnProbes) {
+  PerfectDetector d;
+  EXPECT_TRUE(d.global_oracle());
+  EXPECT_FALSE(d.check_probe(write_state(byte_mask(0, 8), 1), byte_mask(0, 8),
+                             true).conflict);
+}
+
+TEST(WarOnlyDetector, FalseWarIsSpeculatedAway) {
+  WarOnlyDetector d;
+  const auto victim = read_state(byte_mask(0, 8), 1);
+  const ProbeCheck pc = d.check_probe(victim, byte_mask(32, 8), true);
+  EXPECT_FALSE(pc.conflict);
+  EXPECT_TRUE(pc.retain_spec_info);
+}
+
+TEST(WarOnlyDetector, TrueWarStillAborts) {
+  WarOnlyDetector d;
+  const auto victim = read_state(byte_mask(0, 8), 1);
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(0, 4), true).conflict);
+}
+
+TEST(WarOnlyDetector, RawAndWawStayLineGranular) {
+  WarOnlyDetector d;
+  const auto victim = write_state(byte_mask(0, 8), 1);
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(32, 8), false).conflict)
+      << "false RAW is NOT handled by WAR-only schemes (paper §II)";
+  EXPECT_TRUE(d.check_probe(victim, byte_mask(32, 8), true).conflict);
+}
+
+// ---- classifier ----------------------------------------------------------------
+
+TEST(Classifier, TypeAndTruthMatrix) {
+  SpecState rd = read_state(byte_mask(0, 8), 4);
+  SpecState wr = write_state(byte_mask(0, 8), 4);
+
+  auto c = classify_conflict(rd, byte_mask(0, 4), true);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAR);
+
+  c = classify_conflict(rd, byte_mask(32, 4), true);
+  EXPECT_TRUE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAR);
+
+  c = classify_conflict(wr, byte_mask(0, 4), false);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kRAW);
+
+  c = classify_conflict(wr, byte_mask(32, 4), false);
+  EXPECT_TRUE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kRAW);
+
+  c = classify_conflict(wr, byte_mask(0, 4), true);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAW);
+
+  c = classify_conflict(wr, byte_mask(32, 4), true);
+  EXPECT_TRUE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAW);
+}
+
+TEST(Classifier, BaselineWouldConflictMatchesLineDetector) {
+  LineDetector line;
+  for (const bool victim_writes : {false, true}) {
+    for (const bool invalidating : {false, true}) {
+      const SpecState s = victim_writes ? write_state(byte_mask(0, 8), 1)
+                                        : read_state(byte_mask(0, 8), 1);
+      EXPECT_EQ(baseline_would_conflict(s, invalidating),
+                line.check_probe(s, byte_mask(32, 8), invalidating).conflict);
+    }
+  }
+}
+
+TEST(Classifier, MixedReadWriteVictimPrefersWawOnOverlap) {
+  SpecState s;
+  s.read_bytes = byte_mask(0, 8);
+  s.write_bytes = byte_mask(8, 8);
+  auto c = classify_conflict(s, byte_mask(8, 4), true);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAW);
+  c = classify_conflict(s, byte_mask(0, 4), true);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAR);
+}
+
+TEST(DetectorFactory, ProducesEveryKind) {
+  for (const auto kind :
+       {DetectorKind::kBaseline, DetectorKind::kSubBlock,
+        DetectorKind::kSubBlockWawLine, DetectorKind::kSubBlockNoDirty,
+        DetectorKind::kPerfect, DetectorKind::kWarOnly}) {
+    const auto d = make_detector(kind, 4);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->kind(), kind);
+  }
+}
+
+}  // namespace
+}  // namespace asfsim

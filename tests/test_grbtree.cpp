@@ -1,0 +1,82 @@
+// Model test: GRBTree vs std::map under long random op sequences, plus
+// red-black invariant checks after every batch.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "guest/grbtree.hpp"
+#include "sim/random.hpp"
+
+namespace asfsim {
+namespace {
+
+// Runs a scripted single-threaded guest program against a 1-core machine.
+class GRBTreeModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+Task<void> random_ops(GuestCtx& c, GRBTree* tree, std::map<std::uint64_t, std::uint64_t>* model,
+                      std::uint64_t seed, int nops, int key_range,
+                      bool* mismatch) {
+  Rng rng(seed);
+  for (int i = 0; i < nops; ++i) {
+    const std::uint64_t key = 1 + rng.below(key_range);
+    const std::uint64_t op = rng.below(10);
+    if (op < 4) {  // insert
+      const std::uint64_t val = rng.next_u64() >> 32;
+      const bool inserted = co_await tree->insert(c, key, val);
+      const bool expect = model->emplace(key, val).second;
+      if (inserted != expect) *mismatch = true;
+    } else if (op < 7) {  // erase
+      const bool erased = co_await tree->erase(c, key);
+      const bool expect = model->erase(key) > 0;
+      if (erased != expect) *mismatch = true;
+    } else {  // find
+      const std::uint64_t got = co_await tree->find(c, key, ~0ull);
+      auto it = model->find(key);
+      const std::uint64_t expect = it == model->end() ? ~0ull : it->second;
+      if (got != expect) *mismatch = true;
+    }
+  }
+}
+
+TEST_P(GRBTreeModelTest, MatchesStdMapAndKeepsInvariants) {
+  SimConfig cfg;
+  cfg.ncores = 1;
+  cfg.seed = GetParam();
+  Machine m(cfg, DetectorKind::kBaseline);
+  GRBTree tree = GRBTree::create(m);
+  std::map<std::uint64_t, std::uint64_t> model;
+  bool mismatch = false;
+  m.spawn(0, random_ops(m.ctx(0), &tree, &model, GetParam() * 999 + 7, 3000,
+                        64, &mismatch));
+  m.run();
+  EXPECT_FALSE(mismatch) << "operation result diverged from std::map";
+  EXPECT_EQ(tree.host_size(m), model.size());
+  EXPECT_GE(tree.host_validate(m), 0) << "red-black invariants violated";
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(tree.host_find(m, k, ~0ull), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GRBTreeModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GRBTreeHost, HostInsertBuildsValidTree) {
+  SimConfig cfg;
+  cfg.ncores = 1;
+  Machine m(cfg, DetectorKind::kBaseline);
+  GRBTree tree = GRBTree::create(m);
+  Rng rng(42);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = 1 + rng.below(1000);
+    const std::uint64_t v = rng.next_u64();
+    tree.host_insert(m, k, v);
+    model[k] = v;
+  }
+  EXPECT_GE(tree.host_validate(m), 0);
+  EXPECT_EQ(tree.host_size(m), model.size());
+  for (const auto& [k, v] : model) EXPECT_EQ(tree.host_find(m, k, 0), v);
+}
+
+}  // namespace
+}  // namespace asfsim

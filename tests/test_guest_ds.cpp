@@ -1,0 +1,271 @@
+// Model tests: guest data structures vs std:: containers under long random
+// operation sequences (single-core, so the structures themselves are the
+// subject, not concurrency).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "guest/garray.hpp"
+#include "guest/gheap.hpp"
+#include "guest/ghashmap.hpp"
+#include "guest/glist.hpp"
+#include "guest/machine.hpp"
+#include "sim/random.hpp"
+
+namespace asfsim {
+namespace {
+
+SimConfig one_core() {
+  SimConfig c;
+  c.ncores = 1;
+  return c;
+}
+
+// ---- GArray ----------------------------------------------------------------
+
+TEST(GArray, TypedAccessAndHostAccessAgree) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GArray32 a = GArray32::alloc(m.galloc(), 16);
+  a.poke(m, 3, 0xdeadbeef);
+  EXPECT_EQ(a.peek(m, 3), 0xdeadbeefu);
+  EXPECT_EQ(a.addr(4) - a.addr(0), 16u);
+  GArray64 b = GArray64::alloc(m.galloc(), 4);
+  EXPECT_EQ(b.addr(1) - b.addr(0), 8u);
+}
+
+TEST(GArray, FloatBitCastRoundTrips) {
+  EXPECT_EQ(u2f(f2u(1.5f)), 1.5f);
+  EXPECT_EQ(u2f(f2u(-0.0f)), -0.0f);
+  EXPECT_EQ(f2u(0.0f), 0u);
+}
+
+// ---- GList ----------------------------------------------------------------
+
+Task<void> list_model_ops(GuestCtx& c, GList* list,
+                          std::map<std::uint64_t, std::uint64_t>* model,
+                          std::uint64_t seed, int nops, bool* mismatch) {
+  Rng rng(seed);
+  for (int i = 0; i < nops; ++i) {
+    const std::uint64_t key = 1 + rng.below(24);
+    const std::uint64_t op = rng.below(10);
+    if (op < 4) {
+      const std::uint64_t val = rng.next_u64() >> 32;
+      const bool ins = co_await list->insert(c, key, val);
+      const bool expect = model->emplace(key, val).second;
+      if (ins != expect) *mismatch = true;
+    } else if (op < 7) {
+      const bool got = co_await list->erase(c, key);
+      if (got != (model->erase(key) > 0)) *mismatch = true;
+    } else {
+      const std::uint64_t v = co_await list->find(c, key, ~0ull);
+      const auto it = model->find(key);
+      if (v != (it == model->end() ? ~0ull : it->second)) *mismatch = true;
+    }
+  }
+  const std::uint64_t n = co_await list->size(c);
+  if (n != model->size()) *mismatch = true;
+}
+
+class GListModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GListModel, MatchesStdMap) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GList list = GList::create(m);
+  std::map<std::uint64_t, std::uint64_t> model;
+  bool mismatch = false;
+  m.spawn(0, list_model_ops(m.ctx(0), &list, &model, GetParam() * 31 + 5, 800,
+                            &mismatch));
+  m.run();
+  EXPECT_FALSE(mismatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GListModel, ::testing::Values(1, 2, 3, 4));
+
+// ---- GQueue ----------------------------------------------------------------
+
+Task<void> queue_model_ops(GuestCtx& c, GQueue* q,
+                           std::deque<std::pair<std::uint64_t, std::uint64_t>>*
+                               model,
+                           std::uint64_t seed, int nops, bool* mismatch) {
+  Rng rng(seed);
+  for (int i = 0; i < nops; ++i) {
+    if (rng.chance(0.6)) {
+      const std::uint64_t k = rng.below(1000), v = rng.below(1000);
+      co_await q->push(c, k, v);
+      model->emplace_back(k, v);
+    } else {
+      std::uint64_t k = 0, v = 0;
+      const bool got = co_await q->pop(c, &k, &v);
+      if (got != !model->empty()) {
+        *mismatch = true;
+      } else if (got) {
+        if (k != model->front().first || v != model->front().second) {
+          *mismatch = true;
+        }
+        model->pop_front();
+      }
+    }
+    const bool empty = co_await q->empty(c);
+    if (empty != model->empty()) *mismatch = true;
+  }
+}
+
+class GQueueModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GQueueModel, FifoMatchesStdDeque) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GQueue q = GQueue::create(m);
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> model;
+  bool mismatch = false;
+  m.spawn(0, queue_model_ops(m.ctx(0), &q, &model, GetParam() * 17 + 3, 800,
+                             &mismatch));
+  m.run();
+  EXPECT_FALSE(mismatch);
+  EXPECT_EQ(q.host_size(m), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GQueueModel, ::testing::Values(1, 2, 3, 4));
+
+TEST(GQueue, HostPushInteroperatesWithGuestPop) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GQueue q = GQueue::create(m);
+  for (std::uint64_t i = 0; i < 5; ++i) q.host_push(m, i, i * 10);
+  EXPECT_EQ(q.host_size(m), 5u);
+  bool ok = true;
+  auto drain = [](GuestCtx& c, GQueue* qq, bool* ok_out) -> Task<void> {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      std::uint64_t k = 0, v = 0;
+      const bool got = co_await qq->pop(c, &k, &v);
+      if (!got || k != i || v != i * 10) *ok_out = false;
+    }
+    const bool more = co_await qq->pop(c, nullptr, nullptr);
+    if (more) *ok_out = false;
+  };
+  m.spawn(0, drain(m.ctx(0), &q, &ok));
+  m.run();
+  EXPECT_TRUE(ok);
+}
+
+// ---- GHashMap ----------------------------------------------------------------
+
+Task<void> map_model_ops(GuestCtx& c, GHashMap* map,
+                         std::map<std::uint64_t, std::uint64_t>* model,
+                         std::uint64_t seed, int nops, bool* mismatch) {
+  Rng rng(seed);
+  for (int i = 0; i < nops; ++i) {
+    const std::uint64_t key = 1 + rng.below(64);
+    const std::uint64_t op = rng.below(12);
+    if (op < 4) {
+      const std::uint64_t val = rng.next_u64() >> 32;
+      const bool ins = co_await map->insert(c, key, val);
+      const bool expect = model->emplace(key, val).second;
+      if (ins != expect) *mismatch = true;
+    } else if (op < 6) {
+      const std::uint64_t v = co_await map->add(c, key, 3);
+      auto [it, fresh] = model->emplace(key, 3);
+      if (!fresh) it->second += 3;
+      if (v != it->second) *mismatch = true;
+    } else if (op < 8) {
+      const bool got = co_await map->erase(c, key);
+      if (got != (model->erase(key) > 0)) *mismatch = true;
+    } else if (op < 10) {
+      const std::uint64_t v = co_await map->find(c, key, ~0ull);
+      const auto it = model->find(key);
+      if (v != (it == model->end() ? ~0ull : it->second)) *mismatch = true;
+    } else {
+      const bool has = co_await map->contains(c, key);
+      if (has != (model->count(key) > 0)) *mismatch = true;
+    }
+  }
+}
+
+class GHashMapModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GHashMapModel, MatchesStdMap) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GHashMap map = GHashMap::create(m, 8);  // tiny: long chains stress erase
+  std::map<std::uint64_t, std::uint64_t> model;
+  bool mismatch = false;
+  m.spawn(0, map_model_ops(m.ctx(0), &map, &model, GetParam() * 13 + 7, 1200,
+                           &mismatch));
+  m.run();
+  EXPECT_FALSE(mismatch);
+  EXPECT_EQ(map.host_size(m), model.size());
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : model) sum += v;
+  EXPECT_EQ(map.host_sum_values(m), sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GHashMapModel, ::testing::Values(1, 2, 3, 4));
+
+// ---- GHeap ----------------------------------------------------------------
+
+Task<void> heap_model_ops(GuestCtx& c, GHeap* heap,
+                          std::priority_queue<std::uint64_t,
+                                              std::vector<std::uint64_t>,
+                                              std::greater<>>* model,
+                          std::uint64_t seed, int nops, bool* mismatch) {
+  Rng rng(seed);
+  for (int i = 0; i < nops; ++i) {
+    if (rng.chance(0.55)) {
+      const std::uint64_t k = rng.below(10000);
+      co_await heap->push(c, k);
+      model->push(k);
+    } else {
+      const std::uint64_t got = co_await heap->pop(c);
+      if (model->empty()) {
+        if (got != GHeap::kEmpty) *mismatch = true;
+      } else {
+        if (got != model->top()) *mismatch = true;
+        model->pop();
+      }
+    }
+    const std::uint64_t n = co_await heap->size(c);
+    if (n != model->size()) *mismatch = true;
+  }
+}
+
+class GHeapModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GHeapModel, MatchesStdPriorityQueue) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GHeap heap = GHeap::create(m, 4096);
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      model;
+  bool mismatch = false;
+  m.spawn(0, heap_model_ops(m.ctx(0), &heap, &model, GetParam() * 7 + 2, 1200,
+                            &mismatch));
+  m.run();
+  EXPECT_FALSE(mismatch);
+  EXPECT_EQ(heap.host_validate(m), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GHeapModel, ::testing::Values(1, 2, 3, 4));
+
+TEST(GHeap, HostPushOrdersForGuestPops) {
+  Machine m(one_core(), DetectorKind::kBaseline);
+  GHeap heap = GHeap::create(m, 64);
+  for (const std::uint64_t k : {9u, 3u, 7u, 1u, 5u}) heap.host_push(m, k);
+  EXPECT_EQ(heap.host_validate(m), "");
+  bool ok = true;
+  auto drain = [](GuestCtx& c, GHeap* h, bool* ok_out) -> Task<void> {
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 5; ++i) {
+      const std::uint64_t got = co_await h->pop(c);
+      if (got < prev) *ok_out = false;
+      prev = got;
+    }
+    const std::uint64_t empty = co_await h->pop(c);
+    if (empty != GHeap::kEmpty) *ok_out = false;
+  };
+  m.spawn(0, drain(m.ctx(0), &heap, &ok));
+  m.run();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace asfsim

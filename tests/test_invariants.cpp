@@ -1,0 +1,88 @@
+// Live coherence-invariant auditing: a dedicated auditor guest thread runs
+// MemorySystem::check_invariants() every few hundred cycles WHILE real
+// workloads execute, under several detectors.
+#include <gtest/gtest.h>
+
+#include "guest/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+namespace {
+
+Task<void> auditor(GuestCtx& c, Machine* m, std::uint32_t workers,
+                   std::string* violation, int* audits) {
+  for (;;) {
+    bool all_done = true;
+    for (CoreId w = 0; w < workers; ++w) {
+      if (!m->kernel().core_done(w)) all_done = false;
+    }
+    if (all_done) co_return;
+    const std::string err = m->mem().check_invariants();
+    ++*audits;
+    if (!err.empty()) {
+      *violation = err;
+      co_return;
+    }
+    co_await c.wait(300);
+  }
+}
+
+struct AuditCase {
+  const char* workload;
+  DetectorKind detector;
+};
+
+class LiveInvariants : public ::testing::TestWithParam<AuditCase> {};
+
+TEST_P(LiveInvariants, HoldThroughoutTheRun) {
+  const auto& [name, det] = GetParam();
+  SimConfig sim;
+  sim.ncores = 5;  // 4 workers + 1 auditor
+  Machine m(sim, det, 4);
+
+  auto wl = make_workload(name);
+  WorkloadParams p;
+  p.threads = 4;
+  p.scale = 0.3;
+  wl->setup(m, p);
+
+  std::string violation;
+  int audits = 0;
+  m.spawn(4, auditor(m.ctx(4), &m, 4, &violation, &audits));
+  m.run(Cycle{1} << 34);
+
+  EXPECT_TRUE(violation.empty()) << violation;
+  EXPECT_GT(audits, 10) << "the auditor must actually have sampled the run";
+  EXPECT_EQ(wl->validate(m), "");
+  EXPECT_EQ(m.mem().check_invariants(), "") << "and at quiescence";
+}
+
+std::string audit_name(const ::testing::TestParamInfo<AuditCase>& info) {
+  std::string n = info.param.workload;
+  n += "_";
+  n += to_string(info.param.detector);
+  for (auto& ch : n) {
+    if (ch == '-') ch = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAndDetectors, LiveInvariants,
+    ::testing::Values(AuditCase{"bank", DetectorKind::kBaseline},
+                      AuditCase{"bank", DetectorKind::kSubBlock},
+                      AuditCase{"counter", DetectorKind::kSubBlock},
+                      AuditCase{"counter", DetectorKind::kSubBlockWawLine},
+                      AuditCase{"ssca2", DetectorKind::kSubBlock},
+                      AuditCase{"vacation", DetectorKind::kSubBlock},
+                      AuditCase{"genome", DetectorKind::kWarOnly},
+                      AuditCase{"kmeans", DetectorKind::kPerfect}),
+    audit_name);
+
+TEST(Invariants, CleanMachinePasses) {
+  Machine m(SimConfig{}, DetectorKind::kSubBlock, 4);
+  EXPECT_EQ(m.mem().check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace asfsim

@@ -1,0 +1,129 @@
+// Unit tests: BackingStore, GAllocator, Rng.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/backing_store.hpp"
+#include "mem/gallocator.hpp"
+#include "sim/random.hpp"
+
+namespace asfsim {
+namespace {
+
+TEST(BackingStore, ZeroFilledByDefault) {
+  BackingStore bs;
+  EXPECT_EQ(bs.read(0x1000, 8), 0u);
+  EXPECT_EQ(bs.read(0xdeadbe00, 4), 0u);
+  EXPECT_EQ(bs.pages_touched(), 0u);
+}
+
+TEST(BackingStore, RoundTripsAllSizes) {
+  BackingStore bs;
+  for (const std::uint32_t size : {1u, 2u, 4u, 8u}) {
+    const Addr a = 0x2000 + size * 16;
+    const std::uint64_t v = 0x1122334455667788ull;
+    bs.write(a, size, v);
+    const std::uint64_t mask =
+        size == 8 ? ~0ull : ((1ull << (8 * size)) - 1);
+    EXPECT_EQ(bs.read(a, size), v & mask);
+  }
+}
+
+TEST(BackingStore, NeighboringBytesUntouched) {
+  BackingStore bs;
+  bs.write(0x3000, 8, ~0ull);
+  bs.write(0x3004, 1, 0);
+  EXPECT_EQ(bs.read(0x3000, 4), 0xffffffffu);
+  EXPECT_EQ(bs.read(0x3004, 1), 0u);
+  EXPECT_EQ(bs.read(0x3005, 1), 0xffu);
+}
+
+TEST(BackingStore, SparsePagesAllocateOnWrite) {
+  BackingStore bs;
+  bs.write(0x10000, 8, 1);
+  bs.write(0x900000, 8, 2);
+  EXPECT_EQ(bs.pages_touched(), 2u);
+  EXPECT_EQ(bs.read(0x10000, 8), 1u);
+  EXPECT_EQ(bs.read(0x900000, 8), 2u);
+}
+
+TEST(GAllocator, RespectsAlignment) {
+  GAllocator ga;
+  EXPECT_EQ(ga.alloc(3, 8) % 8, 0u);
+  EXPECT_EQ(ga.alloc(1, 64) % 64, 0u);
+  EXPECT_EQ(ga.alloc_lines(2) % kLineBytes, 0u);
+  EXPECT_THROW(ga.alloc(8, 3), std::invalid_argument);
+}
+
+TEST(GAllocator, AllocationsDoNotOverlap) {
+  GAllocator ga;
+  const Addr a = ga.alloc(24, 8);
+  const Addr b = ga.alloc(24, 8);
+  EXPECT_GE(b, a + 24);
+}
+
+TEST(GAllocator, MallocLikePackingSharesLines) {
+  // The whole point: unpadded small allocations land in the same line.
+  GAllocator ga;
+  const Addr a = ga.alloc(8, 8);
+  const Addr b = ga.alloc(8, 8);
+  EXPECT_EQ(line_of(a), line_of(b));
+}
+
+TEST(GAllocator, PerCoreArenasNeverShareLines) {
+  GAllocator ga;
+  std::set<Addr> lines0, lines1;
+  for (int i = 0; i < 300; ++i) {
+    lines0.insert(line_of(ga.alloc_local(0, 24)));
+    lines1.insert(line_of(ga.alloc_local(1, 24)));
+  }
+  for (const Addr l : lines0) {
+    EXPECT_EQ(lines1.count(l), 0u)
+        << "core pools must be cache-line disjoint";
+  }
+}
+
+TEST(GAllocator, ArenaRefillKeepsAlignment) {
+  GAllocator ga;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ga.alloc_local(2, 48, 16) % 16, 0u);
+  }
+}
+
+TEST(GAllocator, OutOfMemoryThrows) {
+  GAllocator ga(0x10000, 0x20000);
+  EXPECT_THROW(ga.alloc(1 << 20), std::runtime_error);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next_u64() != c.next_u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+    const auto v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+}
+
+}  // namespace
+}  // namespace asfsim

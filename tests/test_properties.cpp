@@ -1,0 +1,191 @@
+// Property tests (DESIGN.md §5): invariants that must hold across seeds,
+// detectors and granularities.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace asfsim {
+namespace {
+
+ExperimentConfig cfg_for(std::uint64_t seed, DetectorKind d,
+                         std::uint32_t nsub = 4, double scale = 0.3) {
+  ExperimentConfig cfg;
+  cfg.detector = d;
+  cfg.nsub = nsub;
+  cfg.params.seed = seed;
+  cfg.params.scale = scale;
+  return cfg;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property 1: the perfect detector never reports a false conflict.
+TEST_P(SeededProperty, PerfectHasZeroFalseConflicts) {
+  for (const char* w : {"counter", "bank", "ssca2", "kmeans"}) {
+    const auto r =
+        run_experiment(w, cfg_for(GetParam(), DetectorKind::kPerfect));
+    EXPECT_TRUE(r.ok()) << w << ": " << r.validation_error;
+    EXPECT_EQ(r.stats.conflicts_false, 0u) << w;
+  }
+}
+
+// Property 2: the ANALYTIC false-conflict survival histogram is monotone in
+// granularity — finer sub-blocks can only remove more false conflicts.
+TEST_P(SeededProperty, AnalyticSurvivalIsMonotone) {
+  for (const char* w : {"counter", "ssca2", "utilitymine", "kmeans"}) {
+    const auto r =
+        run_experiment(w, cfg_for(GetParam(), DetectorKind::kBaseline));
+    const auto& s = r.stats.false_surviving_at;
+    EXPECT_EQ(s[0], r.stats.conflicts_false) << w;
+    for (int i = 1; i < 5; ++i) {
+      EXPECT_LE(s[i], s[i - 1]) << w << " at 1<<" << i << " sub-blocks";
+    }
+  }
+}
+
+// Property 3: at 16 sub-blocks (4-byte granularity) workloads whose accesses
+// are >= 4 bytes see zero false conflicts in actual runs.
+TEST_P(SeededProperty, SixteenSubBlocksEliminateFalseConflicts) {
+  for (const char* w : {"counter", "ssca2", "kmeans", "utilitymine"}) {
+    const auto r =
+        run_experiment(w, cfg_for(GetParam(), DetectorKind::kSubBlock, 16));
+    EXPECT_TRUE(r.ok()) << w << ": " << r.validation_error;
+    EXPECT_EQ(r.stats.conflicts_false, 0u) << w;
+  }
+}
+
+// Property 4: serializability witness — the bank conserves money under every
+// detector, every seed.
+TEST_P(SeededProperty, BankConservesMoneyEverywhere) {
+  for (const auto& [d, n] : {std::pair{DetectorKind::kBaseline, 1u},
+                             std::pair{DetectorKind::kSubBlock, 2u},
+                             std::pair{DetectorKind::kSubBlock, 4u},
+                             std::pair{DetectorKind::kSubBlock, 8u},
+                             std::pair{DetectorKind::kSubBlock, 16u},
+                             std::pair{DetectorKind::kSubBlockWawLine, 4u},
+                             std::pair{DetectorKind::kWarOnly, 1u},
+                             std::pair{DetectorKind::kPerfect, 1u}}) {
+    const auto r = run_experiment("bank", cfg_for(GetParam(), d, n));
+    EXPECT_TRUE(r.ok()) << to_string(d) << "/" << n << ": "
+                        << r.validation_error;
+  }
+}
+
+// Property 5: commits are detector-independent for fixed-work workloads
+// (every workload validates its exact output, so this is belt-and-braces on
+// the commit COUNT as well).
+TEST_P(SeededProperty, CommitCountsAreDetectorIndependent) {
+  const auto base =
+      run_experiment("scalparc", cfg_for(GetParam(), DetectorKind::kBaseline));
+  const auto sb =
+      run_experiment("scalparc", cfg_for(GetParam(), DetectorKind::kSubBlock));
+  const auto pf =
+      run_experiment("scalparc", cfg_for(GetParam(), DetectorKind::kPerfect));
+  EXPECT_EQ(base.stats.tx_commits, sb.stats.tx_commits);
+  EXPECT_EQ(base.stats.tx_commits, pf.stats.tx_commits);
+}
+
+// Property 6: avoided-false accounting — a finer detector that reduced
+// false conflicts must have explicitly declined baseline-visible ones.
+TEST_P(SeededProperty, AvoidedFalseConflictsAreAccounted) {
+  const auto base =
+      run_experiment("ssca2", cfg_for(GetParam(), DetectorKind::kBaseline));
+  const auto sb =
+      run_experiment("ssca2", cfg_for(GetParam(), DetectorKind::kSubBlock));
+  if (sb.stats.conflicts_false < base.stats.conflicts_false) {
+    EXPECT_GT(sb.stats.false_conflicts_avoided, 0u);
+  }
+}
+
+// Property 7: abort-cause bookkeeping covers every abort.
+TEST_P(SeededProperty, AbortCausesSumToAborts) {
+  for (const char* w : {"labyrinth", "vacation", "intruder"}) {
+    const auto r =
+        run_experiment(w, cfg_for(GetParam(), DetectorKind::kSubBlock));
+    std::uint64_t sum = 0;
+    for (const auto v : r.stats.aborts_by_cause) sum += v;
+    EXPECT_EQ(sum, r.stats.tx_aborts) << w;
+    EXPECT_LE(r.stats.conflicts_total,
+              r.stats.aborts_by_cause[0] + r.stats.tx_commits)
+        << w << ": every conflict dooms exactly one victim (some victims are "
+               "doomed at commit-validation time after their own commit "
+               "decision, hence the commit slack)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 7, 23, 99));
+
+// Measured monotonicity on the analytic histogram is exact; the MEASURED
+// false counts across granularities are *statistically* decreasing but a
+// single seed can wobble, so this test uses a fixed seed with a clear gap.
+TEST(Property, MeasuredFalseConflictsShrinkWithGranularity) {
+  std::uint64_t prev = ~0ull;
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u}) {
+    const auto r =
+        run_experiment("ssca2", cfg_for(1, DetectorKind::kSubBlock, n, 0.5));
+    EXPECT_LE(r.stats.conflicts_false, prev) << n;
+    prev = r.stats.conflicts_false;
+  }
+}
+
+TEST(Property, SubBlockNeverReportsIntraSubBlockDisjointConflicts) {
+  // Any false conflict reported by the sub-block detector must overlap at
+  // sub-block granularity (that is exactly what it checks) — verified via
+  // the analytic survival histogram of its own run.
+  const auto r =
+      run_experiment("kmeans", cfg_for(3, DetectorKind::kSubBlock, 4, 0.4));
+  EXPECT_EQ(r.stats.false_surviving_at[2], r.stats.conflicts_false)
+      << "every surviving false conflict still overlaps at 4 sub-blocks";
+}
+
+TEST(Property, WarOnlyHelpsWarDominatedWorkloadsOnly) {
+  // apriori is WAR-dominant: WAR-only should remove a large share.
+  // kmeans is RAW-dominant: WAR-only should remove a much smaller share.
+  const auto ab = run_experiment("apriori", cfg_for(1, DetectorKind::kBaseline,
+                                                    1, 1.0));
+  const auto aw = run_experiment("apriori", cfg_for(1, DetectorKind::kWarOnly,
+                                                    1, 1.0));
+  const auto kb = run_experiment("kmeans", cfg_for(1, DetectorKind::kBaseline,
+                                                   1, 0.5));
+  const auto kw = run_experiment("kmeans", cfg_for(1, DetectorKind::kWarOnly,
+                                                   1, 0.5));
+  const double apriori_red =
+      1.0 - double(aw.stats.conflicts_false) /
+                std::max<std::uint64_t>(1, ab.stats.conflicts_false);
+  const double kmeans_red =
+      1.0 - double(kw.stats.conflicts_false) /
+                std::max<std::uint64_t>(1, kb.stats.conflicts_false);
+  EXPECT_GT(apriori_red, kmeans_red)
+      << "WAR-only must help the WAR-dominant program more (paper §II)";
+}
+
+// Property 8: the delayed-probe timing mode preserves correctness (bank
+// conservation, validations) and roughly preserves the conflict profile —
+// the fidelity argument behind the atomic-at-issue substitution.
+TEST(Property, DelayedProbeModePreservesResultsAndProfile) {
+  for (const char* w : {"bank", "counter", "ssca2"}) {
+    ExperimentConfig atomic = cfg_for(1, DetectorKind::kSubBlock, 4, 0.4);
+    ExperimentConfig delayed = atomic;
+    delayed.sim.probe_delay = 30;
+    const auto a = run_experiment(w, atomic);
+    const auto d = run_experiment(w, delayed);
+    EXPECT_TRUE(a.ok()) << w << ": " << a.validation_error;
+    EXPECT_TRUE(d.ok()) << w << ": " << d.validation_error;
+    EXPECT_EQ(a.stats.tx_commits, d.stats.tx_commits) << w;
+    EXPECT_GT(d.stats.total_cycles, a.stats.total_cycles)
+        << w << ": probe flight time must cost cycles";
+  }
+}
+
+TEST(Property, DelayedProbeModeIsDeterministic) {
+  ExperimentConfig cfg = cfg_for(3, DetectorKind::kBaseline, 1, 0.3);
+  cfg.sim.probe_delay = 25;
+  const auto a = run_experiment("vacation", cfg);
+  const auto b = run_experiment("vacation", cfg);
+  EXPECT_EQ(a.stats.total_cycles, b.stats.total_cycles);
+  EXPECT_EQ(a.stats.conflicts_total, b.stats.conflicts_total);
+}
+
+}  // namespace
+}  // namespace asfsim

@@ -1,0 +1,194 @@
+// asfsim_explore — interactive-grade CLI for running any workload under any
+// detector/configuration and dumping the full statistics report.
+//
+//   $ asfsim_explore --workload vacation --detector subblock --nsub 4
+//   $ asfsim_explore --workload ssca2 --detector perfect --scale 2 --seed 9
+//   $ asfsim_explore --list
+//
+// Flags beyond the common set (--scale/--threads/--seed/--csv):
+//   --workload <name>   workload to run (default: counter)
+//   --detector <name>   baseline | subblock | subblock-wawline |
+//                       subblock-nodirty | perfect | war-only
+//   --nsub <n>          sub-blocks per line for the sub-block detectors
+//   --ats               enable adaptive transaction scheduling
+//   --trace <n>         print the last n transaction events after the run
+//   --list              list registered workloads and exit
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "harness/args.hpp"
+#include "guest/machine.hpp"
+#include "harness/experiment.hpp"
+#include "stats/report.hpp"
+#include "workloads/workload.hpp"
+
+using namespace asfsim;
+
+namespace {
+
+DetectorKind parse_detector(const std::string& name) {
+  if (name == "baseline" || name == "baseline-asf") return DetectorKind::kBaseline;
+  if (name == "subblock") return DetectorKind::kSubBlock;
+  if (name == "subblock-wawline") return DetectorKind::kSubBlockWawLine;
+  if (name == "subblock-nodirty") return DetectorKind::kSubBlockNoDirty;
+  if (name == "perfect") return DetectorKind::kPerfect;
+  if (name == "war-only" || name == "waronly") return DetectorKind::kWarOnly;
+  std::fprintf(stderr, "unknown detector '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+void print_report(const ExperimentResult& r, std::uint32_t threads) {
+  const Stats& s = r.stats;
+  std::printf("workload   : %s\n", r.workload.c_str());
+  std::printf("detector   : %s\n", r.detector.c_str());
+  std::printf("validated  : %s\n",
+              r.ok() ? "ok" : r.validation_error.c_str());
+  std::printf("\n-- transactions --\n");
+  std::printf("attempts   : %llu\n", (unsigned long long)s.tx_attempts);
+  std::printf("commits    : %llu\n", (unsigned long long)s.tx_commits);
+  std::printf("aborts     : %llu  (conflict %llu, capacity %llu, user %llu, "
+              "lock-wait %llu)\n",
+              (unsigned long long)s.tx_aborts,
+              (unsigned long long)s.aborts_by_cause[0],
+              (unsigned long long)s.aborts_by_cause[1],
+              (unsigned long long)s.aborts_by_cause[2],
+              (unsigned long long)s.aborts_by_cause[3]);
+  std::printf("avg retries: %.3f\n", s.avg_retries());
+  std::printf("fallbacks  : %llu   ATS dispatches: %llu\n",
+              (unsigned long long)s.fallback_runs,
+              (unsigned long long)s.ats_serialized);
+  std::printf("\n-- conflicts --\n");
+  std::printf("total      : %llu\n", (unsigned long long)s.conflicts_total);
+  std::printf("false      : %llu  (%.1f%%)\n",
+              (unsigned long long)s.conflicts_false,
+              100.0 * s.false_conflict_rate());
+  std::printf("false types: WAR %llu, RAW %llu, WAW %llu\n",
+              (unsigned long long)s.false_by_type[0],
+              (unsigned long long)s.false_by_type[1],
+              (unsigned long long)s.false_by_type[2]);
+  std::printf("true types : WAR %llu, RAW %llu, WAW %llu\n",
+              (unsigned long long)s.true_by_type[0],
+              (unsigned long long)s.true_by_type[1],
+              (unsigned long long)s.true_by_type[2]);
+  std::printf("avoided    : %llu (baseline would have aborted)\n",
+              (unsigned long long)s.false_conflicts_avoided);
+  std::printf("analytic false survival @1/2/4/8/16 sub-blocks: "
+              "%llu/%llu/%llu/%llu/%llu\n",
+              (unsigned long long)s.false_surviving_at[0],
+              (unsigned long long)s.false_surviving_at[1],
+              (unsigned long long)s.false_surviving_at[2],
+              (unsigned long long)s.false_surviving_at[3],
+              (unsigned long long)s.false_surviving_at[4]);
+  std::printf("\n-- memory system --\n");
+  std::printf("accesses   : %llu (tx %llu)\n", (unsigned long long)s.accesses,
+              (unsigned long long)s.tx_accesses);
+  std::printf("L1 hits    : %llu   c2c: %llu   L2: %llu   L3: %llu   "
+              "mem: %llu\n",
+              (unsigned long long)s.l1_hits,
+              (unsigned long long)s.c2c_transfers,
+              (unsigned long long)s.l2_hits, (unsigned long long)s.l3_hits,
+              (unsigned long long)s.mem_fetches);
+  std::printf("probes     : %llu   piggy-back msgs: %llu   dirty "
+              "refetches: %llu   upgrades: %llu\n",
+              (unsigned long long)s.probes_sent,
+              (unsigned long long)s.piggyback_messages,
+              (unsigned long long)s.dirty_refetches,
+              (unsigned long long)s.upgrades);
+  std::printf("\n-- time --\n");
+  std::printf("cycles     : %llu\n", (unsigned long long)s.total_cycles);
+  std::printf("tx busy    : %llu cycles (%.1f%% duty over %u cores)\n",
+              (unsigned long long)s.tx_busy_cycles,
+              s.total_cycles == 0
+                  ? 0.0
+                  : 100.0 * double(s.tx_busy_cycles) /
+                        (double(threads) * double(s.total_cycles)),
+              threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "counter";
+  std::string detector = "baseline";
+  std::uint32_t nsub = 4;
+  bool ats = false;
+  std::size_t trace_depth = 0;
+  CliOptions common;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) {
+      workload = need("--workload");
+    } else if (!std::strcmp(argv[i], "--detector")) {
+      detector = need("--detector");
+    } else if (!std::strcmp(argv[i], "--nsub")) {
+      nsub = static_cast<std::uint32_t>(std::atoi(need("--nsub")));
+    } else if (!std::strcmp(argv[i], "--ats")) {
+      ats = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_depth = static_cast<std::size_t>(std::atoll(need("--trace")));
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      common.scale = std::atof(need("--scale"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      common.threads = static_cast<std::uint32_t>(std::atoi(need("--threads")));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      common.seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
+    } else if (!std::strcmp(argv[i], "--list")) {
+      for (const auto& w : workload_registry()) {
+        std::printf("%-14s %s\n", w.name, w.make()->description());
+      }
+      return 0;
+    } else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("see the comment block at the top of tools/asfsim_explore.cpp\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  ExperimentConfig cfg;
+  cfg.detector = parse_detector(detector);
+  cfg.nsub = nsub;
+  cfg.params.threads = common.threads;
+  cfg.params.seed = common.seed;
+  cfg.params.scale = common.scale;
+  cfg.sim.ncores = common.threads;
+  cfg.sim.enable_ats = ats;
+
+  if (trace_depth == 0) {
+    const ExperimentResult r = run_experiment(workload, cfg);
+    print_report(r, common.threads);
+    return r.ok() ? 0 : 1;
+  }
+
+  // Traced run: drive the Machine directly so the event ring is reachable.
+  SimConfig sim = cfg.sim;
+  sim.seed = cfg.params.seed;
+  Machine m(sim, cfg.detector, cfg.nsub);
+  TxTrace& trace = m.enable_trace(trace_depth);
+  auto wl = make_workload(workload);
+  wl->setup(m, cfg.params);
+  m.run(cfg.max_cycles);
+  ExperimentResult r;
+  r.workload = workload;
+  r.detector = m.detector().name();
+  r.validation_error = wl->validate(m);
+  r.stats = m.stats();
+  print_report(r, common.threads);
+  std::printf("\n-- last %zu of %llu transaction events --\n",
+              trace.events().size(),
+              (unsigned long long)trace.total_recorded());
+  std::ostringstream os;
+  trace.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return r.ok() ? 0 : 1;
+}
