@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Golden-file test for asfsim_lint: every *_flag.cpp fixture must produce
+# exactly its seeded diagnostics (right rule, right count, nonzero exit);
+# every *_pass.cpp fixture must come back clean.
+#
+# usage: check_lint_fixtures.sh <asfsim_lint-binary> <fixtures-dir>
+set -u
+
+LINT=${1:?usage: check_lint_fixtures.sh <asfsim_lint-binary> <fixtures-dir>}
+DIR=${2:?usage: check_lint_fixtures.sh <asfsim_lint-binary> <fixtures-dir>}
+
+rule_of() {
+  case "$(basename "$1")" in
+    r1_*) echo "coawait-in-condition" ;;
+    r2_*) echo "discarded-task" ;;
+    r3_*) echo "global-alloc-in-tx" ;;
+    r4_*) echo "raw-guest-access" ;;
+    *)    echo "" ;;
+  esac
+}
+
+expected_count() {
+  # Seeded violation counts, declared in each fixture's header comment.
+  case "$(basename "$1")" in
+    r1_flag.cpp) echo 3 ;;
+    r2_flag.cpp) echo 2 ;;
+    r3_flag.cpp) echo 2 ;;
+    r4_flag.cpp) echo 3 ;;
+    *)           echo 1 ;;
+  esac
+}
+
+fail=0
+
+for f in $(find "$DIR" -name '*_flag.cpp' | sort); do
+  out=$("$LINT" "$f" 2>/dev/null)
+  rc=$?
+  rule=$(rule_of "$f")
+  want=$(expected_count "$f")
+  got=$(printf '%s\n' "$out" | grep -c ": ${rule}: ")
+  total=$(printf '%s\n' "$out" | grep -c ":[0-9]*: [a-z-]*: ")
+  if [ "$rc" -eq 0 ]; then
+    echo "FAIL: $f: expected nonzero exit, got 0"; fail=1
+  elif [ "$got" -ne "$want" ]; then
+    echo "FAIL: $f: expected $want '$rule' findings, got $got:"; fail=1
+    printf '%s\n' "$out"
+  elif [ "$total" -ne "$want" ]; then
+    echo "FAIL: $f: unexpected extra findings beyond the $want seeded:"; fail=1
+    printf '%s\n' "$out"
+  else
+    echo "ok:   $f ($want x $rule)"
+  fi
+done
+
+for f in $(find "$DIR" -name '*_pass.cpp' | sort); do
+  out=$("$LINT" "$f" 2>/dev/null)
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: $f: expected clean run, exit $rc:"; fail=1
+    printf '%s\n' "$out"
+  else
+    echo "ok:   $f (clean)"
+  fi
+done
+
+# --fix-hints must print a hoisting rewrite for R1.
+hint=$("$LINT" --fix-hints "$DIR/r1_flag.cpp" 2>/dev/null | grep -c "fix: hoist")
+if [ "$hint" -lt 1 ]; then
+  echo "FAIL: --fix-hints printed no hoisting rewrite for r1_flag.cpp"; fail=1
+else
+  echo "ok:   --fix-hints prints hoisting rewrites"
+fi
+
+exit $fail

@@ -1,0 +1,22 @@
+// lint fixture: MUST flag coawait-in-condition (three sites).
+// This is the DESIGN.md §7 miscompile shape — never compile this file.
+#include "guest/machine.hpp"
+
+namespace asfsim {
+
+Task<void> bad_branches(GuestCtx& c, Addr a) {
+  // co_await in an if condition whose branch also suspends: the exact GCC 12
+  // frame-corruption pattern.
+  if (co_await c.load_u64(a) != 0) {
+    co_await c.store_u64(a, 1);
+  }
+  // co_await in a while condition.
+  while (co_await c.load_u64(a) < 10) {
+    co_await c.store_u64(a, 0);
+  }
+  // co_await in a ternary condition.
+  const std::uint64_t v = co_await c.load_u64(a) ? 1 : 2;
+  co_await c.store_u64(a, v);
+}
+
+}  // namespace asfsim

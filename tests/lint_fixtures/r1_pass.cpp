@@ -1,0 +1,28 @@
+// lint fixture: MUST pass coawait-in-condition.
+// The safe hoisted shapes pinned by tests/test_compiler_workaround.cpp.
+#include "guest/machine.hpp"
+
+namespace asfsim {
+
+Task<void> good_branches(GuestCtx& c, Addr a) {
+  // Hoist, then branch on the named local.
+  const std::uint64_t head = co_await c.load_u64(a);
+  if (head != 0) {
+    co_await c.store_u64(a, 1);
+  }
+  // Loop with the awaited value refreshed inside the body.
+  std::uint64_t cur = co_await c.load_u64(a);
+  int guard = 0;
+  while (cur != 0 && guard < 10) {
+    cur = co_await c.load_u64(a + 8);
+    ++guard;
+  }
+  // Ternary on a named local; co_await only in the arms' statements.
+  const std::uint64_t v = head != 0 ? 1 : 2;
+  co_await c.store_u64(a, v);
+  // co_await as a controlled statement (not in the condition) is fine.
+  if (v == 1) co_await c.store_u64(a, 3);
+  for (int i = 0; i < 4; ++i) co_await c.store_u64(a, i);
+}
+
+}  // namespace asfsim

@@ -1,0 +1,19 @@
+// lint fixture: MUST pass — every violation below carries a suppression.
+#include "guest/machine.hpp"
+
+namespace asfsim {
+
+Task<void> step(GuestCtx& c, Addr a) { co_await c.store_u64(a, 1); }
+
+Task<void> suppressed(GuestCtx& c, Addr a) {
+  // Trailing same-line suppression.
+  if (co_await c.load_u64(a) != 0) {  // asfsim-lint: allow(coawait-in-condition)
+    co_await c.store_u64(a, 1);
+  }
+  // Stand-alone directive suppresses the next line.
+  // asfsim-lint: allow(discarded-task)
+  step(c, a);
+  co_await c.store_u64(a, 2);
+}
+
+}  // namespace asfsim

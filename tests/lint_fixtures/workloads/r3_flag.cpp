@@ -1,0 +1,15 @@
+// lint fixture: MUST flag global-alloc-in-tx (two sites).
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> bad_worker(GuestCtx& c, Addr head) {
+  // Transactional node allocation from the GLOBAL bump allocator: adjacent
+  // cores get nodes in the same cache line (DESIGN.md §6.9).
+  const Addr node = c.galloc().alloc(24, 8);
+  co_await c.store_u64(head, node);
+  const Addr block = c.galloc().alloc_lines(1);
+  co_await c.store_u64(block, 0);
+}
+
+}  // namespace asfsim

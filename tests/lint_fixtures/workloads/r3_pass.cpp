@@ -1,0 +1,18 @@
+// lint fixture: MUST pass global-alloc-in-tx.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> good_worker(GuestCtx& c, Addr head) {
+  // Per-core pool allocation: cores never share lines (DESIGN.md §6.9).
+  const Addr node = c.alloc_local(24, 8);
+  co_await c.store_u64(head, node);
+}
+
+void good_setup(Machine& m, Addr* out) {
+  // Host-time, single-threaded setup may use the global bump path: unpadded
+  // shared arrays are exactly what the paper studies.
+  *out = m.galloc().alloc(4096, 64);
+}
+
+}  // namespace asfsim

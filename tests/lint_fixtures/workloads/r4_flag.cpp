@@ -1,0 +1,17 @@
+// lint fixture: MUST flag raw-guest-access (three sites).
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> bad_worker(GuestCtx& c, Machine& m, Addr a) {
+  // Host-side backdoor write from guest-thread code: bypasses the caches,
+  // the conflict detector, and the classifier byte masks.
+  m.poke(a, 8, 1);
+  const std::uint64_t v = m.peek(a, 8);
+  co_await c.store_u64(a, v);
+  // Guest memory has no host pointer.
+  auto* p = reinterpret_cast<std::uint64_t*>(a);
+  co_await c.store_u64(a, *p);
+}
+
+}  // namespace asfsim

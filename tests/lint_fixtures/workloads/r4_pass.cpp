@@ -1,0 +1,19 @@
+// lint fixture: MUST pass raw-guest-access.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> good_worker(GuestCtx& c, Addr a) {
+  // All guest-thread access goes through the typed awaitables.
+  const std::uint64_t v = co_await c.load_u64(a);
+  co_await c.store_u64(a, v + 1);
+}
+
+void good_setup(Machine& m, Addr a) {
+  // Host-time setup/validation may poke/peek freely (documented backdoor).
+  m.poke(a, 8, 0);
+  const std::uint64_t v = m.peek(a, 8);
+  m.poke(a + 8, 8, v);
+}
+
+}  // namespace asfsim

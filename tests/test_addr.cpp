@@ -76,7 +76,9 @@ TEST_P(QuantizeTest, QuantizationIsMonotoneInGranularity) {
       const ByteMask ma = byte_mask(a, 4), mb = byte_mask(b, 4);
       const bool fine = (quantize(ma, 2 * n) & quantize(mb, 2 * n)) != 0;
       const bool coarse = (quantize(ma, n) & quantize(mb, n)) != 0;
-      if (fine) EXPECT_TRUE(coarse);
+      if (fine) {
+        EXPECT_TRUE(coarse);
+      }
     }
   }
 }

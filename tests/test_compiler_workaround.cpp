@@ -1,11 +1,10 @@
-// Pins the coroutine patterns this library relies on after working around a
-// GCC 12 miscompile: a co_await inside a condition expression whose
-// controlled branch also suspends corrupts the coroutine frame (the first
-// resume silently runs the destroyer instead of the body, which surfaced as
-// a kernel "deadlock" / SIGILL). The workaround is to hoist awaited values
-// into named locals before branching. These tests exercise the hoisted
-// shapes (including the exact transplant-like signature that exposed the
-// bug) and must keep passing on every toolchain the project builds with.
+// Pins the safe coroutine shapes for the GCC 12 co_await-in-condition
+// miscompile. The full story (failure mode, the transplant-like signature
+// that exposed it, the hoisting workaround) lives in
+// docs/static_analysis.md §R1, which is also enforced mechanically by
+// tools/asfsim_lint (`coawait-in-condition`). These tests exercise the
+// hoisted shapes end to end and must keep passing on every toolchain the
+// project builds with.
 #include <gtest/gtest.h>
 
 #include "guest/machine.hpp"

@@ -85,7 +85,9 @@ TEST_P(CrossCheck, WawLineVariantOnlyAddsWawConflicts) {
     const bool d = def.check_probe(victim, probe, invalidating).conflict;
     const bool s = strict.check_probe(victim, probe, invalidating).conflict;
     // Strict is a superset of default...
-    if (d) EXPECT_TRUE(s) << "strict must contain default";
+    if (d) {
+      EXPECT_TRUE(s) << "strict must contain default";
+    }
     // ...and the extra conflicts are exactly invalidating probes against
     // lines holding S-WR sub-blocks the probe does not touch.
     if (s && !d) {
@@ -113,7 +115,9 @@ TEST_P(CrossCheck, FinerGranularityNeverAddsConflicts) {
     const bool invalidating = rng.chance(0.5);
     const bool c = coarse.check_probe(vc, probe, invalidating).conflict;
     const bool f = fine.check_probe(vf, probe, invalidating).conflict;
-    if (f) EXPECT_TRUE(c) << "a fine-grained conflict implies a coarse one";
+    if (f) {
+      EXPECT_TRUE(c) << "a fine-grained conflict implies a coarse one";
+    }
   }
 }
 

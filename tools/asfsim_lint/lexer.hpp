@@ -1,0 +1,64 @@
+// asfsim_lint lexer: a minimal, dependency-free C++ tokenizer.
+//
+// Produces a flat token stream (identifiers, punctuation, literals) with
+// line numbers, plus the per-line suppression directives parsed out of
+// comments. This is deliberately NOT a real C++ front end: the rule engine
+// (rules.cpp) works on token patterns, which is enough for the simulator's
+// guest-code invariants and keeps the tool buildable with nothing but the
+// standard library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace asfsim_lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    // identifiers and keywords (co_await, if, ...)
+  kPunct,    // operators and punctuation, one logical op per token
+  kNumber,   // numeric literal
+  kString,   // string literal (text is the raw spelling)
+  kChar,     // character literal
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::uint32_t line;
+};
+
+/// Suppressions collected from `// asfsim-lint: allow(rule)` comments.
+/// A directive on a code line suppresses that line; a directive on a line
+/// of its own suppresses the next code line. `allow-file(rule)` suppresses
+/// the whole file. The rule name `all` matches every rule.
+struct Suppressions {
+  std::unordered_map<std::uint32_t, std::unordered_set<std::string>> by_line;
+  std::unordered_set<std::string> whole_file;
+
+  [[nodiscard]] bool allows(const std::string& rule, std::uint32_t line) const {
+    if (whole_file.count(rule) != 0 || whole_file.count("all") != 0) {
+      return true;
+    }
+    const auto it = by_line.find(line);
+    if (it == by_line.end()) return false;
+    return it->second.count(rule) != 0 || it->second.count("all") != 0;
+  }
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  Suppressions suppressions;
+};
+
+/// Tokenize `source` (the contents of `path`). Comments and whitespace are
+/// consumed; suppression directives inside comments are recorded. Handles
+/// line/block comments, string/char literals with escapes, and raw string
+/// literals; preprocessor directives are skipped line-wise (so `#include
+/// <vector>` never looks like comparison operators).
+LexedFile lex(std::string path, const std::string& source);
+
+}  // namespace asfsim_lint

@@ -1,0 +1,159 @@
+// asfsim_lint driver: scan files/directories, run the rule engine, print
+// `file:line: rule-id: message` diagnostics, exit nonzero on any finding.
+//
+//   asfsim_lint [options] <file-or-dir>...
+//     --exclude <substr>   skip paths containing <substr> (repeatable)
+//     --fix-hints          print the suggested rewrite under each finding
+//     --list-rules         print the rule ids and one-line summaries
+//
+// Suppression: `// asfsim-lint: allow(<rule>)` on the offending line (or on
+// a line of its own directly above it); `allow-file(<rule>)` anywhere in a
+// file; `all` matches every rule.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using namespace asfsim_lint;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+bool excluded(const std::string& path, const std::vector<std::string>& subs) {
+  for (const auto& s : subs) {
+    if (path.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Returns false when `root` does not exist (a typo'd path must not read
+/// as a clean run).
+bool collect(const fs::path& root, const std::vector<std::string>& excludes,
+             std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec) && is_cpp_source(it->path()) &&
+          !excluded(it->path().generic_string(), excludes)) {
+        out.push_back(it->path());
+      }
+    }
+  } else if (fs::exists(root, ec)) {
+    if (!excluded(root.generic_string(), excludes)) out.push_back(root);
+  } else {
+    std::cerr << "asfsim_lint: no such file or directory: " << root.string()
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
+void print_rules() {
+  std::cout
+      << kRuleCoawaitInCondition
+      << "  (R1) co_await inside an if/while/for/switch header or ternary\n"
+      << "       condition: GCC 12 corrupts the coroutine frame when the\n"
+      << "       controlled branch also suspends (DESIGN.md §7). Hoist the\n"
+      << "       awaited value into a named local, then branch on it.\n"
+      << kRuleDiscardedTask
+      << "  (R2) call to a Task-returning function whose result is neither\n"
+      << "       co_awaited nor stored: Task is lazy, a dropped task never\n"
+      << "       runs its body.\n"
+      << kRuleGlobalAllocInTx
+      << "  (R3) guest-thread (coroutine) code in workloads/ allocating via\n"
+      << "       galloc().alloc/alloc_lines: the global bump path hands\n"
+      << "       concurrent transactions adjacent nodes in one cache line\n"
+      << "       and fabricates WAW false sharing (DESIGN.md §6.9). Use\n"
+      << "       GuestCtx::alloc_local.\n"
+      << kRuleRawGuestAccess
+      << "  (R4) guest-thread code in workloads/ calling poke/peek/backing\n"
+      << "       or reinterpret_cast: host-side backdoors bypass the caches,\n"
+      << "       the conflict detector, and the classifier byte masks. Use\n"
+      << "       GuestCtx typed loads/stores.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> excludes;
+  std::vector<fs::path> roots;
+  bool fix_hints = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--exclude") {
+      if (i + 1 >= argc) {
+        std::cerr << "asfsim_lint: --exclude requires a value\n";
+        return 2;
+      }
+      excludes.emplace_back(argv[++i]);
+    } else if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: asfsim_lint [--exclude <substr>]... [--fix-hints] "
+                   "[--list-rules] <file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "asfsim_lint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "asfsim_lint: no inputs (try --help)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> paths;
+  bool roots_ok = true;
+  for (const auto& r : roots) roots_ok &= collect(r, excludes, paths);
+  if (!roots_ok) return 2;
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<LexedFile> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "asfsim_lint: cannot read " << p.string() << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back(lex(p.generic_string(), ss.str()));
+  }
+
+  const auto task_fns = collect_task_functions(files);
+  std::size_t nfindings = 0;
+  for (const auto& f : files) {
+    for (const auto& d : check_file(f, task_fns)) {
+      ++nfindings;
+      std::cout << d.path << ":" << d.line << ": " << d.rule << ": "
+                << d.message << "\n";
+      if (fix_hints && !d.fix_hint.empty()) {
+        std::cout << "    fix: " << d.fix_hint << "\n";
+      }
+    }
+  }
+  std::cerr << "asfsim_lint: " << files.size() << " files, " << nfindings
+            << " finding" << (nfindings == 1 ? "" : "s") << "\n";
+  return nfindings == 0 ? 0 : 1;
+}

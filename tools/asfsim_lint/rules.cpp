@@ -1,0 +1,469 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+
+namespace asfsim_lint {
+namespace {
+
+bool is(const Token& t, const char* s) { return t.text == s; }
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+// Keywords that, when hit while walking back from a `{`, prove the brace is
+// not a function body (type/namespace/control/label contexts).
+const std::unordered_set<std::string> kNonFunctionKeywords = {
+    "struct",  "class",   "union",    "enum",    "namespace", "else",
+    "do",      "try",     "export",   "extern",  "return",    "co_return",
+    "co_yield", "co_await", "if",     "while",   "for",       "switch",
+    "case",    "default", "public",   "private", "protected", "concept",
+    "requires"};
+
+// Tokens skipped while walking back from a `{` across a trailing return
+// type / cv-qualifier run, looking for the parameter list's `)`.
+bool skippable_before_body(const Token& t) {
+  if (t.kind == TokKind::kIdent) {
+    return kNonFunctionKeywords.count(t.text) == 0;
+  }
+  static const std::unordered_set<std::string> kPunct = {
+      "::", "<", ">", ">>", ",", "*", "&", "&&", "->"};
+  return kPunct.count(t.text) != 0;
+}
+
+const std::unordered_set<std::string> kControlIntro = {"if", "while", "for",
+                                                       "switch", "catch"};
+
+struct BlockInfo {
+  std::size_t open = 0;      // token index of `{`
+  std::size_t close = 0;     // token index of matching `}`
+  bool is_function = false;  // function / lambda / ctor body
+  bool is_coroutine = false; // function body containing a co_* keyword
+};
+
+struct FileShape {
+  std::vector<BlockInfo> blocks;
+  // For each token: index into `blocks` of the innermost *function* block
+  // containing it, or npos.
+  std::vector<std::size_t> fn_of;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Find the token index of the `(` matching a given `)` (walking back).
+std::size_t matching_open_paren(const std::vector<Token>& toks,
+                                std::size_t close) {
+  int depth = 0;
+  for (std::size_t k = close;; --k) {
+    if (is(toks[k], ")")) ++depth;
+    if (is(toks[k], "(")) {
+      if (--depth == 0) return k;
+    }
+    if (k == 0) break;
+  }
+  return FileShape::npos;
+}
+
+/// Decide whether the `{` at `b` opens a function-like body (free/member
+/// function, constructor, or lambda). Pure token heuristic; see the
+/// walk-back rules in docs/static_analysis.md.
+bool brace_is_function_body(const std::vector<Token>& toks, std::size_t b) {
+  if (b == 0) return false;
+  std::size_t k = b - 1;
+  for (int steps = 0; steps < 24; ++steps) {
+    const Token& t = toks[k];
+    if (is(t, "]")) return true;  // capture list directly: `[&] {`
+    if (is(t, ")")) {
+      const std::size_t open = matching_open_paren(toks, k);
+      if (open == FileShape::npos || open == 0) return open != FileShape::npos;
+      std::size_t p = open - 1;
+      // `if constexpr (...)`: the intro keyword sits one further back.
+      if (is(toks[p], "constexpr") && p > 0) --p;
+      if (is_ident(toks[p]) && kControlIntro.count(toks[p].text) != 0) {
+        return false;
+      }
+      // `noexcept(...)` / `requires(...)` trail a declarator: keep walking.
+      if (is(toks[p], "noexcept") || is(toks[p], "requires")) {
+        if (open == 0) return false;
+        k = open - 1;
+        continue;
+      }
+      return is_ident(toks[p]) || is(toks[p], "]") || is(toks[p], ">") ||
+             is(toks[p], ">>");
+    }
+    if (!skippable_before_body(t)) return false;
+    if (k == 0) return false;
+    --k;
+  }
+  return false;
+}
+
+FileShape analyze_shape(const LexedFile& file) {
+  const auto& toks = file.tokens;
+  FileShape shape;
+  shape.fn_of.assign(toks.size(), FileShape::npos);
+
+  // Pass 1: match braces, classify function bodies, and record for every
+  // token its innermost enclosing function block.
+  std::vector<std::size_t> stack;          // open blocks (indices into blocks)
+  std::vector<std::size_t> fn_stack;       // subset that are function bodies
+  std::unordered_map<std::size_t, std::size_t> open_to_block;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    shape.fn_of[i] = fn_stack.empty() ? FileShape::npos : fn_stack.back();
+    if (is(toks[i], "{")) {
+      BlockInfo b;
+      b.open = i;
+      b.is_function = brace_is_function_body(toks, i);
+      shape.blocks.push_back(b);
+      const std::size_t idx = shape.blocks.size() - 1;
+      stack.push_back(idx);
+      if (b.is_function) fn_stack.push_back(idx);
+      shape.fn_of[i] = fn_stack.empty() ? FileShape::npos : fn_stack.back();
+    } else if (is(toks[i], "}")) {
+      if (!stack.empty()) {
+        const std::size_t idx = stack.back();
+        stack.pop_back();
+        shape.blocks[idx].close = i;
+        if (shape.blocks[idx].is_function && !fn_stack.empty() &&
+            fn_stack.back() == idx) {
+          fn_stack.pop_back();
+        }
+      }
+    }
+  }
+  for (auto& b : shape.blocks) {
+    if (b.close == 0) b.close = toks.empty() ? 0 : toks.size() - 1;
+  }
+
+  // Pass 2: a function block owning a co_* keyword is a coroutine body.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (is(toks[i], "co_await") || is(toks[i], "co_return") ||
+        is(toks[i], "co_yield")) {
+      const std::size_t fn = shape.fn_of[i];
+      if (fn != FileShape::npos) shape.blocks[fn].is_coroutine = true;
+    }
+  }
+  return shape;
+}
+
+bool in_coroutine(const FileShape& shape, std::size_t tok) {
+  const std::size_t fn = shape.fn_of[tok];
+  return fn != FileShape::npos && shape.blocks[fn].is_coroutine;
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+class Checker {
+ public:
+  Checker(const LexedFile& file, const TaskFunctionMap& task_fns)
+      : file_(file),
+        toks_(file.tokens),
+        shape_(analyze_shape(file)),
+        task_fns_(task_fns) {}
+
+  std::vector<Diagnostic> run() {
+    rule_coawait_in_condition();
+    rule_discarded_task();
+    if (path_contains(file_.path, "workloads")) {
+      rule_global_alloc_in_tx();
+      rule_raw_guest_access();
+    }
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    return std::move(diags_);
+  }
+
+ private:
+  void report(const char* rule, std::size_t tok, std::string message,
+              std::string hint = {}) {
+    const std::uint32_t line = toks_[tok].line;
+    if (file_.suppressions.allows(rule, line)) return;
+    // One report per (rule, line) is enough.
+    for (const auto& d : diags_) {
+      if (d.line == line && d.rule == rule) return;
+    }
+    diags_.push_back(
+        {file_.path, line, rule, std::move(message), std::move(hint)});
+  }
+
+  std::size_t matching_close_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t k = open; k < toks_.size(); ++k) {
+      if (is(toks_[k], "(")) ++depth;
+      if (is(toks_[k], ")") && --depth == 0) return k;
+    }
+    return FileShape::npos;
+  }
+
+  /// Number of top-level arguments of the call whose parens are
+  /// [open, close].
+  int call_arity(std::size_t open, std::size_t close) const {
+    int depth = 0;
+    int args = 0;
+    bool any = false;
+    for (std::size_t k = open; k <= close; ++k) {
+      const Token& t = toks_[k];
+      if (is(t, "(") || is(t, "[") || is(t, "{")) ++depth;
+      if (is(t, ")") || is(t, "]") || is(t, "}")) --depth;
+      if (depth == 1 && is(t, ",")) ++args;
+      if (depth >= 1 && !is(t, "(")) any = true;
+    }
+    return any ? args + 1 : 0;
+  }
+
+  // ---- R1: co_await inside a condition expression -------------------------
+  //
+  // The GCC 12 miscompile (DESIGN.md §7, pinned by
+  // tests/test_compiler_workaround.cpp): when a co_await appears inside a
+  // condition expression whose controlled branch also suspends, the frame's
+  // resume index is corrupted and the first resume silently runs the
+  // destroyer instead of the body — observed as a kernel "deadlock" at -O0
+  // and SIGILL at -O2. The safe shape hoists the awaited value into a named
+  // local before branching, so we ban co_await in EVERY condition context,
+  // whether or not the branch suspends today (the branch body is one edit
+  // away from suspending).
+  void rule_coawait_in_condition() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!is_ident(toks_[i]) || kControlIntro.count(toks_[i].text) == 0 ||
+          is(toks_[i], "catch")) {
+        continue;
+      }
+      std::size_t open = i + 1;
+      if (open < toks_.size() && is(toks_[open], "constexpr")) ++open;
+      if (open >= toks_.size() || !is(toks_[open], "(")) continue;
+      const std::size_t close = matching_close_paren(open);
+      if (close == FileShape::npos) continue;
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (is(toks_[k], "co_await")) {
+          report(kRuleCoawaitInCondition, k,
+                 "co_await inside a '" + toks_[i].text +
+                     "' condition — GCC 12 corrupts the coroutine frame when "
+                     "the controlled branch also suspends (DESIGN.md §7)",
+                 "hoist the awaited value first:  const auto v = co_await "
+                 "<expr>;  " +
+                     toks_[i].text + " (v ...) { ... }");
+        }
+      }
+    }
+    // Ternary conditions: a co_await whose full expression meets a `?` at
+    // the same nesting depth before the statement ends.
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!is(toks_[i], "co_await")) continue;
+      int depth = 0;
+      for (std::size_t k = i + 1; k < toks_.size(); ++k) {
+        const Token& t = toks_[k];
+        if (is(t, "(") || is(t, "[") || is(t, "{")) ++depth;
+        if (is(t, ")") || is(t, "]") || is(t, "}")) --depth;
+        if (depth < 0) break;
+        if (depth == 0 &&
+            (is(t, ";") || is(t, ",") || is(t, ":") || is(t, "="))) {
+          break;
+        }
+        if (depth == 0 && is(t, "?")) {
+          report(kRuleCoawaitInCondition, i,
+                 "co_await in a ternary condition — same GCC 12 frame "
+                 "corruption as branching on an inline co_await "
+                 "(DESIGN.md §7)",
+                 "hoist:  const auto v = co_await <expr>;  then  v ? ... : "
+                 "...");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- R2: discarded Task -------------------------------------------------
+  //
+  // Task<T> is lazy: a task that is never co_awaited (or stored and handed
+  // to Machine::spawn) never runs its body. A bare `foo(...);` statement
+  // calling a Task-returning function is therefore dead code that LOOKS
+  // like a memory access or a transaction.
+  void rule_discarded_task() {
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (!is_ident(toks_[i])) continue;
+      const auto fn = task_fns_.find(toks_[i].text);
+      if (fn == task_fns_.end()) continue;
+      if (!is(toks_[i + 1], "(")) continue;
+      const std::size_t close = matching_close_paren(i + 1);
+      if (close == FileShape::npos || close + 1 >= toks_.size()) continue;
+      if (!is(toks_[close + 1], ";")) continue;  // result consumed somehow
+      // Arity gate: `q.push(x)` is std::queue, not GStack::push(ctx, x).
+      if (fn->second.count(call_arity(i + 1, close)) == 0) continue;
+      // Walk back over the object/namespace chain: `w->counters_.get`.
+      std::size_t start = i;
+      while (start > 0) {
+        const Token& p = toks_[start - 1];
+        if (is(p, ".") || is(p, "->") || is(p, "::")) {
+          if (start < 2) break;
+          const Token& q = toks_[start - 2];
+          if (is_ident(q)) {
+            start -= 2;
+            continue;
+          }
+          if (is(q, ")")) {
+            const std::size_t op = matching_open_paren(toks_, start - 2);
+            if (op == FileShape::npos || op == 0) break;
+            start = op;  // jump over the call, keep walking the chain
+            continue;
+          }
+        }
+        break;
+      }
+      if (start == 0) continue;
+      const Token& prev = toks_[start - 1];
+      const bool statement_context =
+          is(prev, ";") || is(prev, "{") || is(prev, "}") || is(prev, ")") ||
+          is(prev, "else") || is(prev, "do");
+      if (!statement_context) continue;  // co_await/=/argument/return...
+      report(kRuleDiscardedTask, i,
+             "result of Task-returning function '" + toks_[i].text +
+                 "' is discarded — a dropped Task never runs its body",
+             "co_await " + toks_[i].text +
+                 "(...);  or store it and pass it to Machine::spawn");
+    }
+  }
+
+  // ---- R3: global bump allocation from guest-thread code ------------------
+  //
+  // DESIGN.md §6.9: a single global bump allocator hands concurrent
+  // transactions adjacent nodes in the same cache line, and their
+  // initialization stores alone fabricate write-write false sharing that
+  // drowns the real conflict signal. Guest-thread (coroutine) code in
+  // workloads must allocate from the per-core pools via
+  // GuestCtx::alloc_local; setup()/validate() run at host time on one
+  // thread and may use the global path freely.
+  void rule_global_alloc_in_tx() {
+    for (std::size_t i = 0; i + 4 < toks_.size(); ++i) {
+      if (!is_ident(toks_[i]) || toks_[i].text != "galloc") continue;
+      if (!(is(toks_[i + 1], "(") && is(toks_[i + 2], ")") &&
+            is(toks_[i + 3], "."))) {
+        continue;
+      }
+      const std::string& m = toks_[i + 4].text;
+      if (m != "alloc" && m != "alloc_lines") continue;
+      if (!in_coroutine(shape_, i)) continue;
+      report(kRuleGlobalAllocInTx, i,
+             "guest-thread code allocates via the global bump allocator "
+             "(galloc()." +
+                 m +
+                 ") — concurrent transactions get adjacent nodes in one "
+                 "line and fabricate WAW false sharing (DESIGN.md §6.9)",
+             "use the per-core pool:  ctx.alloc_local(size, align)");
+    }
+  }
+
+  // ---- R4: host-side backdoor access to guest memory ----------------------
+  //
+  // Machine::poke/peek and BackingStore read/write bypass the caches, the
+  // conflict detector, and the classifier's byte masks entirely — legal for
+  // single-threaded setup()/validate(), but inside guest-thread code they
+  // silently exempt accesses from conflict detection and corrupt the
+  // paper's conflict counts. reinterpret_cast of simulated addresses into
+  // host pointers is never meaningful in a workload.
+  void rule_raw_guest_access() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!is_ident(toks_[i])) continue;
+      const std::string& name = toks_[i].text;
+      if (name == "reinterpret_cast") {
+        report(kRuleRawGuestAccess, i,
+               "reinterpret_cast in a workload — guest memory has no host "
+               "pointer; use GuestCtx typed loads/stores",
+               "co_await ctx.load_u64(addr) / ctx.store_u64(addr, v)");
+        continue;
+      }
+      if (name != "poke" && name != "peek" && name != "backing") continue;
+      if (i + 1 >= toks_.size() || !is(toks_[i + 1], "(")) continue;
+      if (i == 0 || !(is(toks_[i - 1], ".") || is(toks_[i - 1], "->"))) {
+        continue;
+      }
+      if (!in_coroutine(shape_, i)) continue;
+      report(kRuleRawGuestAccess, i,
+             "guest-thread code calls '" + name +
+                 "' — host-side backdoor access bypasses the caches, the "
+                 "conflict detector, and the classifier byte masks",
+             "co_await ctx.load_u64(addr) / ctx.store_u64(addr, v)");
+    }
+  }
+
+  const LexedFile& file_;
+  const std::vector<Token>& toks_;
+  FileShape shape_;
+  const TaskFunctionMap& task_fns_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+TaskFunctionMap collect_task_functions(const std::vector<LexedFile>& files) {
+  TaskFunctionMap fns;
+  for (const auto& f : files) {
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_ident(toks[i]) || toks[i].text != "Task") continue;
+      if (!is(toks[i + 1], "<")) continue;
+      // Find the matching `>` (a `>>` closes two levels).
+      int depth = 0;
+      std::size_t k = i + 1;
+      for (; k < toks.size(); ++k) {
+        if (is(toks[k], "<")) ++depth;
+        if (is(toks[k], ">")) --depth;
+        if (is(toks[k], ">>")) depth -= 2;
+        if (depth <= 0) break;
+        if (is(toks[k], ";") || is(toks[k], "{")) {
+          k = toks.size();
+          break;
+        }
+      }
+      if (k + 2 >= toks.size()) continue;
+      // `Task<...> name (` — a declaration or definition, not a variable.
+      if (!is_ident(toks[k + 1]) || !is(toks[k + 2], "(")) continue;
+      const std::string& name = toks[k + 1].text;
+      if (name == "Task" || name == "operator") continue;
+      // Walk the parameter list: total arity, plus the shorter arities
+      // admitted by trailing defaulted parameters.
+      int pdepth = 0;
+      int params = 0;
+      int min_params = -1;  // first defaulted parameter index, if any
+      bool cur_nonempty = false;
+      bool cur_defaulted = false;
+      std::size_t p = k + 2;
+      for (; p < toks.size(); ++p) {
+        const Token& t = toks[p];
+        if (is(t, "(") || is(t, "[") || is(t, "{")) ++pdepth;
+        if (is(t, ")") || is(t, "]") || is(t, "}")) {
+          if (--pdepth == 0) break;
+          continue;
+        }
+        if (pdepth == 1 && is(t, ",")) {
+          if (cur_defaulted && min_params < 0) min_params = params;
+          ++params;
+          cur_nonempty = false;
+          cur_defaulted = false;
+          continue;
+        }
+        if (pdepth >= 1) {
+          cur_nonempty = true;
+          if (pdepth == 1 && is(t, "=")) cur_defaulted = true;
+        }
+      }
+      if (p >= toks.size()) continue;
+      if (cur_nonempty) {
+        if (cur_defaulted && min_params < 0) min_params = params;
+        ++params;
+      }
+      if (min_params < 0) min_params = params;
+      auto& arities = fns[name];
+      for (int a = min_params; a <= params; ++a) arities.insert(a);
+    }
+  }
+  return fns;
+}
+
+std::vector<Diagnostic> check_file(const LexedFile& file,
+                                   const TaskFunctionMap& task_fns) {
+  return Checker(file, task_fns).run();
+}
+
+}  // namespace asfsim_lint

@@ -1,0 +1,57 @@
+// asfsim_lint rule engine: simulator-specific guest-code invariants,
+// checked over the token streams produced by lexer.cpp.
+//
+// Rules (see docs/static_analysis.md for the full write-ups):
+//   R1 coawait-in-condition  co_await inside an if/while/for/switch header
+//                            or a ternary condition (DESIGN.md §7 miscompile)
+//   R2 discarded-task        call to a Task-returning function whose result
+//                            is neither co_awaited nor stored
+//   R3 global-alloc-in-tx    guest-thread code in workloads/ allocating via
+//                            the global bump allocator instead of
+//                            GuestCtx::alloc_local (DESIGN.md §6.9)
+//   R4 raw-guest-access      guest-thread code in workloads/ touching guest
+//                            memory through host-side backdoors (poke/peek/
+//                            backing()/reinterpret_cast) instead of the
+//                            GuestCtx typed loads/stores
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace asfsim_lint {
+
+inline constexpr const char* kRuleCoawaitInCondition = "coawait-in-condition";
+inline constexpr const char* kRuleDiscardedTask = "discarded-task";
+inline constexpr const char* kRuleGlobalAllocInTx = "global-alloc-in-tx";
+inline constexpr const char* kRuleRawGuestAccess = "raw-guest-access";
+
+struct Diagnostic {
+  std::string path;
+  std::uint32_t line;
+  std::string rule;
+  std::string message;
+  std::string fix_hint;  // optional; shown under --fix-hints
+};
+
+/// Functions declared/defined with a Task<...> return type in any scanned
+/// file: name -> set of accepted call-site arities (declared parameter
+/// counts, including the shorter forms allowed by defaulted parameters).
+/// Arity is what disambiguates guest-DS methods from host-container
+/// homonyms (GHeap::push(GuestCtx&, k) vs std::queue::push(v)).
+/// Built once over the whole file set, consumed by R2.
+using TaskFunctionMap =
+    std::unordered_map<std::string, std::unordered_set<int>>;
+
+TaskFunctionMap collect_task_functions(const std::vector<LexedFile>& files);
+
+/// Run every rule over one file. `task_fns` comes from
+/// collect_task_functions over the full scan set.
+std::vector<Diagnostic> check_file(const LexedFile& file,
+                                   const TaskFunctionMap& task_fns);
+
+}  // namespace asfsim_lint
