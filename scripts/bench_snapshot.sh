@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Wall-time snapshot of the experiment-runner subsystem (docs/runner.md):
+# runs a small figure subset three ways and writes a JSON report —
+#
+#   cold_serial    fresh cache, --jobs 1   (the pre-runner baseline shape)
+#   cold_parallel  fresh cache, --jobs N   (thread-pool speedup)
+#   warm           reuse cold_parallel's cache (zero simulations)
+#
+#   scripts/bench_snapshot.sh [out.json]
+#
+# Environment: BUILD_DIR (default build), ASFSIM_JOBS (default: all cores),
+# ASFSIM_BENCH_SCALE (default 0.25). A committed snapshot from one measured
+# run lives in BENCH_runner.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_runner.json}"
+build="${BUILD_DIR:-build}"
+jobs="${ASFSIM_JOBS:-$(nproc)}"
+scale="${ASFSIM_BENCH_SCALE:-0.25}"
+benches=(fig1_false_conflict_rate fig2_conflict_type_breakdown
+         fig9_overall_conflict_reduction)
+
+cache="$build/.asfsim-bench-snapshot-cache"
+export ASFSIM_RUN_MANIFEST=-
+export ASFSIM_PROGRESS=0
+
+# now_ms / run_pass: wall time in ms for one full pass over the subset.
+now_ms() { date +%s%3N; }
+run_pass() {  # run_pass <jobs>
+  local t0 t1 b
+  t0=$(now_ms)
+  for b in "${benches[@]}"; do
+    ASFSIM_CACHE_DIR="$cache" \
+      "$build/bench/$b" --jobs "$1" --scale "$scale" >/dev/null
+  done
+  t1=$(now_ms)
+  echo $((t1 - t0))
+}
+
+rm -rf "$cache"
+cold_serial_ms=$(run_pass 1)
+rm -rf "$cache"
+cold_parallel_ms=$(run_pass "$jobs")
+warm_ms=$(run_pass "$jobs")
+rm -rf "$cache"
+
+cat > "$out" <<EOF
+{
+  "benchmark": "runner-subsystem wall time (scripts/bench_snapshot.sh)",
+  "figures": ["${benches[0]}", "${benches[1]}", "${benches[2]}"],
+  "scale": $scale,
+  "jobs": $jobs,
+  "host_cores": $(nproc),
+  "cold_serial_ms": $cold_serial_ms,
+  "cold_parallel_ms": $cold_parallel_ms,
+  "warm_ms": $warm_ms
+}
+EOF
+echo "bench_snapshot: cold_serial=${cold_serial_ms}ms" \
+     "cold_parallel(jobs=$jobs)=${cold_parallel_ms}ms warm=${warm_ms}ms -> $out"

@@ -8,6 +8,11 @@
 # it if missing. clang-format / clang-tidy stages are skipped with a notice
 # when the tool is not installed — set ASFSIM_LINT_STRICT=1 (CI does) to
 # turn a missing tool into a failure.
+#
+# Scope note: host-side subsystems (src/runner/, src/harness/) are covered
+# by clang-format and clang-tidy like everything else, but asfsim_lint's
+# guest rules R3/R4 apply only under a workloads/ path — runner code runs on
+# the host and may allocate/peek/poke freely (tests/lint_fixtures/runner/).
 set -u
 cd "$(dirname "$0")/.."
 

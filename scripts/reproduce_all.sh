@@ -5,10 +5,24 @@
 #
 # Produces <outdir>/*.txt (the printed tables/series), <outdir>/*.csv, and —
 # when gnuplot is installed — <outdir>/*.png for the headline figures.
+#
+# Experiments run through the parallel runner with an on-disk result cache
+# (build/.asfsim-cache/ — see docs/runner.md), so a warm re-run executes
+# zero simulations. Environment knobs:
+#   ASFSIM_JOBS=<n>      worker threads per bench (default: all cores)
+#   ASFSIM_NO_CACHE=1    bypass the result cache (force fresh simulations)
 set -euo pipefail
 out="${1:-reproduction}"
 build="${BUILD_DIR:-build}"
 mkdir -p "$out"
+
+runner_flags=()
+if [ -n "${ASFSIM_JOBS:-}" ]; then
+  runner_flags+=(--jobs "$ASFSIM_JOBS")
+fi
+if [ "${ASFSIM_NO_CACHE:-0}" = "1" ]; then
+  runner_flags+=(--no-cache)
+fi
 
 benches=(
   table1_states table2_config table3_benchmarks
@@ -22,7 +36,8 @@ benches=(
 )
 for b in "${benches[@]}"; do
   echo "== $b"
-  "$build/bench/$b" --csv "$out" | tee "$out/$b.txt"
+  "$build/bench/$b" --csv "$out" ${runner_flags[@]+"${runner_flags[@]}"} \
+    | tee "$out/$b.txt"
 done
 
 if command -v gnuplot >/dev/null 2>&1; then

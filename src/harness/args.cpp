@@ -25,9 +25,14 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
       o.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       o.csv_dir = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      o.jobs = static_cast<std::uint32_t>(std::atoi(need_value("--jobs")));
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      o.no_cache = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--scale f] [--threads n] [--seed n] [--csv dir]\n",
+          "usage: %s [--scale f] [--threads n] [--seed n] [--csv dir] "
+          "[--jobs n] [--no-cache]\n",
           argv[0]);
       std::exit(0);
     } else {

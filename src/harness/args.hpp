@@ -6,6 +6,10 @@
 //   --threads <n>  guest threads (default 8, the paper's core count)
 //   --seed <n>     deterministic seed (default 1)
 //   --csv <dir>    also write CSV series into <dir>
+//   --jobs <n>     host worker threads for the experiment runner
+//                  (default 0 = hardware concurrency; results are
+//                  byte-identical for any value — see docs/runner.md)
+//   --no-cache     bypass the on-disk result cache (build/.asfsim-cache/)
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,8 @@ struct CliOptions {
   std::uint32_t threads = 8;
   std::uint64_t seed = 1;
   std::string csv_dir;
+  std::uint32_t jobs = 0;  // runner workers; 0 = hardware concurrency
+  bool no_cache = false;   // skip the content-addressed result cache
 };
 
 /// Parse the common flags; exits with a usage message on errors.

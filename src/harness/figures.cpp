@@ -1,13 +1,16 @@
 #include "harness/figures.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "guest/machine.hpp"
 #include "harness/experiment.hpp"
+#include "runner/runner.hpp"
 #include "stats/report.hpp"
 #include "workloads/workload.hpp"
 
@@ -16,6 +19,7 @@ namespace asfsim::figures {
 namespace {
 
 using TextTable = asfsim::TextTable;
+using runner::Runner;
 
 ExperimentConfig base_config(const CliOptions& opts) {
   ExperimentConfig cfg;
@@ -26,11 +30,22 @@ ExperimentConfig base_config(const CliOptions& opts) {
   return cfg;
 }
 
-/// Run and complain (but keep going) if a workload failed to validate.
-ExperimentResult checked_run(const std::string& name,
+runner::RunnerOptions runner_opts(const CliOptions& opts) {
+  runner::RunnerOptions o;
+  o.jobs = opts.jobs;
+  o.use_cache = !opts.no_cache;
+  return o;
+}
+
+/// Fetch a (typically pre-submitted) run; complain — but keep going — if
+/// the workload failed to validate. Every figure below first submits its
+/// whole job set so the pool can execute across the print loop's blocking
+/// get()s; results come back in submission-independent but byte-identical
+/// form (the simulator is deterministic per job).
+ExperimentResult checked_run(Runner& runner, const std::string& name,
                              const ExperimentConfig& cfg, std::ostream& os,
                              int* status) {
-  ExperimentResult r = run_experiment(name, cfg);
+  ExperimentResult r = runner.get(name, cfg);
   if (!r.ok()) {
     os << "!! " << name << " [" << r.detector
        << "] failed validation: " << r.validation_error << "\n";
@@ -225,8 +240,10 @@ int fig1_false_conflict_rate(const CliOptions& opts, std::ostream& os) {
   TextTable t({"Benchmark", "Conflicts", "False", "False rate"});
   double sum = 0;
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
+  for (const auto& name : paper_benchmarks()) runner.submit(name, cfg);
   for (const auto& name : paper_benchmarks()) {
-    const auto r = checked_run(name, cfg, os, &status);
+    const auto r = checked_run(runner, name, cfg, os, &status);
     const double rate = r.stats.false_conflict_rate();
     sum += rate;
     t.add_row({name, std::to_string(r.stats.conflicts_total),
@@ -253,8 +270,10 @@ int fig2_conflict_type_breakdown(const CliOptions& opts, std::ostream& os) {
   csv.row({"benchmark", "war", "raw", "waw"});
   TextTable t({"Benchmark", "WAR", "RAW", "WAW", "WAR%", "RAW%", "WAW%"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
+  for (const auto& name : paper_benchmarks()) runner.submit(name, cfg);
   for (const auto& name : paper_benchmarks()) {
-    const auto r = checked_run(name, cfg, os, &status);
+    const auto r = checked_run(runner, name, cfg, os, &status);
     const auto& f = r.stats.false_by_type;
     const double total =
         std::max<std::uint64_t>(1, f[0] + f[1] + f[2]);
@@ -282,8 +301,12 @@ int fig3_time_distribution(const CliOptions& opts, std::ostream& os) {
   csv.row({"benchmark", "bucket", "tx_started_cum", "false_conflicts_cum"});
   ExperimentConfig cfg = base_config(opts);
   cfg.timeseries = true;
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"vacation", "genome", "kmeans", "intruder"}) {
-    const auto r = checked_run(name, cfg, os, &status);
+    runner.submit(name, cfg);
+  }
+  for (const std::string name : {"vacation", "genome", "kmeans", "intruder"}) {
+    const auto r = checked_run(runner, name, cfg, os, &status);
     const Cycle end = std::max<Cycle>(1, r.stats.total_cycles);
     constexpr int kBuckets = 20;
     std::vector<std::uint64_t> tx(kBuckets, 0), fc(kBuckets, 0);
@@ -322,8 +345,12 @@ int fig4_line_distribution(const CliOptions& opts, std::ostream& os) {
   CsvWriter csv(opts.csv_dir, "fig4_line_distribution");
   csv.row({"benchmark", "bin", "false_conflicts"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"vacation", "genome", "kmeans", "intruder"}) {
-    const auto r = checked_run(name, cfg, os, &status);
+    runner.submit(name, cfg);
+  }
+  for (const std::string name : {"vacation", "genome", "kmeans", "intruder"}) {
+    const auto r = checked_run(runner, name, cfg, os, &status);
     const auto& by_line = r.stats.false_by_line;
     if (by_line.empty()) {
       os << "\n" << name << ": no false conflicts\n";
@@ -376,8 +403,12 @@ int fig5_intra_line_access(const CliOptions& opts, std::ostream& os) {
   CsvWriter csv(opts.csv_dir, "fig5_intra_line_access");
   csv.row({"benchmark", "offset", "accesses"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"vacation", "genome", "kmeans", "intruder"}) {
-    const auto r = checked_run(name, cfg, os, &status);
+    runner.submit(name, cfg);
+  }
+  for (const std::string name : {"vacation", "genome", "kmeans", "intruder"}) {
+    const auto r = checked_run(runner, name, cfg, os, &status);
     const auto& h = r.stats.tx_access_by_offset;
     // Infer the dominant access granularity: GCD of offsets carrying at
     // least 2% of the peak count.
@@ -416,14 +447,23 @@ int fig8_subblock_sensitivity(const CliOptions& opts, std::ostream& os) {
                "ana4", "ana8", "ana16"});
   const ExperimentConfig cfg = base_config(opts);
   double avg4 = 0;
+  Runner runner(runner_opts(opts));
   for (const auto& name : paper_benchmarks()) {
-    const auto base =
-        checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
+    runner.submit(name, cfg.with(DetectorKind::kBaseline));
+    for (const std::uint32_t n : {2u, 4u, 8u, 16u}) {
+      runner.submit(name, cfg.with(DetectorKind::kSubBlock, n));
+    }
+  }
+  for (const auto& name : paper_benchmarks()) {
+    const auto base = checked_run(runner, name,
+                                  cfg.with(DetectorKind::kBaseline), os,
+                                  &status);
     std::vector<std::string> row{name};
     std::vector<double> meas, ana;
     for (const std::uint32_t n : {2u, 4u, 8u, 16u}) {
-      const auto r =
-          checked_run(name, cfg.with(DetectorKind::kSubBlock, n), os, &status);
+      const auto r = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kSubBlock, n), os,
+                                 &status);
       meas.push_back(
           reduction(base.stats.conflicts_false, r.stats.conflicts_false));
     }
@@ -462,13 +502,22 @@ int fig9_overall_conflict_reduction(const CliOptions& opts, std::ostream& os) {
   TextTable t({"Benchmark", "Base confl", "SubBlock-4", "Perfect"});
   const ExperimentConfig cfg = base_config(opts);
   double sum4 = 0, sump = 0;
+  Runner runner(runner_opts(opts));
   for (const auto& name : paper_benchmarks()) {
-    const auto base =
-        checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
-    const auto sb4 =
-        checked_run(name, cfg.with(DetectorKind::kSubBlock, 4), os, &status);
-    const auto perf =
-        checked_run(name, cfg.with(DetectorKind::kPerfect), os, &status);
+    runner.submit(name, cfg.with(DetectorKind::kBaseline));
+    runner.submit(name, cfg.with(DetectorKind::kSubBlock, 4));
+    runner.submit(name, cfg.with(DetectorKind::kPerfect));
+  }
+  for (const auto& name : paper_benchmarks()) {
+    const auto base = checked_run(runner, name,
+                                  cfg.with(DetectorKind::kBaseline), os,
+                                  &status);
+    const auto sb4 = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kSubBlock, 4), os,
+                                 &status);
+    const auto perf = checked_run(runner, name,
+                                  cfg.with(DetectorKind::kPerfect), os,
+                                  &status);
     const double r4 =
         reduction(base.stats.conflicts_total, sb4.stats.conflicts_total);
     const double rp =
@@ -507,13 +556,22 @@ int fig10_execution_time(const CliOptions& opts, std::ostream& os) {
   TextTable t(
       {"Benchmark", "Base cycles", "SubBlock-4", "Perfect", "Base retries"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const auto& name : paper_benchmarks()) {
-    const auto base =
-        checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
-    const auto sb4 =
-        checked_run(name, cfg.with(DetectorKind::kSubBlock, 4), os, &status);
-    const auto perf =
-        checked_run(name, cfg.with(DetectorKind::kPerfect), os, &status);
+    runner.submit(name, cfg.with(DetectorKind::kBaseline));
+    runner.submit(name, cfg.with(DetectorKind::kSubBlock, 4));
+    runner.submit(name, cfg.with(DetectorKind::kPerfect));
+  }
+  for (const auto& name : paper_benchmarks()) {
+    const auto base = checked_run(runner, name,
+                                  cfg.with(DetectorKind::kBaseline), os,
+                                  &status);
+    const auto sb4 = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kSubBlock, 4), os,
+                                 &status);
+    const auto perf = checked_run(runner, name,
+                                  cfg.with(DetectorKind::kPerfect), os,
+                                  &status);
     const double t4 =
         reduction(base.stats.total_cycles, sb4.stats.total_cycles);
     const double tp =
@@ -546,13 +604,22 @@ int ablation_waronly(const CliOptions& opts, std::ostream& os) {
   TextTable t({"Benchmark", "Base false", "WAR-only", "SubBlock-4",
                "Dominant type"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const auto& name : paper_benchmarks()) {
-    const auto base =
-        checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
-    const auto war =
-        checked_run(name, cfg.with(DetectorKind::kWarOnly), os, &status);
-    const auto sb4 =
-        checked_run(name, cfg.with(DetectorKind::kSubBlock, 4), os, &status);
+    runner.submit(name, cfg.with(DetectorKind::kBaseline));
+    runner.submit(name, cfg.with(DetectorKind::kWarOnly));
+    runner.submit(name, cfg.with(DetectorKind::kSubBlock, 4));
+  }
+  for (const auto& name : paper_benchmarks()) {
+    const auto base = checked_run(runner, name,
+                                  cfg.with(DetectorKind::kBaseline), os,
+                                  &status);
+    const auto war = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kWarOnly), os,
+                                 &status);
+    const auto sb4 = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kSubBlock, 4), os,
+                                 &status);
     const auto& f = base.stats.false_by_type;
     const char* dom = f[1] > f[0] ? "RAW" : "WAR";
     t.add_row({name, std::to_string(base.stats.conflicts_false),
@@ -588,11 +655,18 @@ int ablation_waw_rule(const CliOptions& opts, std::ostream& os) {
   TextTable t({"Benchmark", "SubBlock-4 confl", "WAW-line-4 confl",
                "WAW-line false WAW"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const auto& name : paper_benchmarks()) {
-    const auto sb =
-        checked_run(name, cfg.with(DetectorKind::kSubBlock, 4), os, &status);
-    const auto wl = checked_run(
-        name, cfg.with(DetectorKind::kSubBlockWawLine, 4), os, &status);
+    runner.submit(name, cfg.with(DetectorKind::kSubBlock, 4));
+    runner.submit(name, cfg.with(DetectorKind::kSubBlockWawLine, 4));
+  }
+  for (const auto& name : paper_benchmarks()) {
+    const auto sb = checked_run(runner, name,
+                                cfg.with(DetectorKind::kSubBlock, 4), os,
+                                &status);
+    const auto wl =
+        checked_run(runner, name, cfg.with(DetectorKind::kSubBlockWawLine, 4),
+                    os, &status);
     t.add_row({name, std::to_string(sb.stats.conflicts_total),
                std::to_string(wl.stats.conflicts_total),
                std::to_string(wl.stats.false_by_type[2])});
@@ -620,16 +694,27 @@ int ablation_ats(const CliOptions& opts, std::ostream& os) {
   csv.row({"benchmark", "config", "conflicts", "cycles", "ats_dispatches"});
   TextTable t({"Benchmark", "Config", "Conflicts", "Cycles", "ATS dispatch"});
   ExperimentConfig cfg = base_config(opts);
+  const auto ats_config = [&cfg](DetectorKind det, bool ats) {
+    ExperimentConfig c = cfg.with(det, 4);
+    c.sim.enable_ats = ats;
+    c.sim.ats_threshold = 0.4;
+    return c;
+  };
+  constexpr std::array<std::tuple<const char*, DetectorKind, bool>, 4>
+      kAtsConfigs{std::tuple{"baseline", DetectorKind::kBaseline, false},
+                  std::tuple{"baseline+ATS", DetectorKind::kBaseline, true},
+                  std::tuple{"subblock4", DetectorKind::kSubBlock, false},
+                  std::tuple{"subblock4+ATS", DetectorKind::kSubBlock, true}};
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"vacation", "kmeans", "scalparc", "counter"}) {
-    for (const auto& [label, det, ats] :
-         {std::tuple{"baseline", DetectorKind::kBaseline, false},
-          std::tuple{"baseline+ATS", DetectorKind::kBaseline, true},
-          std::tuple{"subblock4", DetectorKind::kSubBlock, false},
-          std::tuple{"subblock4+ATS", DetectorKind::kSubBlock, true}}) {
-      ExperimentConfig c = cfg.with(det, 4);
-      c.sim.enable_ats = ats;
-      c.sim.ats_threshold = 0.4;
-      const auto r = checked_run(name, c, os, &status);
+    for (const auto& [label, det, ats] : kAtsConfigs) {
+      runner.submit(name, ats_config(det, ats));
+    }
+  }
+  for (const std::string name : {"vacation", "kmeans", "scalparc", "counter"}) {
+    for (const auto& [label, det, ats] : kAtsConfigs) {
+      const auto r = checked_run(runner, name, ats_config(det, ats), os,
+                                 &status);
       t.add_row({name, label, std::to_string(r.stats.conflicts_total),
                  std::to_string(r.stats.total_cycles),
                  std::to_string(r.stats.ats_serialized)});
@@ -655,12 +740,21 @@ int ablation_cores(const CliOptions& opts, std::ostream& os) {
   CsvWriter csv(opts.csv_dir, "ablation_cores");
   csv.row({"benchmark", "cores", "conflicts", "false_rate"});
   TextTable t({"Benchmark", "Cores", "Conflicts", "False rate"});
+  const auto cores_config = [&opts](std::uint32_t n) {
+    ExperimentConfig cfg = base_config(opts);
+    cfg.sim.ncores = n;
+    cfg.params.threads = n;
+    return cfg;
+  };
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"ssca2", "vacation", "kmeans"}) {
     for (const std::uint32_t n : {2u, 4u, 8u}) {
-      ExperimentConfig cfg = base_config(opts);
-      cfg.sim.ncores = n;
-      cfg.params.threads = n;
-      const auto r = checked_run(name, cfg, os, &status);
+      runner.submit(name, cores_config(n));
+    }
+  }
+  for (const std::string name : {"ssca2", "vacation", "kmeans"}) {
+    for (const std::uint32_t n : {2u, 4u, 8u}) {
+      const auto r = checked_run(runner, name, cores_config(n), os, &status);
       t.add_row({name, std::to_string(n),
                  std::to_string(r.stats.conflicts_total),
                  TextTable::pct(r.stats.false_conflict_rate())});
@@ -690,16 +784,30 @@ int ablation_variance(const CliOptions& opts, std::ostream& os) {
   csv.row({"benchmark", "mean_reduction", "stddev", "min", "max",
            "mean_base_conflicts"});
   TextTable t({"Benchmark", "Mean", "Stddev", "Min", "Max", "Base confl"});
+  const auto seeded_config = [&opts](int seed) {
+    ExperimentConfig cfg = base_config(opts);
+    cfg.params.seed = static_cast<std::uint64_t>(seed);
+    return cfg;
+  };
+  Runner runner(runner_opts(opts));
+  for (const std::string name : {"labyrinth", "ssca2", "vacation"}) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const ExperimentConfig cfg = seeded_config(seed);
+      runner.submit(name, cfg.with(DetectorKind::kBaseline));
+      runner.submit(name, cfg.with(DetectorKind::kSubBlock, 4));
+    }
+  }
   for (const std::string name : {"labyrinth", "ssca2", "vacation"}) {
     std::vector<double> red;
     double base_conf = 0;
     for (int seed = 1; seed <= kSeeds; ++seed) {
-      ExperimentConfig cfg = base_config(opts);
-      cfg.params.seed = static_cast<std::uint64_t>(seed);
-      const auto b =
-          checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
-      const auto s =
-          checked_run(name, cfg.with(DetectorKind::kSubBlock, 4), os, &status);
+      const ExperimentConfig cfg = seeded_config(seed);
+      const auto b = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kBaseline), os,
+                                 &status);
+      const auto s = checked_run(runner, name,
+                                 cfg.with(DetectorKind::kSubBlock, 4), os,
+                                 &status);
       red.push_back(
           reduction(b.stats.conflicts_total, s.stats.conflicts_total));
       base_conf += static_cast<double>(b.stats.conflicts_total);
@@ -756,9 +864,14 @@ int ablation_overhead(const CliOptions& opts, std::ostream& os) {
   CsvWriter csv(opts.csv_dir, "ablation_overhead");
   csv.row({"benchmark", "probes", "piggyback", "dirty_refetches"});
   const ExperimentConfig ecfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const auto& name : paper_benchmarks()) {
-    const auto r =
-        checked_run(name, ecfg.with(DetectorKind::kSubBlock, 4), os, &status);
+    runner.submit(name, ecfg.with(DetectorKind::kSubBlock, 4));
+  }
+  for (const auto& name : paper_benchmarks()) {
+    const auto r = checked_run(runner, name,
+                               ecfg.with(DetectorKind::kSubBlock, 4), os,
+                               &status);
     const double share =
         r.stats.probes_sent == 0
             ? 0.0
@@ -791,9 +904,14 @@ int ablation_capacity(const CliOptions& opts, std::ostream& os) {
   TextTable t({"Benchmark", "Commits", "Capacity aborts", "Fallback runs",
                "Conflict aborts"});
   const ExperimentConfig cfg = base_config(opts);
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"yada", "vacation", "genome", "kmeans"}) {
-    const auto r =
-        checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
+    runner.submit(name, cfg.with(DetectorKind::kBaseline));
+  }
+  for (const std::string name : {"yada", "vacation", "genome", "kmeans"}) {
+    const auto r = checked_run(runner, name,
+                               cfg.with(DetectorKind::kBaseline), os,
+                               &status);
     t.add_row({name, std::to_string(r.stats.tx_commits),
                std::to_string(r.stats.aborts_by_cause[1]),
                std::to_string(r.stats.fallback_runs),
@@ -825,14 +943,24 @@ int ablation_l1_geometry(const CliOptions& opts, std::ostream& os) {
   csv.row({"benchmark", "l1_kb", "ways", "capacity_aborts", "fallbacks",
            "cycles"});
   TextTable t({"Benchmark", "L1", "Capacity aborts", "Fallbacks", "Cycles"});
+  const auto geom_config = [&opts](std::uint32_t kb, std::uint32_t ways) {
+    ExperimentConfig cfg = base_config(opts);
+    cfg.sim.l1.size_bytes = kb * 1024;
+    cfg.sim.l1.ways = ways;
+    return cfg.with(DetectorKind::kBaseline);
+  };
+  constexpr std::array<std::pair<std::uint32_t, std::uint32_t>, 3> kGeoms{
+      std::pair{16u, 1u}, std::pair{64u, 2u}, std::pair{64u, 8u}};
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"vacation", "genome", "yada"}) {
-    for (const auto& [kb, ways] :
-         {std::pair{16u, 1u}, std::pair{64u, 2u}, std::pair{64u, 8u}}) {
-      ExperimentConfig cfg = base_config(opts);
-      cfg.sim.l1.size_bytes = kb * 1024;
-      cfg.sim.l1.ways = ways;
-      const auto r =
-          checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
+    for (const auto& [kb, ways] : kGeoms) {
+      runner.submit(name, geom_config(kb, ways));
+    }
+  }
+  for (const std::string name : {"vacation", "genome", "yada"}) {
+    for (const auto& [kb, ways] : kGeoms) {
+      const auto r = checked_run(runner, name, geom_config(kb, ways), os,
+                                 &status);
       const std::string geom =
           std::to_string(kb) + "KB/" + std::to_string(ways) + "w";
       t.add_row({name, geom, std::to_string(r.stats.aborts_by_cause[1]),
@@ -865,12 +993,21 @@ int ablation_scale(const CliOptions& opts, std::ostream& os) {
   CsvWriter csv(opts.csv_dir, "ablation_scale");
   csv.row({"benchmark", "scale", "conflicts", "false_rate"});
   TextTable t({"Benchmark", "Scale", "Conflicts", "False rate"});
+  const auto scale_config = [&opts](double scale) {
+    ExperimentConfig cfg = base_config(opts);
+    cfg.params.scale = opts.scale * scale;
+    return cfg.with(DetectorKind::kBaseline);
+  };
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"ssca2", "vacation", "kmeans"}) {
     for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
-      ExperimentConfig cfg = base_config(opts);
-      cfg.params.scale = opts.scale * scale;
-      const auto r =
-          checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
+      runner.submit(name, scale_config(scale));
+    }
+  }
+  for (const std::string name : {"ssca2", "vacation", "kmeans"}) {
+    for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+      const ExperimentConfig cfg = scale_config(scale);
+      const auto r = checked_run(runner, name, cfg, os, &status);
       t.add_row({name, TextTable::num(cfg.params.scale, 2),
                  std::to_string(r.stats.conflicts_total),
                  TextTable::pct(r.stats.false_conflict_rate())});
@@ -898,12 +1035,21 @@ int ablation_timing(const CliOptions& opts, std::ostream& os) {
   csv.row({"benchmark", "probe_delay", "conflicts", "false_rate", "cycles"});
   TextTable t({"Benchmark", "Probe delay", "Conflicts", "False rate",
                "Cycles"});
+  const auto delay_config = [&opts](Cycle delay) {
+    ExperimentConfig cfg = base_config(opts);
+    cfg.sim.probe_delay = delay;
+    return cfg.with(DetectorKind::kBaseline);
+  };
+  Runner runner(runner_opts(opts));
   for (const std::string name : {"ssca2", "vacation", "kmeans", "genome"}) {
     for (const Cycle delay : {Cycle{0}, Cycle{20}, Cycle{50}}) {
-      ExperimentConfig cfg = base_config(opts);
-      cfg.sim.probe_delay = delay;
-      const auto r =
-          checked_run(name, cfg.with(DetectorKind::kBaseline), os, &status);
+      runner.submit(name, delay_config(delay));
+    }
+  }
+  for (const std::string name : {"ssca2", "vacation", "kmeans", "genome"}) {
+    for (const Cycle delay : {Cycle{0}, Cycle{20}, Cycle{50}}) {
+      const auto r = checked_run(runner, name, delay_config(delay), os,
+                                 &status);
       t.add_row({name, std::to_string(delay),
                  std::to_string(r.stats.conflicts_total),
                  TextTable::pct(r.stats.false_conflict_rate()),

@@ -1,0 +1,39 @@
+// JobSpec: the canonical identity of one simulation job.
+//
+// A job is one (workload × detector × SimConfig × WorkloadParams) run — the
+// unit run_experiment() executes. The runner addresses jobs by content: the
+// canonical serialization below covers every field that can influence the
+// simulation outcome, in a fixed order and with exact (hex-float) encoding
+// for the floating-point knobs, so
+//
+//   same spec text  <=>  byte-identical simulation results
+//
+// holds for the deterministic single-threaded simulator. The FNV-1a hash of
+// that text keys the in-process dedup map and the on-disk result cache
+// (docs/runner.md documents the key scheme and its invalidation rules).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace asfsim::runner {
+
+struct JobSpec {
+  std::string workload;
+  ExperimentConfig config;
+  std::string canonical;  // canonical serialization (see make_job_spec)
+  std::string hash_hex;   // 16-hex-digit FNV-1a 64 of `canonical`
+};
+
+/// FNV-1a 64-bit over a byte string.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+/// Build the spec: mirrors run_experiment's effective configuration (e.g.
+/// sim.seed is overwritten by params.seed there, so it is canonicalized
+/// that way here) and fills in `canonical` + `hash_hex`.
+[[nodiscard]] JobSpec make_job_spec(const std::string& workload,
+                                    const ExperimentConfig& cfg);
+
+}  // namespace asfsim::runner

@@ -1,0 +1,118 @@
+#include "runner/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "runner/version.hpp"
+#include "stats/serialize.hpp"
+
+namespace asfsim::runner {
+
+namespace {
+
+constexpr const char* kHeader = "asfsim-cache v1";
+
+/// Reads "<key> <count>\n<count raw bytes>\n" length-prefixed sections; the
+/// raw payload may contain anything (spec text, stats blob, error strings).
+bool read_section(std::istream& in, const std::string& key,
+                  std::string& payload) {
+  std::string k;
+  std::size_t n = 0;
+  if (!(in >> k >> n) || k != key) return false;
+  if (in.get() != '\n') return false;
+  payload.resize(n);
+  if (n > 0 && !in.read(payload.data(), static_cast<std::streamsize>(n))) {
+    return false;
+  }
+  return in.get() == '\n';
+}
+
+void write_section(std::ostream& out, const std::string& key,
+                   const std::string& payload) {
+  out << key << ' ' << payload.size() << '\n' << payload << '\n';
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::default_dir() {
+  if (const char* env = std::getenv("ASFSIM_CACHE_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "build/.asfsim-cache";
+}
+
+std::string ResultCache::entry_path(const JobSpec& spec) const {
+  return dir_ + "/" + code_version_stamp() + "/" + spec.hash_hex + ".result";
+}
+
+std::optional<ExperimentResult> ResultCache::load(const JobSpec& spec) const {
+  std::ifstream in(entry_path(spec), std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+
+  std::string header;
+  if (!std::getline(in, header) || header != kHeader) return std::nullopt;
+  std::string stored_spec, workload, detector, error, stats_blob;
+  if (!read_section(in, "spec", stored_spec) ||
+      !read_section(in, "workload", workload) ||
+      !read_section(in, "detector", detector) ||
+      !read_section(in, "validation_error", error) ||
+      !read_section(in, "stats", stats_blob)) {
+    return std::nullopt;
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return std::nullopt;  // trailing bytes: truncated write or tampering
+  }
+  // The hash addressed the file; the spec text authenticates it.
+  if (stored_spec != spec.canonical || workload != spec.workload) {
+    return std::nullopt;
+  }
+
+  ExperimentResult r;
+  r.workload = workload;
+  r.detector = detector;
+  r.validation_error = error;
+  if (!deserialize_stats(stats_blob, r.stats)) return std::nullopt;
+  return r;
+}
+
+void ResultCache::store(const JobSpec& spec,
+                        const ExperimentResult& result) const {
+  namespace fs = std::filesystem;
+  const std::string path = entry_path(spec);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return;  // unwritable cache never fails the run
+
+  // Unique temp name per process+spec; rename() makes the publish atomic.
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid();
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return;
+    out << kHeader << '\n';
+    write_section(out, "spec", spec.canonical);
+    write_section(out, "workload", result.workload);
+    write_section(out, "detector", result.detector);
+    write_section(out, "validation_error", result.validation_error);
+    write_section(out, "stats", serialize_stats(result.stats));
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace asfsim::runner

@@ -1,0 +1,113 @@
+// Experiment runner: parallel job execution + content-addressed caching.
+//
+// The harness and every bench binary submit (workload × config) jobs here
+// instead of looping over run_experiment inline. Three layers fold away
+// repeated work:
+//
+//   1. in-process dedup — identical specs submitted twice share one future
+//      (fig8 re-running each baseline per sub-block count costs nothing);
+//   2. on-disk result cache — identical specs across *processes* reuse the
+//      stored result (fig9 reuses fig1's baseline runs; a warm re-run of
+//      scripts/reproduce_all.sh executes zero simulations);
+//   3. a fixed-size thread pool — cache misses execute concurrently.
+//
+// Each simulation stays single-threaded and deterministic, so results are
+// byte-identical regardless of --jobs, ordering, or cache state; output
+// code consumes futures in submission order and prints the same bytes the
+// serial harness did. Per-job wall time and provenance (executed / cache /
+// deduped) land in a machine-readable JSON manifest for CI and
+// scripts/bench_snapshot.sh. See docs/runner.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/job_spec.hpp"
+#include "runner/result_cache.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace asfsim::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned jobs = 0;
+  bool use_cache = true;
+  /// Cache root; empty = ResultCache::default_dir().
+  std::string cache_dir;
+  /// Manifest output; empty = <cache_dir>/last_run_manifest.json,
+  /// "-" disables. $ASFSIM_RUN_MANIFEST overrides when set.
+  std::string manifest_path;
+  /// Progress/ETA line on stderr; default auto (only when stderr is a
+  /// TTY). $ASFSIM_PROGRESS=0/1 overrides when set.
+  enum class Progress : std::uint8_t { kAuto, kOff, kOn };
+  Progress progress = Progress::kAuto;
+};
+
+/// Aggregate counters, readable at any time (consistent snapshot).
+struct RunnerTotals {
+  std::uint64_t submitted = 0;   // distinct specs accepted
+  std::uint64_t deduped = 0;     // submits folded into an in-flight job
+  std::uint64_t executed = 0;    // simulations actually run
+  std::uint64_t cache_hits = 0;  // results served from the on-disk cache
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opts);
+  /// Waits for all submitted jobs, then writes the manifest.
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Start (or join) the job for this spec. Never blocks on simulation.
+  std::shared_future<ExperimentResult> submit(const std::string& workload,
+                                              const ExperimentConfig& cfg);
+
+  /// submit() + wait. A spec already submitted returns its memoized
+  /// result, so "submit everything, then get() in print order" costs one
+  /// simulation per distinct spec. Rethrows simulator-level failures.
+  ExperimentResult get(const std::string& workload,
+                       const ExperimentConfig& cfg);
+
+  [[nodiscard]] RunnerTotals totals() const;
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+ private:
+  struct ManifestEntry {
+    std::string hash_hex;
+    std::string workload;
+    std::string detector;  // DetectorKind name + nsub at submit time
+    std::uint64_t seed = 0;
+    const char* source = "pending";  // executed | cache | failed
+    double wall_ms = 0.0;
+  };
+
+  ExperimentResult run_one(const JobSpec& spec, std::size_t entry_index);
+  void job_finished(std::size_t entry_index, const char* source,
+                    double wall_ms);
+  void print_progress_locked();
+  void write_manifest();
+
+  RunnerOptions opts_;
+  ResultCache cache_;
+  unsigned jobs_ = 1;                 // resolved worker count
+  std::unique_ptr<ThreadPool> pool_;  // destroyed first in ~Runner (drain)
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_future<ExperimentResult>> inflight_;
+  std::vector<ManifestEntry> entries_;  // submission order
+  RunnerTotals totals_;
+  std::uint64_t completed_ = 0;
+  bool progress_enabled_ = false;
+  bool progress_dirty_ = false;  // a \r progress line needs a final \n
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace asfsim::runner

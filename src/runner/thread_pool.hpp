@@ -1,0 +1,46 @@
+// Fixed-size thread pool for the experiment runner.
+//
+// Host-side concurrency only: each task is one whole single-threaded,
+// deterministic simulation (its own Machine), so tasks share no mutable
+// state and per-job results are byte-identical no matter how many workers
+// run or how the queue interleaves. The destructor drains the queue —
+// every posted task runs before join — which is what lets the Runner
+// collect manifests/totals without tracking individual completions.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asfsim::runner {
+
+class ThreadPool {
+ public:
+  /// `workers` is clamped to at least 1.
+  explicit ThreadPool(unsigned workers);
+  /// Drains remaining tasks, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void post(std::function<void()> task);
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace asfsim::runner

@@ -1,0 +1,18 @@
+// Code-version stamp for cache invalidation.
+//
+// The result cache must never serve a result computed by different
+// simulator code. The stamp is generated at build time
+// (cmake/gen_code_stamp.cmake): an MD5 over the contents of every
+// .cpp/.hpp under src/, regenerated whenever any of them changes. Cache
+// entries live under a per-stamp directory, so ANY source edit — even a
+// comment — retires the whole cache (conservative by design; simulation
+// results are cheap relative to a stale-figure debugging session), while
+// doc/script-only changes keep it warm.
+#pragma once
+
+namespace asfsim::runner {
+
+/// MD5 hex digest of the src/ tree this binary was built from.
+[[nodiscard]] const char* code_version_stamp();
+
+}  // namespace asfsim::runner

@@ -1,15 +1,21 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 
 namespace asfsim {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic: the experiment runner reads this from its worker threads.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level; }
-void set_log_level(LogLevel lvl) noexcept { g_level = lvl; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void set_log_level(LogLevel lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 namespace detail {
 void vlog(const char* tag, const char* fmt, ...) {

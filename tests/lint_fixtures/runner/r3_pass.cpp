@@ -1,0 +1,21 @@
+// lint fixture: MUST pass. Guest-rule scope check — R3/R4 apply only under
+// a workloads/ path, so host-side subsystems (src/runner/, harness) may use
+// allocation and peek/poke idioms freely without tripping guest rules.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> host_side_worker(GuestCtx& c, Addr head) {
+  // Would flag global-alloc-in-tx inside workloads/; exempt here.
+  const Addr node = c.galloc().alloc(24, 8);
+  co_await c.store_u64(head, node);
+}
+
+void host_side_setup(Machine& m, Addr a) {
+  // Would flag raw-guest-access inside workloads/; exempt here.
+  m.poke(a, 8, 1);
+  const std::uint64_t v = m.peek(a, 8);
+  m.poke(a + 8, 8, v);
+}
+
+}  // namespace asfsim

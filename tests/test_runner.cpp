@@ -1,0 +1,266 @@
+// Runner subsystem: JobSpec canonicalization/hashing, Stats serialization
+// round trips, and — the stale-result guard — result-cache hit/miss
+// behaviour when a SimConfig field changes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "runner/job_spec.hpp"
+#include "runner/result_cache.hpp"
+#include "runner/runner.hpp"
+#include "runner/version.hpp"
+#include "stats/serialize.hpp"
+
+namespace asfsim {
+namespace {
+
+using runner::JobSpec;
+using runner::make_job_spec;
+using runner::ResultCache;
+using runner::Runner;
+using runner::RunnerOptions;
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.params.threads = 4;
+  cfg.params.scale = 0.25;
+  cfg.sim.ncores = 4;
+  return cfg;
+}
+
+/// Fresh per-test cache directory under the test's CWD.
+class TempCacheDir {
+ public:
+  explicit TempCacheDir(const char* name)
+      : path_(std::filesystem::path("runner_test_cache") / name) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempCacheDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+RunnerOptions cached_opts(const TempCacheDir& dir, unsigned jobs = 2) {
+  RunnerOptions o;
+  o.jobs = jobs;
+  o.use_cache = true;
+  o.cache_dir = dir.str();
+  o.manifest_path = "-";
+  o.progress = RunnerOptions::Progress::kOff;
+  return o;
+}
+
+// ---- JobSpec ---------------------------------------------------------------
+
+TEST(JobSpec, IdenticalConfigsHashIdentically) {
+  const auto a = make_job_spec("counter", small_config());
+  const auto b = make_job_spec("counter", small_config());
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.hash_hex, b.hash_hex);
+  EXPECT_EQ(a.hash_hex.size(), 16u);
+}
+
+TEST(JobSpec, EveryKnobChangesTheHash) {
+  const auto base = make_job_spec("counter", small_config());
+  std::vector<JobSpec> variants;
+  variants.push_back(make_job_spec("bank", small_config()));
+  {
+    auto c = small_config();
+    c.detector = DetectorKind::kSubBlock;
+    variants.push_back(make_job_spec("counter", c));
+  }
+  {
+    auto c = small_config();
+    c.nsub = 8;
+    variants.push_back(make_job_spec("counter", c));
+  }
+  {
+    auto c = small_config();
+    c.params.seed = 2;
+    variants.push_back(make_job_spec("counter", c));
+  }
+  {
+    auto c = small_config();
+    c.params.scale = 0.250001;
+    variants.push_back(make_job_spec("counter", c));
+  }
+  {
+    auto c = small_config();
+    c.sim.l1.latency += 1;  // a Table II latency
+    variants.push_back(make_job_spec("counter", c));
+  }
+  {
+    auto c = small_config();
+    c.sim.enable_ats = true;
+    variants.push_back(make_job_spec("counter", c));
+  }
+  {
+    auto c = small_config();
+    c.timeseries = true;
+    variants.push_back(make_job_spec("counter", c));
+  }
+  for (const auto& v : variants) {
+    EXPECT_NE(v.canonical, base.canonical);
+    EXPECT_NE(v.hash_hex, base.hash_hex) << v.canonical;
+  }
+}
+
+TEST(JobSpec, MirrorsRunExperimentSeedOverride) {
+  // run_experiment overwrites sim.seed with params.seed; a spec differing
+  // only in the (ignored) sim.seed must map to the same job.
+  auto a = small_config();
+  a.sim.seed = 77;
+  auto b = small_config();
+  b.sim.seed = 99;
+  EXPECT_EQ(make_job_spec("counter", a).hash_hex,
+            make_job_spec("counter", b).hash_hex);
+}
+
+// ---- Stats serialization ---------------------------------------------------
+
+TEST(StatsSerialize, RoundTripsEveryField) {
+  ExperimentConfig cfg = small_config();
+  cfg.timeseries = true;  // exercise the vector fields too
+  const ExperimentResult r = run_experiment("counter", cfg);
+  ASSERT_TRUE(r.ok()) << r.validation_error;
+  ASSERT_GT(r.stats.tx_commits, 0u);
+
+  const std::string blob = serialize_stats(r.stats);
+  Stats back;
+  ASSERT_TRUE(deserialize_stats(blob, back));
+  EXPECT_EQ(serialize_stats(back), blob);
+  EXPECT_EQ(back.tx_commits, r.stats.tx_commits);
+  EXPECT_EQ(back.conflicts_total, r.stats.conflicts_total);
+  EXPECT_EQ(back.false_by_line, r.stats.false_by_line);
+  EXPECT_EQ(back.tx_start_cycles, r.stats.tx_start_cycles);
+}
+
+TEST(StatsSerialize, RejectsCorruptBlobs) {
+  Stats s;
+  const std::string blob = serialize_stats(s);
+  Stats out;
+  EXPECT_TRUE(deserialize_stats(blob, out));
+  EXPECT_FALSE(deserialize_stats(blob + "x", out));           // trailing junk
+  EXPECT_FALSE(deserialize_stats(blob.substr(1), out));       // bad header
+  EXPECT_FALSE(
+      deserialize_stats(blob.substr(0, blob.size() - 4), out));  // truncated
+}
+
+// ---- Result cache ----------------------------------------------------------
+
+TEST(ResultCache, MissThenHitRoundTripsTheResult) {
+  TempCacheDir dir("roundtrip");
+  ResultCache cache(dir.str());
+  const JobSpec spec = make_job_spec("counter", small_config());
+  EXPECT_FALSE(cache.load(spec).has_value());
+
+  const ExperimentResult computed = run_experiment("counter", spec.config);
+  cache.store(spec, computed);
+  const auto loaded = cache.load(spec);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->workload, computed.workload);
+  EXPECT_EQ(loaded->detector, computed.detector);
+  EXPECT_EQ(loaded->validation_error, computed.validation_error);
+  EXPECT_EQ(serialize_stats(loaded->stats), serialize_stats(computed.stats));
+}
+
+TEST(ResultCache, TamperedEntryIsAMissNotAWrongResult) {
+  TempCacheDir dir("tamper");
+  ResultCache cache(dir.str());
+  const JobSpec spec = make_job_spec("counter", small_config());
+  cache.store(spec, run_experiment("counter", spec.config));
+
+  const std::string path = dir.str() + "/" +
+                           std::string(runner::code_version_stamp()) + "/" +
+                           spec.hash_hex + ".result";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ofstream(path, std::ios::app) << "garbage";
+  EXPECT_FALSE(cache.load(spec).has_value());
+}
+
+// The satellite guard: mutating one SimConfig field must miss; re-running
+// unchanged must hit without executing a simulation.
+TEST(RunnerCache, ConfigMutationMissesUnchangedRerunHits) {
+  TempCacheDir dir("mutation");
+  const ExperimentConfig cfg = small_config();
+
+  {
+    Runner r(cached_opts(dir));
+    (void)r.get("counter", cfg);
+    EXPECT_EQ(r.totals().executed, 1u);
+    EXPECT_EQ(r.totals().cache_hits, 0u);
+  }
+  {
+    // One Table II latency changed: must be a miss (fresh simulation).
+    ExperimentConfig mutated = cfg;
+    mutated.sim.mem_latency += 1;
+    Runner r(cached_opts(dir));
+    (void)r.get("counter", mutated);
+    EXPECT_EQ(r.totals().executed, 1u);
+    EXPECT_EQ(r.totals().cache_hits, 0u);
+  }
+  {
+    // Unchanged spec: must be a hit, zero simulations executed.
+    Runner r(cached_opts(dir));
+    const ExperimentResult cached = r.get("counter", cfg);
+    EXPECT_EQ(r.totals().executed, 0u);
+    EXPECT_EQ(r.totals().cache_hits, 1u);
+    EXPECT_EQ(serialize_stats(cached.stats),
+              serialize_stats(run_experiment("counter", cfg).stats));
+  }
+}
+
+TEST(RunnerCache, NoCacheModeAlwaysExecutes) {
+  TempCacheDir dir("nocache");
+  auto opts = cached_opts(dir);
+  opts.use_cache = false;
+  {
+    Runner r(opts);
+    (void)r.get("counter", small_config());
+  }
+  Runner r(opts);
+  (void)r.get("counter", small_config());
+  EXPECT_EQ(r.totals().executed, 1u);
+  EXPECT_EQ(r.totals().cache_hits, 0u);
+}
+
+TEST(Runner, DedupesIdenticalInFlightSpecs) {
+  TempCacheDir dir("dedup");
+  Runner r(cached_opts(dir, /*jobs=*/4));
+  const ExperimentConfig cfg = small_config();
+  auto f1 = r.submit("counter", cfg);
+  auto f2 = r.submit("counter", cfg);
+  (void)f1.get();
+  (void)f2.get();
+  EXPECT_EQ(r.totals().submitted, 1u);
+  EXPECT_EQ(r.totals().deduped, 1u);
+  EXPECT_EQ(r.totals().executed, 1u);
+}
+
+TEST(Runner, WritesMachineReadableManifest) {
+  TempCacheDir dir("manifest");
+  const std::string manifest = dir.str() + "/manifest.json";
+  std::filesystem::create_directories(dir.str());
+  {
+    auto opts = cached_opts(dir);
+    opts.manifest_path = manifest;
+    Runner r(opts);
+    (void)r.get("counter", small_config());
+    (void)r.get("bank", small_config());
+  }
+  std::ifstream in(manifest);
+  ASSERT_TRUE(in.is_open());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"executed\": 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"workload\": \"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(text.find(runner::code_version_stamp()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asfsim
