@@ -226,6 +226,7 @@ class GuestCtx {
     }
     for (;;) {
       if (capacity_aborts >= 3 || rt_.retries(core_) >= 24) {
+        rt_.note_fallback_start(core_);
         co_await acquire_fallback();
         co_await body();  // runs non-transactionally under the global lock
         co_await store_u64(fallback_lock_, 0);
@@ -249,7 +250,9 @@ class GuestCtx {
       }
       if (rt_.doom_cause(core_) == AbortCause::kCapacity) ++capacity_aborts;
       rt_.finish_abort(core_);
-      co_await WaitOp{this, cfg_.abort_latency + rt_.backoff_wait(core_)};
+      const Cycle stall = cfg_.abort_latency + rt_.backoff_wait(core_);
+      rt_.note_backoff(core_, stall);  // bookkeeping only, no timing change
+      co_await WaitOp{this, stall};
     }
   }
 
@@ -273,7 +276,9 @@ class GuestCtx {
       co_return true;
     }
     rt_.finish_abort(core_);
-    co_await WaitOp{this, cfg_.abort_latency + rt_.backoff_wait(core_)};
+    const Cycle stall = cfg_.abort_latency + rt_.backoff_wait(core_);
+    rt_.note_backoff(core_, stall);
+    co_await WaitOp{this, stall};
     co_return false;
   }
 

@@ -1,6 +1,14 @@
 #include "guest/machine.hpp"
 
+#include "trace/clock.hpp"
+
 namespace asfsim {
+
+namespace {
+Cycle kernel_clock_thunk(const void* kernel) {
+  return static_cast<const Kernel*>(kernel)->now();
+}
+}  // namespace
 
 Machine::Machine(const SimConfig& cfg, DetectorKind detector,
                  std::uint32_t nsub)
@@ -22,8 +30,12 @@ Machine::Machine(const SimConfig& cfg, DetectorKind detector,
 }
 
 Cycle Machine::run(Cycle max_cycles) {
+  // Publish the simulated clock for this thread so host-side logging
+  // (ASFSIM_INFO/ASFSIM_TRACE) can stamp lines with the current cycle.
+  const trace::ScopedSimClock clock(&kernel_clock_thunk, &kernel_);
   const Cycle end = kernel_.run(max_cycles);
   stats_.total_cycles = end;
+  hub_.finish(end);
   return end;
 }
 

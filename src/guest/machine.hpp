@@ -21,6 +21,7 @@
 #include "sim/kernel.hpp"
 #include "stats/counters.hpp"
 #include "stats/txtrace.hpp"
+#include "trace/sink.hpp"
 
 namespace asfsim {
 
@@ -49,10 +50,20 @@ class Machine {
   /// Run to completion; records the final cycle into stats().total_cycles.
   Cycle run(Cycle max_cycles = ~Cycle{0});
 
-  /// Enable the transaction event trace (ring of `depth` events).
+  /// Attach a non-owning trace sink to the full event stream (JSONL,
+  /// Perfetto, custom). The first attach arms the runtime/memory-system
+  /// hub pointers; with no sinks attached tracing costs one null check.
+  void add_trace_sink(trace::TraceSink* sink) {
+    hub_.add_sink(sink);
+    runtime_.set_trace_hub(&hub_);
+    mem_.set_trace_hub(&hub_);
+  }
+  [[nodiscard]] trace::TraceHub& trace_hub() { return hub_; }
+
+  /// Enable the bounded in-memory event ring (of `depth` events).
   TxTrace& enable_trace(std::size_t depth = 4096) {
     trace_ = std::make_unique<TxTrace>(depth);
-    runtime_.set_trace(trace_.get());
+    add_trace_sink(trace_.get());
     return *trace_;
   }
   [[nodiscard]] TxTrace* trace() { return trace_.get(); }
@@ -68,6 +79,7 @@ class Machine {
  private:
   SimConfig cfg_;
   Stats stats_;
+  trace::TraceHub hub_{&stats_};
   Kernel kernel_;
   BackingStore backing_;
   std::unique_ptr<ConflictDetector> detector_;

@@ -29,10 +29,20 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
       o.jobs = static_cast<std::uint32_t>(std::atoi(need_value("--jobs")));
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       o.no_cache = true;
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      o.trace_dir = need_value("--trace-dir");
+    } else if (std::strcmp(argv[i], "--trace-format") == 0) {
+      o.trace_format = need_value("--trace-format");
+      if (o.trace_format != "jsonl" && o.trace_format != "perfetto") {
+        std::fprintf(stderr, "%s: --trace-format must be jsonl or perfetto\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--scale f] [--threads n] [--seed n] [--csv dir] "
-          "[--jobs n] [--no-cache]\n",
+          "[--jobs n] [--no-cache] [--trace-dir dir] "
+          "[--trace-format jsonl|perfetto]\n",
           argv[0]);
       std::exit(0);
     } else {

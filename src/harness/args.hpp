@@ -10,6 +10,9 @@
 //                  (default 0 = hardware concurrency; results are
 //                  byte-identical for any value — see docs/runner.md)
 //   --no-cache     bypass the on-disk result cache (build/.asfsim-cache/)
+//   --trace-dir <dir>     write one full-timeline trace file per job
+//   --trace-format <fmt>  jsonl (default) or perfetto
+//                         (see docs/observability.md)
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,8 @@ struct CliOptions {
   std::string csv_dir;
   std::uint32_t jobs = 0;  // runner workers; 0 = hardware concurrency
   bool no_cache = false;   // skip the content-addressed result cache
+  std::string trace_dir;   // empty = tracing disabled
+  std::string trace_format = "jsonl";  // "jsonl" | "perfetto"
 };
 
 /// Parse the common flags; exits with a usage message on errors.

@@ -1,13 +1,21 @@
 #include "harness/experiment.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <stdexcept>
 
 #include "guest/machine.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/perfetto_sink.hpp"
 
 namespace asfsim {
 
-ExperimentResult run_experiment(const std::string& workload,
-                                const ExperimentConfig& cfg) {
+namespace {
+
+ExperimentResult run_machine(const std::string& workload,
+                             const ExperimentConfig& cfg,
+                             const TraceOptions& trace) {
   SimConfig sim = cfg.sim;
   sim.seed = cfg.params.seed;
   if (cfg.params.threads > sim.ncores) {
@@ -16,6 +24,26 @@ ExperimentResult run_experiment(const std::string& workload,
 
   Machine m(sim, cfg.detector, cfg.nsub);
   m.stats().record_timeseries = cfg.timeseries;
+
+  std::ofstream os;
+  std::unique_ptr<trace::TraceSink> sink;
+  if (trace.enabled()) {
+    const std::filesystem::path path(trace.path);
+    if (path.has_parent_path()) {
+      std::filesystem::create_directories(path.parent_path());
+    }
+    os.open(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("run_experiment: cannot open trace file " +
+                               trace.path);
+    }
+    if (trace.format == TraceFormat::kPerfetto) {
+      sink = std::make_unique<trace::PerfettoSink>(os);
+    } else {
+      sink = std::make_unique<trace::JsonlSink>(os);
+    }
+    m.add_trace_sink(sink.get());
+  }
 
   auto wl = make_workload(workload);
   wl->setup(m, cfg.params);
@@ -27,6 +55,31 @@ ExperimentResult run_experiment(const std::string& workload,
   r.validation_error = wl->validate(m);
   r.stats = m.stats();
   return r;
+}
+
+}  // namespace
+
+const char* trace_file_extension(TraceFormat fmt) {
+  switch (fmt) {
+    case TraceFormat::kJsonl:
+      return ".jsonl";
+    case TraceFormat::kPerfetto:
+      return ".perfetto.json";
+    case TraceFormat::kNone:
+      break;
+  }
+  return "";
+}
+
+ExperimentResult run_experiment(const std::string& workload,
+                                const ExperimentConfig& cfg) {
+  return run_machine(workload, cfg, TraceOptions{});
+}
+
+ExperimentResult run_experiment(const std::string& workload,
+                                const ExperimentConfig& cfg,
+                                const TraceOptions& trace) {
+  return run_machine(workload, cfg, trace);
 }
 
 }  // namespace asfsim

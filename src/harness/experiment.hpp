@@ -28,6 +28,21 @@ struct ExperimentConfig {
   }
 };
 
+/// On-disk format for a full-timeline trace (docs/observability.md).
+enum class TraceFormat : std::uint8_t { kNone = 0, kJsonl, kPerfetto };
+
+/// File extension matching the format (".jsonl" / ".perfetto.json").
+[[nodiscard]] const char* trace_file_extension(TraceFormat fmt);
+
+struct TraceOptions {
+  TraceFormat format = TraceFormat::kNone;
+  std::string path;  // output file; parent directories are created
+
+  [[nodiscard]] bool enabled() const {
+    return format != TraceFormat::kNone && !path.empty();
+  }
+};
+
 struct ExperimentResult {
   std::string workload;
   std::string detector;
@@ -42,5 +57,12 @@ struct ExperimentResult {
 /// result instead.
 [[nodiscard]] ExperimentResult run_experiment(const std::string& workload,
                                               const ExperimentConfig& cfg);
+
+/// Same, streaming the full event timeline to `trace.path` while running.
+/// Tracing never perturbs simulated timing: stats and cycle counts are
+/// byte-identical with and without it. Throws if the file cannot be opened.
+[[nodiscard]] ExperimentResult run_experiment(const std::string& workload,
+                                              const ExperimentConfig& cfg,
+                                              const TraceOptions& trace);
 
 }  // namespace asfsim

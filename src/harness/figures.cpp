@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <numeric>
 #include <tuple>
@@ -12,6 +14,7 @@
 #include "harness/experiment.hpp"
 #include "runner/runner.hpp"
 #include "stats/report.hpp"
+#include "stats/serialize.hpp"
 #include "workloads/workload.hpp"
 
 namespace asfsim::figures {
@@ -34,6 +37,9 @@ runner::RunnerOptions runner_opts(const CliOptions& opts) {
   runner::RunnerOptions o;
   o.jobs = opts.jobs;
   o.use_cache = !opts.no_cache;
+  o.trace_dir = opts.trace_dir;
+  o.trace_format = opts.trace_format == "perfetto" ? TraceFormat::kPerfetto
+                                                   : TraceFormat::kJsonl;
   return o;
 }
 
@@ -887,6 +893,39 @@ int ablation_overhead(const CliOptions& opts, std::ostream& os) {
   m.print(os);
   os << "(piggy-back bits ride on messages that already exist; the paper "
         "argues the extra bits are negligible vs the 64-byte payload)\n";
+
+  // Tracing overhead (docs/observability.md): tracing must never perturb
+  // the simulation. The binding check is byte-identical stats — the
+  // deterministic form of "zero simulated overhead"; the host wall times
+  // printed alongside bound the real-time cost of each sink.
+  os << "\nTracing overhead (vacation, sub-block/4):\n";
+  const ExperimentConfig tcfg = ecfg.with(DetectorKind::kSubBlock, 4);
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "asfsim-trace-ablation";
+  TextTable tt({"Tracing", "Cycles", "Host ms", "Stats vs off"});
+  std::string off_blob;
+  for (const auto& [label, trace] :
+       {std::pair<const char*, TraceOptions>{"off", {}},
+        {"jsonl", {TraceFormat::kJsonl, (tmp / "t.jsonl").string()}},
+        {"perfetto",
+         {TraceFormat::kPerfetto, (tmp / "t.perfetto.json").string()}}}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExperimentResult r = run_experiment("vacation", tcfg, trace);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const std::string blob = serialize_stats(r.stats);
+    if (off_blob.empty()) off_blob = blob;
+    const bool same = blob == off_blob;
+    if (!same) status = 1;
+    tt.add_row({label, std::to_string(r.stats.total_cycles),
+                TextTable::num(ms, 1), same ? "identical" : "DIFFERS"});
+  }
+  tt.print(os);
+  os << "(simulated results must be byte-identical with tracing on; the "
+        "host-time cost is I/O only)\n";
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
   return status;
 }
 

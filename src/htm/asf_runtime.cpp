@@ -21,6 +21,8 @@ AsfRuntime::AsfRuntime(Kernel& kernel, MemorySystem& mem,
   }
 }
 
+Cycle AsfRuntime::kernel_now() const { return kernel_.now(); }
+
 void AsfRuntime::begin(CoreId core) {
   PerCore& p = cores_[core];
   assert(!p.active && "nested transactions are not supported");
@@ -28,21 +30,36 @@ void AsfRuntime::begin(CoreId core) {
   p.doomed = false;
   p.cause = AbortCause::kConflict;
   p.tx_start = kernel_.now();
+  p.abort_fp = TxFootprint{};
   stats_.on_tx_attempt(kernel_.now());
-  if (trace_) {
-    trace_->record({TxEventKind::kBegin, core, kInvalidCore, kernel_.now(),
-                    AbortCause::kConflict, ConflictType::kWAR, false, 0});
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kBegin;
+    ev.core = core;
+    ev.cycle = kernel_.now();
+    hub_->emit(ev);
   }
 }
 
 void AsfRuntime::doom(CoreId victim, const ConflictRecord& rec) {
-  if (trace_) {
-    trace_->record({TxEventKind::kConflict, victim, rec.requester,
-                    kernel_.now(), AbortCause::kConflict, rec.type,
-                    rec.is_false, rec.line});
-  }
   PerCore& p = cores_[victim];
   assert(p.active && !p.doomed);
+  // Footprint must be read before the architectural abort below discards
+  // the speculative metadata; finish_abort reports it.
+  p.abort_fp = mem_.tx_footprint(victim);
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kConflict;
+    ev.core = victim;
+    ev.other = rec.requester;
+    ev.cycle = kernel_.now();
+    ev.line = rec.line;
+    ev.type = rec.type;
+    ev.is_false = rec.is_false;
+    ev.probe_mask = rec.probe_bytes;
+    ev.victim_mask = rec.victim_bytes;
+    hub_->emit(ev);
+  }
   p.doomed = true;
   p.cause = AbortCause::kConflict;
   // Architectural abort happens at message-receipt time: discard all
@@ -55,6 +72,7 @@ void AsfRuntime::self_doom(CoreId core, AbortCause cause) {
   PerCore& p = cores_[core];
   assert(p.active);
   if (p.doomed) return;  // a remote conflict already got here first
+  p.abort_fp = mem_.tx_footprint(core);
   p.doomed = true;
   p.cause = cause;
   p.overlay.clear();
@@ -64,6 +82,7 @@ void AsfRuntime::self_doom(CoreId core, AbortCause cause) {
 void AsfRuntime::commit(CoreId core) {
   PerCore& p = cores_[core];
   assert(p.active && !p.doomed);
+  const TxFootprint fp = mem_.tx_footprint(core);
   // Apply the write overlay to committed memory (gang-commit), validating
   // still-speculating readers whose read sets the commit overwrites.
   for (const auto& [line, ov] : p.overlay) {
@@ -75,12 +94,25 @@ void AsfRuntime::commit(CoreId core) {
   p.overlay.clear();
   mem_.clear_spec(core, /*discard_written_lines=*/false);
   p.active = false;
-  stats_.tx_busy_cycles += kernel_.now() - p.tx_start;
+  const Cycle duration = kernel_.now() - p.tx_start;
+  stats_.tx_busy_cycles += duration;
   stats_.on_tx_commit();
+  stats_.on_attempt_end(duration, fp.read_lines, fp.write_lines,
+                        /*aborted=*/false);
   if (scheduler_) scheduler_->on_tx_end(core, /*aborted=*/false);
-  if (trace_) {
-    trace_->record({TxEventKind::kCommit, core, kInvalidCore, kernel_.now(),
-                    AbortCause::kConflict, ConflictType::kWAR, false, 0});
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kCommit;
+    ev.core = core;
+    ev.cycle = kernel_.now();
+    ev.span_begin = p.tx_start;
+    ev.retries = p.retries;
+    ev.wasted = p.wasted;
+    ev.read_lines = fp.read_lines;
+    ev.write_lines = fp.write_lines;
+    ev.read_subs = fp.read_subs;
+    ev.write_subs = fp.write_subs;
+    hub_->emit(ev);
   }
 }
 
@@ -88,24 +120,58 @@ std::uint32_t AsfRuntime::finish_abort(CoreId core) {
   PerCore& p = cores_[core];
   assert(p.active && p.doomed);
   stats_.on_tx_abort(p.cause);
-  stats_.tx_busy_cycles += kernel_.now() - p.tx_start;
+  const Cycle duration = kernel_.now() - p.tx_start;
+  stats_.tx_busy_cycles += duration;
+  stats_.on_attempt_end(duration, p.abort_fp.read_lines,
+                        p.abort_fp.write_lines, /*aborted=*/true);
+  p.wasted += duration;
   p.active = false;
   p.doomed = false;
   if (scheduler_) scheduler_->on_tx_end(core, /*aborted=*/true);
-  if (trace_) {
-    trace_->record({TxEventKind::kAbort, core, kInvalidCore, kernel_.now(),
-                    p.cause, ConflictType::kWAR, false, 0});
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kAbort;
+    ev.core = core;
+    ev.cycle = kernel_.now();
+    ev.span_begin = p.tx_start;
+    ev.cause = p.cause;
+    ev.wasted = duration;  // this attempt's own in-tx cycles
+    ev.read_lines = p.abort_fp.read_lines;
+    ev.write_lines = p.abort_fp.write_lines;
+    ev.read_subs = p.abort_fp.read_subs;
+    ev.write_subs = p.abort_fp.write_subs;
+    hub_->emit(ev);
   }
   return ++p.retries;
 }
 
 void AsfRuntime::note_fallback(CoreId core) {
-  cores_[core].retries = 0;
+  PerCore& p = cores_[core];
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kFallback;
+    ev.core = core;
+    ev.cycle = kernel_.now();
+    ev.span_begin = p.fallback_start;
+    ev.retries = p.retries;
+    ev.wasted = p.wasted;
+    hub_->emit(ev);
+  }
+  p.retries = 0;
+  p.wasted = 0;
   ++stats_.fallback_runs;
   ++stats_.tx_commits;  // the work did complete exactly once
-  if (trace_) {
-    trace_->record({TxEventKind::kFallback, core, kInvalidCore, kernel_.now(),
-                    AbortCause::kCapacity, ConflictType::kWAR, false, 0});
+}
+
+void AsfRuntime::note_backoff(CoreId core, Cycle wait) {
+  stats_.on_backoff(wait);
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kBackoff;
+    ev.core = core;
+    ev.span_begin = kernel_.now();
+    ev.cycle = kernel_.now() + wait;  // span events are stamped at the end
+    hub_->emit(ev);
   }
 }
 

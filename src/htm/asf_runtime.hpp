@@ -26,7 +26,7 @@
 #include "mem/backing_store.hpp"
 #include "mem/coherence.hpp"
 #include "stats/counters.hpp"
-#include "stats/txtrace.hpp"
+#include "trace/sink.hpp"
 
 namespace asfsim {
 
@@ -69,9 +69,19 @@ class AsfRuntime final : public ITxControl {
   [[nodiscard]] std::uint32_t retries(CoreId core) const {
     return cores_[core].retries;
   }
-  void reset_retries(CoreId core) { cores_[core].retries = 0; }
+  void reset_retries(CoreId core) {
+    cores_[core].retries = 0;
+    cores_[core].wasted = 0;
+  }
+  /// The fallback path starts (spin on the lock; traced as a span end).
+  void note_fallback_start(CoreId core) {
+    cores_[core].fallback_start = kernel_now();
+  }
   /// A transaction completed via the serializing software fallback.
   void note_fallback(CoreId core);
+  /// The retry loop is about to stall `wait` cycles (abort penalty +
+  /// backoff). Pure bookkeeping: never changes timing.
+  void note_backoff(CoreId core, Cycle wait);
   [[nodiscard]] Cycle backoff_wait(CoreId core) {
     return backoff_.wait_for(cores_[core].retries);
   }
@@ -80,9 +90,9 @@ class AsfRuntime final : public ITxControl {
   [[nodiscard]] AdaptiveScheduler* scheduler() { return scheduler_.get(); }
   void note_ats_dispatch() { ++stats_.ats_serialized; }
 
-  /// Optional transaction event trace (null when disabled).
-  void set_trace(TxTrace* trace) { trace_ = trace; }
-  [[nodiscard]] TxTrace* trace() { return trace_; }
+  /// Optional trace hub (null while no sink is attached — the disabled
+  /// path is a single null-pointer branch per would-be event).
+  void set_trace_hub(trace::TraceHub* hub) { hub_ = hub; }
 
   // ---- value path ---------------------------------------------------------
   /// Read `size` bytes at `a` as seen by `core`: its own overlay bytes win,
@@ -108,8 +118,17 @@ class AsfRuntime final : public ITxControl {
     bool doomed = false;
     AbortCause cause = AbortCause::kConflict;
     std::uint32_t retries = 0;
+    /// In-tx cycles burned by this logical transaction's aborted attempts
+    /// so far (reset when it finally commits or falls back).
+    Cycle wasted = 0;
+    Cycle fallback_start = 0;
+    /// Footprint captured at doom time, before clear_spec discards the
+    /// metadata; reported by the kAbort event in finish_abort.
+    TxFootprint abort_fp;
     std::unordered_map<Addr, OverlayLine> overlay;  // keyed by line address
   };
+
+  [[nodiscard]] Cycle kernel_now() const;
 
   Kernel& kernel_;
   MemorySystem& mem_;
@@ -117,7 +136,7 @@ class AsfRuntime final : public ITxControl {
   Stats& stats_;
   BackoffManager backoff_;
   std::unique_ptr<AdaptiveScheduler> scheduler_;
-  TxTrace* trace_ = nullptr;
+  trace::TraceHub* hub_ = nullptr;
   std::vector<PerCore> cores_;
 };
 

@@ -1,9 +1,11 @@
 #include "mem/coherence.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "core/classifier.hpp"
 #include "sim/kernel.hpp"
+#include "trace/sink.hpp"
 
 namespace asfsim {
 
@@ -63,6 +65,24 @@ void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
   }
 }
 
+TxFootprint MemorySystem::tx_footprint(CoreId core) const {
+  TxFootprint fp;
+  const std::uint32_t nsub = detector_->nsub();
+  for (const auto& [line, meta] : spec_meta_[core]) {
+    if (meta.read_bytes != 0) {
+      ++fp.read_lines;
+      fp.read_subs += static_cast<std::uint32_t>(
+          std::popcount(quantize(meta.read_bytes, nsub)));
+    }
+    if (meta.write_bytes != 0) {
+      ++fp.write_lines;
+      fp.write_subs += static_cast<std::uint32_t>(
+          std::popcount(quantize(meta.write_bytes, nsub)));
+    }
+  }
+  return fp;
+}
+
 Cycle MemorySystem::bus_acquire() {
   if (cfg_.bus_occupancy == 0) return 0;
   const Cycle now = kernel_.now();
@@ -112,6 +132,23 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
         if (baseline_would_conflict(meta, invalidating) &&
             !(oracle && truly)) {
           stats_.on_avoided_false_conflict();
+          if (hub_ != nullptr) {
+            const Classification cls =
+                classify_conflict(meta, mask, invalidating);
+            trace::TraceEvent ev;
+            ev.kind = trace::TraceEventKind::kAvoided;
+            ev.core = o;
+            ev.other = requester;
+            ev.cycle = kernel_.now();
+            ev.line = line;
+            ev.type = cls.type;
+            ev.is_false = cls.is_false;
+            ev.probe_mask = mask;
+            ev.victim_mask = invalidating
+                                 ? (meta.read_bytes | meta.write_bytes)
+                                 : meta.write_bytes;
+            hub_->emit(ev);
+          }
         }
         if (pc.piggyback != 0 && piggyback != nullptr) {
           *piggyback |= pc.piggyback;

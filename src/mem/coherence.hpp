@@ -32,6 +32,19 @@ namespace asfsim {
 
 class Kernel;
 
+namespace trace {
+class TraceHub;
+}  // namespace trace
+
+/// Read/write-set footprint of one core's current transaction: distinct
+/// lines touched and (architectural, detector-quantized) sub-blocks set.
+struct TxFootprint {
+  std::uint32_t read_lines = 0;
+  std::uint32_t write_lines = 0;
+  std::uint32_t read_subs = 0;
+  std::uint32_t write_subs = 0;
+};
+
 /// Where a miss was served from (for stats and latency).
 enum class DataSource : std::uint8_t {
   kL1 = 0,
@@ -54,6 +67,9 @@ class MemorySystem {
 
   void set_tx_control(ITxControl* txctl) { txctl_ = txctl; }
   void set_detector(ConflictDetector* det) { detector_ = det; }
+  /// Attach the trace hub (null while tracing is disabled; the only cost
+  /// then is one null check on the avoided-conflict path).
+  void set_trace_hub(trace::TraceHub* hub) { hub_ = hub; }
   [[nodiscard]] ConflictDetector& detector() const { return *detector_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
@@ -95,6 +111,10 @@ class MemorySystem {
   [[nodiscard]] std::uint64_t spec_lines(CoreId core) const {
     return spec_meta_[core].size();
   }
+  /// Footprint of `core`'s live speculative metadata. Callers that need
+  /// it at transaction end (trace records, Stats histograms) must query
+  /// BEFORE clear_spec discards the metadata.
+  [[nodiscard]] TxFootprint tx_footprint(CoreId core) const;
   [[nodiscard]] Cycle bus_busy_until() const { return bus_free_at_; }
 
   /// Audit the global coherence/metadata invariants; returns an empty string
@@ -128,6 +148,7 @@ class MemorySystem {
   Stats& stats_;
   ITxControl* txctl_ = nullptr;
   ConflictDetector* detector_ = nullptr;
+  trace::TraceHub* hub_ = nullptr;
 
   /// Serialize a probe broadcast on the snoop bus: returns the queuing
   /// delay (cycles the requester stalls behind earlier broadcasts).

@@ -124,16 +124,25 @@ ExperimentResult Runner::run_one(const JobSpec& spec,
                std::chrono::steady_clock::now() - t0)
         .count();
   };
-  if (opts_.use_cache) {
+  // A traced job must actually execute — a cached result carries no event
+  // timeline — so tracing skips the cache *load* (results are still stored).
+  const bool tracing = !opts_.trace_dir.empty();
+  if (opts_.use_cache && !tracing) {
     if (auto cached = cache_.load(spec)) {
       job_finished(entry_index, "cache", elapsed_ms());
       return *std::move(cached);
     }
   }
+  TraceOptions trace;
+  if (tracing) {
+    trace.format = opts_.trace_format;
+    trace.path = opts_.trace_dir + "/" + spec.workload + "-" + spec.hash_hex +
+                 trace_file_extension(trace.format);
+  }
   try {
-    ExperimentResult result = run_experiment(spec.workload, spec.config);
+    ExperimentResult result = run_experiment(spec.workload, spec.config, trace);
     if (opts_.use_cache) cache_.store(spec, result);
-    job_finished(entry_index, "executed", elapsed_ms());
+    job_finished(entry_index, "executed", elapsed_ms(), trace.path);
     return result;
   } catch (...) {
     job_finished(entry_index, "failed", elapsed_ms());
@@ -142,10 +151,11 @@ ExperimentResult Runner::run_one(const JobSpec& spec,
 }
 
 void Runner::job_finished(std::size_t entry_index, const char* source,
-                          double wall_ms) {
+                          double wall_ms, std::string trace_path) {
   std::lock_guard<std::mutex> lk(mu_);
   entries_[entry_index].source = source;
   entries_[entry_index].wall_ms = wall_ms;
+  entries_[entry_index].trace = std::move(trace_path);
   if (source[0] == 'e') ++totals_.executed;
   if (source[0] == 'c') ++totals_.cache_hits;
   ++completed_;
@@ -215,12 +225,16 @@ void Runner::write_manifest() {
     std::snprintf(buf, sizeof(buf),
                   "    {\"hash\": \"%s\", \"workload\": \"%s\", "
                   "\"detector\": \"%s\", \"seed\": %llu, \"source\": \"%s\", "
-                  "\"wall_ms\": %.3f}%s\n",
+                  "\"wall_ms\": %.3f",
                   e.hash_hex.c_str(), json_escape(e.workload).c_str(),
                   json_escape(e.detector).c_str(),
-                  static_cast<unsigned long long>(e.seed), e.source, e.wall_ms,
-                  i + 1 < entries_.size() ? "," : "");
+                  static_cast<unsigned long long>(e.seed), e.source,
+                  e.wall_ms);
     out << buf;
+    if (!e.trace.empty()) {
+      out << ", \"trace\": \"" << json_escape(e.trace) << "\"";
+    }
+    out << (i + 1 < entries_.size() ? "},\n" : "}\n");
   }
   out << "  ]\n}\n";
 }

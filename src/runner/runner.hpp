@@ -47,6 +47,12 @@ struct RunnerOptions {
   /// TTY). $ASFSIM_PROGRESS=0/1 overrides when set.
   enum class Progress : std::uint8_t { kAuto, kOff, kOn };
   Progress progress = Progress::kAuto;
+  /// When non-empty, every *executed* job streams its full event timeline
+  /// to <trace_dir>/<workload>-<hash>.<ext>. Cache *loads* are skipped for
+  /// traced jobs (a cached result has no timeline to replay) but results
+  /// are still stored; stats stay byte-identical either way.
+  std::string trace_dir;
+  TraceFormat trace_format = TraceFormat::kJsonl;
 };
 
 /// Aggregate counters, readable at any time (consistent snapshot).
@@ -87,11 +93,12 @@ class Runner {
     std::uint64_t seed = 0;
     const char* source = "pending";  // executed | cache | failed
     double wall_ms = 0.0;
+    std::string trace;  // trace file path (empty when tracing is off)
   };
 
   ExperimentResult run_one(const JobSpec& spec, std::size_t entry_index);
   void job_finished(std::size_t entry_index, const char* source,
-                    double wall_ms);
+                    double wall_ms, std::string trace_path = {});
   void print_progress_locked();
   void write_manifest();
 

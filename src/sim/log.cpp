@@ -1,7 +1,10 @@
 #include "sim/log.hpp"
 
 #include <atomic>
+#include <cinttypes>
 #include <cstdarg>
+
+#include "trace/clock.hpp"
 
 namespace asfsim {
 
@@ -18,8 +21,20 @@ void set_log_level(LogLevel lvl) noexcept {
 }
 
 namespace detail {
+std::string log_prefix(const char* tag) {
+  char buf[64];
+  Cycle cycle = 0;
+  if (trace::current_sim_cycle(cycle)) {
+    std::snprintf(buf, sizeof buf, "[asfsim %-5s @%" PRIu64 "] ", tag,
+                  static_cast<std::uint64_t>(cycle));
+  } else {
+    std::snprintf(buf, sizeof buf, "[asfsim %-5s] ", tag);
+  }
+  return buf;
+}
+
 void vlog(const char* tag, const char* fmt, ...) {
-  std::fprintf(stderr, "[asfsim %s] ", tag);
+  std::fputs(log_prefix(tag).c_str(), stderr);
   va_list ap;
   va_start(ap, fmt);
   std::vfprintf(stderr, fmt, ap);

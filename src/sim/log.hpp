@@ -13,6 +13,10 @@ LogLevel log_level() noexcept;
 void set_log_level(LogLevel lvl) noexcept;
 
 namespace detail {
+/// "[asfsim info ] " or, while a Machine is running on this thread,
+/// "[asfsim info  @1234] " — the cycle comes from trace::current_sim_cycle.
+/// The tag column is fixed-width so multi-line output stays aligned.
+[[nodiscard]] std::string log_prefix(const char* tag);
 void vlog(const char* tag, const char* fmt, ...);
 }  // namespace detail
 

@@ -39,4 +39,23 @@ void Stats::on_tx_access(std::uint32_t line_off) {
   ++tx_access_by_offset[line_off & 63];
 }
 
+std::uint32_t Stats::log2_bucket(std::uint64_t v, std::size_t nbuckets) {
+  std::uint32_t b = 0;
+  while (v > 0 && b + 1 < nbuckets) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void Stats::on_attempt_end(Cycle duration, std::uint32_t read_lines,
+                           std::uint32_t write_lines, bool aborted) {
+  ++tx_duration_hist[log2_bucket(duration, tx_duration_hist.size())];
+  ++tx_read_lines_hist[log2_bucket(read_lines, tx_read_lines_hist.size())];
+  ++tx_write_lines_hist[log2_bucket(write_lines, tx_write_lines_hist.size())];
+  if (aborted) wasted_cycles += duration;
+}
+
+void Stats::on_backoff(Cycle wait) { backoff_cycles += wait; }
+
 }  // namespace asfsim

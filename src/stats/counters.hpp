@@ -72,6 +72,18 @@ class Stats {
   /// tx_busy_cycles / (ncores * total_cycles) is the transactional duty.
   Cycle tx_busy_cycles = 0;
 
+  // ---- per-attempt profile (trace subsystem; always collected) -----------
+  /// log2-bucketed attempt durations: bucket 0 holds value 0, bucket i
+  /// holds values in [2^(i-1), 2^i), the last bucket absorbs the tail.
+  std::array<std::uint64_t, 32> tx_duration_hist{};
+  /// log2-bucketed read/write-set footprints (lines) at attempt end.
+  std::array<std::uint64_t, 16> tx_read_lines_hist{};
+  std::array<std::uint64_t, 16> tx_write_lines_hist{};
+  /// In-transaction cycles of attempts that ended in an abort.
+  Cycle wasted_cycles = 0;
+  /// Abort-penalty + backoff stall cycles between retry attempts.
+  Cycle backoff_cycles = 0;
+
   // ---- hooks -------------------------------------------------------------
   void on_tx_attempt(Cycle now);
   void on_tx_commit();
@@ -79,6 +91,13 @@ class Stats {
   void on_conflict(const ConflictRecord& rec);
   void on_avoided_false_conflict();
   void on_tx_access(std::uint32_t line_off);
+  /// Attempt end (commit or abort): duration and footprint histograms.
+  void on_attempt_end(Cycle duration, std::uint32_t read_lines,
+                      std::uint32_t write_lines, bool aborted);
+  void on_backoff(Cycle wait);
+
+  [[nodiscard]] static std::uint32_t log2_bucket(std::uint64_t v,
+                                                 std::size_t nbuckets);
 
   // ---- derived -----------------------------------------------------------
   [[nodiscard]] double false_conflict_rate() const {

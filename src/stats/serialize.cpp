@@ -10,7 +10,10 @@ namespace asfsim {
 
 namespace {
 
-constexpr const char* kHeader = "asfsim-stats v1";
+// v2: appended the per-attempt profile fields (trace subsystem). The
+// version bump makes older blobs fail deserialization cleanly; the result
+// cache never serves them anyway (the code stamp changed with the code).
+constexpr const char* kHeader = "asfsim-stats v2";
 
 void put(std::string& out, const char* key, std::uint64_t v) {
   char buf[64];
@@ -138,6 +141,11 @@ std::string serialize_stats(const Stats& s) {
   put_seq(out, "false_conflict_cycles", s.false_conflict_cycles);
   put(out, "total_cycles", s.total_cycles);
   put(out, "tx_busy_cycles", s.tx_busy_cycles);
+  put_seq(out, "tx_duration_hist", s.tx_duration_hist);
+  put_seq(out, "tx_read_lines_hist", s.tx_read_lines_hist);
+  put_seq(out, "tx_write_lines_hist", s.tx_write_lines_hist);
+  put(out, "wasted_cycles", s.wasted_cycles);
+  put(out, "backoff_cycles", s.backoff_cycles);
   return out;
 }
 
@@ -177,7 +185,12 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
       r.var_seq("tx_start_cycles", out.tx_start_cycles) &&
       r.var_seq("false_conflict_cycles", out.false_conflict_cycles) &&
       r.field("total_cycles", out.total_cycles) &&
-      r.field("tx_busy_cycles", out.tx_busy_cycles) && r.done();
+      r.field("tx_busy_cycles", out.tx_busy_cycles) &&
+      r.fixed_seq("tx_duration_hist", out.tx_duration_hist) &&
+      r.fixed_seq("tx_read_lines_hist", out.tx_read_lines_hist) &&
+      r.fixed_seq("tx_write_lines_hist", out.tx_write_lines_hist) &&
+      r.field("wasted_cycles", out.wasted_cycles) &&
+      r.field("backoff_cycles", out.backoff_cycles) && r.done();
   if (!ok || flag > 1 || by_line_flat.size() % 2 != 0) return false;
   out.record_timeseries = flag == 1;
   for (std::size_t i = 0; i < by_line_flat.size(); i += 2) {

@@ -15,6 +15,38 @@ const char* to_string(TxEventKind k) {
   return "?";
 }
 
+void TxTrace::on_event(const trace::TraceEvent& ev) {
+  TxEvent legacy;
+  legacy.core = ev.core;
+  legacy.cycle = ev.cycle;
+  switch (ev.kind) {
+    case trace::TraceEventKind::kBegin:
+      legacy.kind = TxEventKind::kBegin;
+      break;
+    case trace::TraceEventKind::kCommit:
+      legacy.kind = TxEventKind::kCommit;
+      break;
+    case trace::TraceEventKind::kAbort:
+      legacy.kind = TxEventKind::kAbort;
+      legacy.cause = ev.cause;
+      break;
+    case trace::TraceEventKind::kConflict:
+      legacy.kind = TxEventKind::kConflict;
+      legacy.other = ev.other;
+      legacy.type = ev.type;
+      legacy.is_false = ev.is_false;
+      legacy.line = ev.line;
+      break;
+    case trace::TraceEventKind::kFallback:
+      legacy.kind = TxEventKind::kFallback;
+      legacy.cause = AbortCause::kCapacity;
+      break;
+    default:
+      return;  // richer kinds don't fit the legacy ring vocabulary
+  }
+  record(legacy);
+}
+
 std::vector<TxEvent> TxTrace::events() const {
   std::vector<TxEvent> out;
   if (ring_.empty() || next_ == 0) return out;

@@ -1,7 +1,12 @@
 // Transaction event trace: a bounded ring of begin/commit/abort/conflict
-// events for post-mortem debugging of contention pathologies. Disabled by
-// default (zero overhead beyond a null check); enabled via
-// SimConfig::trace_depth or Machine::enable_trace().
+// events for post-mortem debugging of contention pathologies.
+//
+// Since the trace subsystem landed, TxTrace is one TraceSink among three
+// (see src/trace/ and docs/observability.md): it subscribes to the full
+// event stream and keeps the last `depth` lifecycle events in memory,
+// mapped down to the legacy five-kind vocabulary so its dump format —
+// relied on by tests — is unchanged. Disabled by default (zero overhead
+// beyond a null check); enabled via Machine::enable_trace().
 #pragma once
 
 #include <cstdint>
@@ -10,6 +15,7 @@
 
 #include "core/conflict.hpp"
 #include "sim/types.hpp"
+#include "trace/sink.hpp"
 
 namespace asfsim {
 
@@ -34,7 +40,7 @@ struct TxEvent {
   Addr line = 0;                             // for kConflict
 };
 
-class TxTrace {
+class TxTrace final : public trace::TraceSink {
  public:
   explicit TxTrace(std::size_t depth) : ring_(depth) {}
 
@@ -43,6 +49,11 @@ class TxTrace {
     ring_[next_ % ring_.size()] = ev;
     ++next_;
   }
+
+  /// TraceSink: record the lifecycle subset of the rich event stream
+  /// (counter samples, backoff spans etc. don't fit the ring's vocabulary
+  /// and are skipped).
+  void on_event(const trace::TraceEvent& ev) override;
 
   /// Events in chronological order (oldest retained first).
   [[nodiscard]] std::vector<TxEvent> events() const;

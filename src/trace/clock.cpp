@@ -1,0 +1,27 @@
+#include "trace/clock.hpp"
+
+namespace asfsim::trace {
+
+namespace {
+thread_local SimClockFn g_clock_fn = nullptr;
+thread_local const void* g_clock_ctx = nullptr;
+}  // namespace
+
+ScopedSimClock::ScopedSimClock(SimClockFn fn, const void* ctx) noexcept
+    : prev_fn_(g_clock_fn), prev_ctx_(g_clock_ctx) {
+  g_clock_fn = fn;
+  g_clock_ctx = ctx;
+}
+
+ScopedSimClock::~ScopedSimClock() {
+  g_clock_fn = prev_fn_;
+  g_clock_ctx = prev_ctx_;
+}
+
+bool current_sim_cycle(Cycle& out) noexcept {
+  if (g_clock_fn == nullptr) return false;
+  out = g_clock_fn(g_clock_ctx);
+  return true;
+}
+
+}  // namespace asfsim::trace

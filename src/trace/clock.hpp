@@ -1,0 +1,35 @@
+// Thread-local simulated-clock registration.
+//
+// Machine::run installs a ScopedSimClock so host-side code with no Machine
+// reference — notably sim/log.cpp's ASFSIM_INFO/ASFSIM_TRACE — can stamp
+// output with the current simulated cycle while a simulation is running on
+// this thread. Thread-local because the experiment runner drives one
+// Machine per worker thread concurrently.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace asfsim::trace {
+
+/// Clock thunk: returns the current simulated cycle for `ctx`.
+using SimClockFn = Cycle (*)(const void* ctx);
+
+/// RAII guard publishing a simulated-cycle source for this thread. Nests:
+/// the previous source is restored on destruction.
+class ScopedSimClock {
+ public:
+  ScopedSimClock(SimClockFn fn, const void* ctx) noexcept;
+  ~ScopedSimClock();
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+
+ private:
+  SimClockFn prev_fn_;
+  const void* prev_ctx_;
+};
+
+/// Current thread's simulated cycle; returns false (leaving `out` alone)
+/// when no Machine is running on this thread.
+[[nodiscard]] bool current_sim_cycle(Cycle& out) noexcept;
+
+}  // namespace asfsim::trace

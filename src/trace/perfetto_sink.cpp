@@ -1,0 +1,170 @@
+#include "trace/perfetto_sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace asfsim::trace {
+
+namespace {
+
+std::string u64s(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string hex64s(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  return buf;
+}
+
+/// One complete-event span on a core track.
+std::string span(const char* name, const char* cname, CoreId core, Cycle start,
+                 Cycle end, const std::string& args) {
+  std::string r = "{\"name\":\"";
+  r += name;
+  r += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+  r += u64s(core);
+  r += ",\"ts\":";
+  r += u64s(start);
+  r += ",\"dur\":";
+  r += u64s(end - start);
+  r += ",\"cname\":\"";
+  r += cname;
+  r += "\",\"args\":{";
+  r += args;
+  r += "}}";
+  return r;
+}
+
+std::string footprint_args(const TraceEvent& ev) {
+  std::string a = "\"read_lines\":" + u64s(ev.read_lines);
+  a += ",\"write_lines\":" + u64s(ev.write_lines);
+  a += ",\"read_subs\":" + u64s(ev.read_subs);
+  a += ",\"write_subs\":" + u64s(ev.write_subs);
+  return a;
+}
+
+/// One counter sample on its own track.
+std::string counter(const char* name, Cycle ts, std::uint64_t value) {
+  std::string r = "{\"name\":\"";
+  r += name;
+  r += "\",\"ph\":\"C\",\"pid\":0,\"ts\":";
+  r += u64s(ts);
+  r += ",\"args\":{\"value\":";
+  r += u64s(value);
+  r += "}}";
+  return r;
+}
+
+}  // namespace
+
+PerfettoSink::PerfettoSink(std::ostream& os) : os_(os) {
+  os_ << "{\"traceEvents\":[\n";
+  write_record(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"asfsim\"}}");
+}
+
+void PerfettoSink::write_record(const std::string& json) {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  os_ << json;
+}
+
+void PerfettoSink::ensure_core_track(CoreId core) {
+  if (core >= core_seen_.size()) core_seen_.resize(core + 1, false);
+  if (core_seen_[core]) return;
+  core_seen_[core] = true;
+  write_record("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+               u64s(core) + ",\"args\":{\"name\":\"core " + u64s(core) +
+               "\"}}");
+  write_record(
+      "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+      u64s(core) + ",\"args\":{\"sort_index\":" + u64s(core) + "}}");
+}
+
+void PerfettoSink::on_event(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEventKind::kBegin:
+      // Attempt starts are implied by the commit/abort spans; nothing to
+      // draw (live_tx counts them).
+      break;
+    case TraceEventKind::kCommit: {
+      ensure_core_track(ev.core);
+      std::string args = "\"retries\":" + u64s(ev.retries);
+      args += ",\"wasted\":" + u64s(ev.wasted);
+      args += "," + footprint_args(ev);
+      write_record(
+          span("tx", "good", ev.core, ev.span_begin, ev.cycle, args));
+      break;
+    }
+    case TraceEventKind::kAbort: {
+      ensure_core_track(ev.core);
+      std::string name = "abort (";
+      name += to_string(ev.cause);
+      name += ')';
+      std::string args = "\"cause\":\"";
+      args += to_string(ev.cause);
+      args += "\",\"wasted\":" + u64s(ev.wasted);
+      args += "," + footprint_args(ev);
+      write_record(span(name.c_str(), "terrible", ev.core, ev.span_begin,
+                        ev.cycle, args));
+      break;
+    }
+    case TraceEventKind::kConflict:
+    case TraceEventKind::kAvoided: {
+      ensure_core_track(ev.core);
+      const bool avoided = ev.kind == TraceEventKind::kAvoided;
+      std::string name = avoided ? "avoided" : "conflict ";
+      if (!avoided) {
+        name += to_string(ev.type);
+        name += ev.is_false ? " FALSE" : " true";
+      }
+      std::string r = "{\"name\":\"" + name +
+                      "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" +
+                      u64s(ev.core) + ",\"ts\":" + u64s(ev.cycle) +
+                      ",\"args\":{\"victim\":" + u64s(ev.core) +
+                      ",\"requester\":" + u64s(ev.other) + ",\"line\":\"" +
+                      hex64s(ev.line) + "\",\"probe_mask\":\"" +
+                      hex64s(ev.probe_mask) + "\",\"victim_mask\":\"" +
+                      hex64s(ev.victim_mask) + "\"}}";
+      write_record(r);
+      break;
+    }
+    case TraceEventKind::kFallback: {
+      ensure_core_track(ev.core);
+      std::string args = "\"retries\":" + u64s(ev.retries);
+      args += ",\"wasted\":" + u64s(ev.wasted);
+      write_record(
+          span("fallback", "yellow", ev.core, ev.span_begin, ev.cycle, args));
+      break;
+    }
+    case TraceEventKind::kBackoff:
+      ensure_core_track(ev.core);
+      write_record(
+          span("backoff", "grey", ev.core, ev.span_begin, ev.cycle, ""));
+      break;
+    case TraceEventKind::kCounter: {
+      write_record(counter("live_tx", ev.cycle, ev.live_tx));
+      write_record(counter("tx_commits", ev.cycle, ev.commits));
+      write_record(counter("tx_aborts", ev.cycle, ev.aborts));
+      write_record(
+          counter("abort_rate", ev.cycle, ev.aborts - prev_aborts_));
+      write_record(counter("bus_wait_cycles", ev.cycle, ev.bus_wait));
+      prev_aborts_ = ev.aborts;
+      break;
+    }
+  }
+}
+
+void PerfettoSink::finish(Cycle /*final_cycle*/) {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "\n]}\n";
+  os_.flush();
+}
+
+}  // namespace asfsim::trace

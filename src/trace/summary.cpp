@@ -1,0 +1,168 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "stats/report.hpp"
+#include "trace/jsonl.hpp"
+
+namespace asfsim::trace {
+
+namespace {
+
+constexpr std::size_t kTimelineBuckets = 10;
+
+std::string hex_line(Addr line) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(line));
+  return buf;
+}
+
+}  // namespace
+
+void TraceSummary::add(const TraceEvent& ev) {
+  ++total_events;
+  ++by_kind[static_cast<std::size_t>(ev.kind)];
+  if (total_events == 1 || ev.cycle < first_cycle) first_cycle = ev.cycle;
+  if (ev.cycle > last_cycle) last_cycle = ev.cycle;
+  if (ev.core != kInvalidCore && ev.core + 1 > ncores) ncores = ev.core + 1;
+  if (ev.other != kInvalidCore && ev.other + 1 > ncores) {
+    ncores = ev.other + 1;
+  }
+  switch (ev.kind) {
+    case TraceEventKind::kConflict: {
+      LineCounts& lc = by_line[ev.line];
+      if (ev.is_false) {
+        ++lc.false_conflicts;
+      } else {
+        ++lc.true_conflicts;
+      }
+      ++by_pair[{ev.other, ev.core}];  // (requester, victim)
+      break;
+    }
+    case TraceEventKind::kAbort:
+      ++aborts_by_cause[static_cast<std::size_t>(ev.cause)];
+      abort_samples.emplace_back(ev.cycle, ev.cause);
+      wasted_cycles += ev.wasted;
+      break;
+    default:
+      break;
+  }
+}
+
+bool summarize_jsonl(std::istream& in, TraceSummary& out, std::string& err) {
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    TraceEvent ev;
+    if (!from_jsonl(line, ev)) {
+      err = "malformed trace event on line " + std::to_string(lineno);
+      return false;
+    }
+    out.add(ev);
+  }
+  return true;
+}
+
+void print_summary(const TraceSummary& s, std::ostream& os, int top_n) {
+  os << "events: " << s.total_events << " over cycles [" << s.first_cycle
+     << ", " << s.last_cycle << "]\n";
+  {
+    TextTable t({"Kind", "Count"});
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k) {
+      t.add_row({to_string(static_cast<TraceEventKind>(k)),
+                 std::to_string(s.by_kind[k])});
+    }
+    t.print(os);
+  }
+
+  // Top conflicting lines, by total conflicts then address. The false
+  // counts per line are exactly the run's Fig-4 histogram
+  // (Stats::false_by_line) — tested in tests/test_trace.cpp.
+  os << "\nTop conflicting lines:\n";
+  {
+    std::vector<std::pair<Addr, TraceSummary::LineCounts>> lines(
+        s.by_line.begin(), s.by_line.end());
+    std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+      if (a.second.total() != b.second.total()) {
+        return a.second.total() > b.second.total();
+      }
+      return a.first < b.first;
+    });
+    if (lines.size() > static_cast<std::size_t>(top_n)) lines.resize(top_n);
+    TextTable t({"Line", "Conflicts", "False", "True"});
+    for (const auto& [line, lc] : lines) {
+      t.add_row({hex_line(line), std::to_string(lc.total()),
+                 std::to_string(lc.false_conflicts),
+                 std::to_string(lc.true_conflicts)});
+    }
+    t.print(os);
+  }
+
+  os << "\nHottest core pairs (requester -> victim):\n";
+  {
+    std::vector<std::pair<std::pair<CoreId, CoreId>, std::uint64_t>> pairs(
+        s.by_pair.begin(), s.by_pair.end());
+    std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (pairs.size() > static_cast<std::size_t>(top_n)) pairs.resize(top_n);
+    TextTable t({"Requester", "Victim", "Conflicts"});
+    for (const auto& [pair, count] : pairs) {
+      t.add_row({std::to_string(pair.first), std::to_string(pair.second),
+                 std::to_string(count)});
+    }
+    t.print(os);
+  }
+
+  os << "\nConflict matrix (rows = requester, cols = victim):\n";
+  {
+    std::vector<std::string> headers{"req\\vic"};
+    for (CoreId c = 0; c < s.ncores; ++c) {
+      headers.push_back(std::to_string(c));
+    }
+    TextTable t(headers);
+    for (CoreId r = 0; r < s.ncores; ++r) {
+      std::vector<std::string> row{std::to_string(r)};
+      for (CoreId v = 0; v < s.ncores; ++v) {
+        const auto it = s.by_pair.find({r, v});
+        row.push_back(std::to_string(it == s.by_pair.end() ? 0 : it->second));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(os);
+  }
+
+  os << "\nAbort-cause timeline (" << kTimelineBuckets << " buckets of "
+     << (s.last_cycle / kTimelineBuckets + 1) << " cycles):\n";
+  {
+    const Cycle width = s.last_cycle / kTimelineBuckets + 1;
+    std::array<std::array<std::uint64_t, 4>, kTimelineBuckets> buckets{};
+    for (const auto& [cycle, cause] : s.abort_samples) {
+      std::size_t b = static_cast<std::size_t>(cycle / width);
+      if (b >= kTimelineBuckets) b = kTimelineBuckets - 1;
+      ++buckets[b][static_cast<std::size_t>(cause)];
+    }
+    TextTable t({"From cycle", "conflict", "capacity", "user", "lock-wait"});
+    for (std::size_t b = 0; b < kTimelineBuckets; ++b) {
+      t.add_row({std::to_string(b * width), std::to_string(buckets[b][0]),
+                 std::to_string(buckets[b][1]), std::to_string(buckets[b][2]),
+                 std::to_string(buckets[b][3])});
+    }
+    t.print(os);
+  }
+
+  os << "\naborts: " << s.by_kind[static_cast<std::size_t>(
+                            TraceEventKind::kAbort)]
+     << "  commits: "
+     << s.by_kind[static_cast<std::size_t>(TraceEventKind::kCommit)]
+     << "  wasted cycles in aborted attempts: " << s.wasted_cycles << "\n";
+}
+
+}  // namespace asfsim::trace

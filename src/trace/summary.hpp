@@ -1,0 +1,57 @@
+// Trace analysis: aggregate a JSONL event stream into the summaries the
+// asfsim_trace CLI prints — top conflicting lines, hottest core pairs, the
+// full core×core conflict matrix, and an abort-cause timeline. Kept in the
+// library (not the CLI) so tests can assert the summaries against the
+// Stats of the run that produced the trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace asfsim::trace {
+
+struct TraceSummary {
+  std::uint64_t total_events = 0;
+  std::array<std::uint64_t, kTraceEventKinds> by_kind{};
+  Cycle first_cycle = 0;
+  Cycle last_cycle = 0;
+
+  struct LineCounts {
+    std::uint64_t false_conflicts = 0;
+    std::uint64_t true_conflicts = 0;
+    [[nodiscard]] std::uint64_t total() const {
+      return false_conflicts + true_conflicts;
+    }
+  };
+  /// Conflict counts per line address (ordered => deterministic output).
+  std::map<Addr, LineCounts> by_line;
+  /// Conflict counts per (requester, victim) core pair.
+  std::map<std::pair<CoreId, CoreId>, std::uint64_t> by_pair;
+  std::uint32_t ncores = 0;  // 1 + highest core id seen
+
+  std::array<std::uint64_t, 4> aborts_by_cause{};  // indexed by AbortCause
+  /// Raw (cycle, cause) abort samples; bucketed into the timeline at
+  /// print time (the trace's extent is only known once fully read).
+  std::vector<std::pair<Cycle, AbortCause>> abort_samples;
+  Cycle wasted_cycles = 0;  // summed over abort events
+
+  void add(const TraceEvent& ev);
+};
+
+/// Summarize a JSONL stream (one event per line; blank lines skipped).
+/// On a malformed line, fills `err` with a diagnostic and returns false.
+[[nodiscard]] bool summarize_jsonl(std::istream& in, TraceSummary& out,
+                                   std::string& err);
+
+/// Print the CLI report: event counts, top-N conflicting lines, hottest
+/// core pairs, the conflict matrix, and the abort-cause timeline.
+void print_summary(const TraceSummary& s, std::ostream& os, int top_n);
+
+}  // namespace asfsim::trace

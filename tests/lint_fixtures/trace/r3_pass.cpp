@@ -1,0 +1,22 @@
+// lint fixture: MUST pass. Guest-rule scope check — R3/R4 apply only under
+// a workloads/ path, so the host-side trace subsystem (src/trace/ sinks,
+// summary code, the asfsim_trace CLI) may use allocation and peek/poke
+// idioms freely without tripping guest rules.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> traced_worker(GuestCtx& c, Addr head) {
+  // Would flag global-alloc-in-tx inside workloads/; exempt here.
+  const Addr node = c.galloc().alloc(24, 8);
+  co_await c.store_u64(head, node);
+}
+
+void trace_probe_setup(Machine& m, Addr a) {
+  // Would flag raw-guest-access inside workloads/; exempt here.
+  m.poke(a, 8, 0x7ace);
+  const std::uint64_t v = m.peek(a, 8);
+  m.poke(a + 8, 8, v);
+}
+
+}  // namespace asfsim

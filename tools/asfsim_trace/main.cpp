@@ -1,0 +1,104 @@
+// asfsim_trace: offline analysis of full-timeline traces
+// (docs/observability.md).
+//
+//   asfsim_trace summarize <trace.jsonl> [--top N]
+//       Event counts, top-N conflicting lines, hottest core pairs, the
+//       core×core conflict matrix, and an abort-cause timeline.
+//
+//   asfsim_trace convert <trace.jsonl> <out.perfetto.json>
+//       Re-emit a JSONL trace as a Chrome/Perfetto trace-event file
+//       (load it at https://ui.perfetto.dev or chrome://tracing).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace/jsonl.hpp"
+#include "trace/perfetto_sink.hpp"
+#include "trace/summary.hpp"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s summarize <trace.jsonl> [--top N]\n"
+               "       %s convert <trace.jsonl> <out.perfetto.json>\n",
+               argv0, argv0);
+  return code;
+}
+
+int cmd_summarize(const char* argv0, int argc, char** argv) {
+  if (argc < 1) return usage(argv0, 2);
+  const char* path = argv[0];
+  int top_n = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = std::atoi(argv[++i]);
+    } else {
+      return usage(argv0, 2);
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv0, path);
+    return 1;
+  }
+  asfsim::trace::TraceSummary summary;
+  std::string err;
+  if (!asfsim::trace::summarize_jsonl(in, summary, err)) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv0, path, err.c_str());
+    return 1;
+  }
+  std::cout << "trace: " << path << "\n";
+  asfsim::trace::print_summary(summary, std::cout, top_n);
+  return 0;
+}
+
+int cmd_convert(const char* argv0, int argc, char** argv) {
+  if (argc != 2) return usage(argv0, 2);
+  std::ifstream in(argv[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv0, argv[0]);
+    return 1;
+  }
+  std::ofstream out(argv[1], std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", argv0, argv[1]);
+    return 1;
+  }
+  asfsim::trace::PerfettoSink sink(out);
+  std::string line;
+  std::size_t lineno = 0;
+  asfsim::Cycle last_cycle = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    asfsim::trace::TraceEvent ev;
+    if (!asfsim::trace::from_jsonl(line, ev)) {
+      std::fprintf(stderr, "%s: %s:%zu: malformed event line\n", argv0,
+                   argv[0], lineno);
+      return 1;
+    }
+    if (ev.cycle > last_cycle) last_cycle = ev.cycle;
+    sink.on_event(ev);
+  }
+  sink.finish(last_cycle);
+  std::fprintf(stderr, "wrote %s (%zu events)\n", argv[1], lineno);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0], 2);
+  if (std::strcmp(argv[1], "summarize") == 0) {
+    return cmd_summarize(argv[0], argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "convert") == 0) {
+    return cmd_convert(argv[0], argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "--help") == 0) return usage(argv[0], 0);
+  return usage(argv[0], 2);
+}
