@@ -68,6 +68,11 @@ class ConflictDetector {
   /// byte-overlap check on every access instead of via coherence probes.
   [[nodiscard]] virtual bool global_oracle() const { return false; }
 
+  /// True when the detector piggy-backs S-WR masks on load-probe responses
+  /// so requesters mark those sub-blocks Dirty (paper §IV-C). Gates the
+  /// piggyback-coverage invariant in MemorySystem::check_invariants().
+  [[nodiscard]] virtual bool dirty_handling() const { return false; }
+
   /// Check an incoming probe (byte mask `probe`) against a remote victim's
   /// speculative state. `invalidating` = the probe is for a write/RFO.
   [[nodiscard]] virtual ProbeCheck check_probe(const SpecState& victim,

@@ -35,6 +35,9 @@ class SubBlockDetector : public ConflictDetector {
   }
   [[nodiscard]] const char* name() const override { return name_; }
   [[nodiscard]] std::uint32_t nsub() const override { return nsub_; }
+  [[nodiscard]] bool dirty_handling() const override {
+    return dirty_handling_;
+  }
 
   [[nodiscard]] ProbeCheck check_probe(const SpecState& victim, ByteMask probe,
                                        bool invalidating) const override;

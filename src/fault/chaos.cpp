@@ -1,0 +1,308 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "guest/garray.hpp"
+#include "guest/machine.hpp"
+
+namespace asfsim {
+
+const char* to_string(ChaosVerdict v) {
+  switch (v) {
+    case ChaosVerdict::kClean: return "clean";
+    case ChaosVerdict::kInvariantViolation: return "invariant-violation";
+    case ChaosVerdict::kReplayViolation: return "replay-violation";
+    case ChaosVerdict::kRunFailed: return "run-failed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Thrown by the audit callback so the kernel run loop surfaces the
+/// violation at the exact cycle it appeared.
+struct InvariantViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct LedgerOp {
+  Cycle commit_cycle;
+  std::uint64_t seq;
+  std::uint32_t a, b, c;
+  std::uint64_t va, vb, out;
+};
+
+struct Ledger {
+  GArray64 cells;
+  std::uint64_t ncells = 0;
+  std::vector<LedgerOp> log;
+};
+
+constexpr std::uint64_t kCombineSalt = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t combine(std::uint64_t va, std::uint64_t vb) {
+  return (va * 3 + vb * 5 + 1) ^ kCombineSalt;
+}
+
+// Same shape as tests/test_serializability.cpp: two random reads combined
+// into a random write, with the observed values logged in commit order.
+// 96 unpadded cells on 12 lines guarantee heavy false sharing, which is
+// exactly the traffic the sub-block protocol rules exist to keep sound.
+Task<void> ledger_worker(GuestCtx& c, Ledger* lg, int ntx) {
+  for (int i = 0; i < ntx; ++i) {
+    const auto a = static_cast<std::uint32_t>(c.rng().below(lg->ncells));
+    const auto b = static_cast<std::uint32_t>(c.rng().below(lg->ncells));
+    auto t = static_cast<std::uint32_t>(c.rng().below(lg->ncells));
+    std::uint64_t va = 0, vb = 0, out = 0;
+    co_await c.run_tx([&]() -> Task<void> {
+      va = co_await lg->cells.get(c, a);
+      vb = co_await lg->cells.get(c, b);
+      out = combine(va, vb);
+      co_await lg->cells.set(c, t, out);
+    });
+    lg->log.push_back({c.now(), lg->log.size(), a, b, t, va, vb, out});
+    co_await c.work(15);
+  }
+}
+
+}  // namespace
+
+ChaosCellResult run_chaos_cell(const ChaosCell& cell) {
+  ChaosCellResult res;
+  SimConfig sim;
+  sim.seed = cell.seed;
+  sim.fault = cell.fault;
+  Machine m(sim, cell.detector, cell.nsub);
+
+  Ledger lg;
+  lg.ncells = 96;
+  lg.cells = GArray64::alloc(m.galloc(), lg.ncells);
+  std::vector<std::uint64_t> model(lg.ncells);
+  for (std::uint64_t i = 0; i < lg.ncells; ++i) {
+    lg.cells.poke(m, i, i * 11 + 1);
+    model[i] = i * 11 + 1;
+  }
+  for (CoreId c = 0; c < m.config().ncores; ++c) {
+    m.spawn(c, ledger_worker(m.ctx(c), &lg, cell.ntx));
+  }
+
+  auto audit = [&m] {
+    if (std::string err = m.mem().check_invariants(); !err.empty()) {
+      throw InvariantViolation(err);
+    }
+  };
+  m.kernel().set_audit(cell.audit_interval, audit);
+
+  try {
+    m.run(cell.max_cycles);
+    audit();  // once more at quiescence
+  } catch (const InvariantViolation& e) {
+    res.verdict = ChaosVerdict::kInvariantViolation;
+    res.detail = e.what();
+    res.commits = lg.log.size();
+    return res;
+  } catch (const std::exception& e) {
+    res.verdict = ChaosVerdict::kRunFailed;
+    res.detail = e.what();
+    res.commits = lg.log.size();
+    return res;
+  }
+  res.commits = lg.log.size();
+  res.cycles = m.stats().total_cycles;
+
+  // Strict-serializability replay of the committed history.
+  std::stable_sort(lg.log.begin(), lg.log.end(),
+                   [](const LedgerOp& x, const LedgerOp& y) {
+                     if (x.commit_cycle != y.commit_cycle) {
+                       return x.commit_cycle < y.commit_cycle;
+                     }
+                     return x.seq < y.seq;
+                   });
+  char buf[160];
+  for (std::size_t i = 0; i < lg.log.size(); ++i) {
+    const LedgerOp& op = lg.log[i];
+    if (op.va != model[op.a] || op.vb != model[op.b] ||
+        op.out != combine(op.va, op.vb)) {
+      std::snprintf(buf, sizeof(buf),
+                    "op %zu (commit cycle %llu) read cells %u/%u "
+                    "inconsistently with the serial order",
+                    i, static_cast<unsigned long long>(op.commit_cycle), op.a,
+                    op.b);
+      res.verdict = ChaosVerdict::kReplayViolation;
+      res.detail = buf;
+      return res;
+    }
+    model[op.c] = op.out;
+  }
+  for (std::uint64_t i = 0; i < lg.ncells; ++i) {
+    if (lg.cells.peek(m, i) != model[i]) {
+      std::snprintf(buf, sizeof(buf),
+                    "final memory diverges from the serial replay at cell %llu",
+                    static_cast<unsigned long long>(i));
+      res.verdict = ChaosVerdict::kReplayViolation;
+      res.detail = buf;
+      return res;
+    }
+  }
+  const std::uint64_t expect =
+      std::uint64_t{m.config().ncores} * static_cast<std::uint64_t>(cell.ntx);
+  if (lg.log.size() != expect) {
+    std::snprintf(buf, sizeof(buf),
+                  "committed %zu of %llu ledger operations", lg.log.size(),
+                  static_cast<unsigned long long>(expect));
+    res.verdict = ChaosVerdict::kRunFailed;
+    res.detail = buf;
+  }
+  return res;
+}
+
+const std::vector<ProtocolMutation>& all_mutations() {
+  static const std::vector<ProtocolMutation> kAll = {
+      ProtocolMutation::kDropDirtySubblock,
+      ProtocolMutation::kForgetInvalidatedSpecinfo,
+      ProtocolMutation::kSkipWrittenMask,
+      ProtocolMutation::kSkipCommitValidation,
+  };
+  return kAll;
+}
+
+namespace {
+
+struct CellShape {
+  DetectorKind detector;
+  std::uint32_t nsub;
+};
+
+/// Detectors on which each mutation's broken mechanism is actually
+/// exercised (e.g. dropping piggybacks is a no-op for the baseline, which
+/// never piggybacks).
+std::vector<CellShape> shapes_for(ProtocolMutation m) {
+  switch (m) {
+    case ProtocolMutation::kSkipWrittenMask:
+      return {{DetectorKind::kBaseline, 1}, {DetectorKind::kSubBlock, 4}};
+    case ProtocolMutation::kDropDirtySubblock:
+    case ProtocolMutation::kForgetInvalidatedSpecinfo:
+    case ProtocolMutation::kSkipCommitValidation:
+      return {{DetectorKind::kSubBlock, 4},
+              {DetectorKind::kSubBlock, 8},
+              {DetectorKind::kSubBlock, 16}};
+    case ProtocolMutation::kNone: break;
+  }
+  return {};
+}
+
+std::string cell_label(const CellShape& s, std::uint64_t seed) {
+  std::string n = to_string(s.detector);
+  if (s.detector == DetectorKind::kSubBlock) n += std::to_string(s.nsub);
+  return n + "/seed" + std::to_string(seed);
+}
+
+}  // namespace
+
+bool KillMatrixReport::all_green() const {
+  if (!clean_controls_ok) return false;
+  for (const MutationOutcome& o : outcomes) {
+    if (!o.killed) return false;
+  }
+  return !outcomes.empty();
+}
+
+std::string KillMatrixReport::summary() const {
+  std::string out;
+  for (const MutationOutcome& o : outcomes) {
+    out += std::string(to_string(o.mutation)) + ": ";
+    if (o.killed) {
+      out += "KILLED by " + std::string(to_string(o.verdict)) + " on " +
+             o.cell_label + " (" + o.detail + ")\n";
+    } else {
+      out += "SURVIVED — no oracle caught it\n";
+    }
+  }
+  out += clean_controls_ok
+             ? "clean controls: ok\n"
+             : "clean controls: FAILED (" + control_failure + ")\n";
+  out += all_green() ? "kill matrix: ALL GREEN" : "kill matrix: RED";
+  return out;
+}
+
+KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt) {
+  KillMatrixReport report;
+
+  // Clean controls: no mutation — with and without legal fault injection —
+  // must pass both oracles on every shape. A failure here means an oracle
+  // is unsound (false positive), which would make every "kill" meaningless.
+  report.clean_controls_ok = true;
+  const std::vector<CellShape> control_shapes = {
+      {DetectorKind::kBaseline, 1},
+      {DetectorKind::kSubBlock, 4},
+      {DetectorKind::kSubBlock, 16},
+  };
+  FaultConfig faulty;
+  faulty.spurious_abort_rate = 0.002;
+  faulty.evict_rate = 0.001;
+  faulty.commit_abort_rate = 0.005;
+  faulty.probe_jitter = 3;
+  faulty.sched_jitter = 2;
+  for (const CellShape& s : control_shapes) {
+    for (const FaultConfig& fc : {FaultConfig{}, faulty}) {
+      ChaosCell cell;
+      cell.detector = s.detector;
+      cell.nsub = s.nsub;
+      cell.seed = opt.seeds.empty() ? 1 : opt.seeds.front();
+      cell.fault = fc;
+      cell.ntx = opt.ntx;
+      cell.audit_interval = opt.audit_interval;
+      const ChaosCellResult r = run_chaos_cell(cell);
+      if (opt.verbose) {
+        std::printf("control %s%s: %s\n", cell_label(s, cell.seed).c_str(),
+                    fc.any_injection() ? "+faults" : "", to_string(r.verdict));
+      }
+      if (r.verdict != ChaosVerdict::kClean && report.clean_controls_ok) {
+        report.clean_controls_ok = false;
+        report.control_failure = cell_label(s, cell.seed) +
+                                 (fc.any_injection() ? "+faults" : "") + ": " +
+                                 std::string(to_string(r.verdict)) + " — " +
+                                 r.detail;
+      }
+    }
+  }
+
+  // Mutation cells: walk (shape, seed) until an oracle kills the mutation.
+  for (const ProtocolMutation mut : all_mutations()) {
+    MutationOutcome outcome;
+    outcome.mutation = mut;
+    for (const CellShape& s : shapes_for(mut)) {
+      for (const std::uint64_t seed : opt.seeds) {
+        ChaosCell cell;
+        cell.detector = s.detector;
+        cell.nsub = s.nsub;
+        cell.seed = seed;
+        cell.fault.mutation = mut;
+        cell.ntx = opt.ntx;
+        cell.audit_interval = opt.audit_interval;
+        const ChaosCellResult r = run_chaos_cell(cell);
+        if (opt.verbose) {
+          std::printf("mutate %s on %s: %s%s%s\n", to_string(mut),
+                      cell_label(s, seed).c_str(), to_string(r.verdict),
+                      r.detail.empty() ? "" : " — ", r.detail.c_str());
+        }
+        if (r.verdict == ChaosVerdict::kInvariantViolation ||
+            r.verdict == ChaosVerdict::kReplayViolation) {
+          outcome.killed = true;
+          outcome.verdict = r.verdict;
+          outcome.cell_label = cell_label(s, seed);
+          outcome.detail = r.detail;
+        }
+        if (outcome.killed) break;
+      }
+      if (outcome.killed) break;
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace asfsim

@@ -1,0 +1,88 @@
+// Chaos harness: prove the correctness oracles catch protocol bugs.
+//
+// A chaos cell runs the ledger workload (the same shape as
+// tests/test_serializability.cpp) on one (detector, seed, fault, mutation)
+// configuration with two oracles armed:
+//   * an in-flight invariant auditor — MemorySystem::check_invariants()
+//     runs from the kernel loop every audit_interval cycles;
+//   * a post-run strict-serializability replay of the committed history.
+// The kill matrix then demands that EVERY protocol mutation is killed by at
+// least one oracle on at least one cell, while clean (mutation-free) cells
+// stay green — including cells with fault injection enabled, because legal
+// faults must never trip a correctness oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "fault/fault_config.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+enum class ChaosVerdict : std::uint8_t {
+  kClean = 0,           // both oracles passed
+  kInvariantViolation,  // the in-flight auditor fired
+  kReplayViolation,     // the committed history is not serializable
+  kRunFailed,           // the run itself died (deadlock, cycle limit, ...)
+};
+
+[[nodiscard]] const char* to_string(ChaosVerdict v);
+
+/// One cell of the chaos matrix.
+struct ChaosCell {
+  DetectorKind detector = DetectorKind::kSubBlock;
+  std::uint32_t nsub = 4;
+  std::uint64_t seed = 1;
+  FaultConfig fault;       // injection rates + the mutation under test
+  int ntx = 60;            // ledger transactions per core
+  Cycle audit_interval = 500;
+  Cycle max_cycles = 30'000'000;  // hard stop for runaway cells
+};
+
+struct ChaosCellResult {
+  ChaosVerdict verdict = ChaosVerdict::kClean;
+  std::string detail;          // first violation / failure description
+  std::uint64_t commits = 0;   // committed ledger operations observed
+  Cycle cycles = 0;            // final simulated cycle
+};
+
+/// Run one cell: ledger workload + invariant auditor + replay.
+[[nodiscard]] ChaosCellResult run_chaos_cell(const ChaosCell& cell);
+
+/// The protocol mutations the kill matrix must cover (kNone excluded).
+[[nodiscard]] const std::vector<ProtocolMutation>& all_mutations();
+
+struct KillMatrixOptions {
+  std::vector<std::uint64_t> seeds = {1, 9, 23};
+  int ntx = 60;
+  Cycle audit_interval = 500;
+  bool verbose = false;  // print each cell's outcome to stdout
+};
+
+struct MutationOutcome {
+  ProtocolMutation mutation = ProtocolMutation::kNone;
+  bool killed = false;
+  ChaosVerdict verdict = ChaosVerdict::kClean;  // the killing verdict
+  std::string cell_label;                       // which cell killed it
+  std::string detail;                           // the oracle's message
+};
+
+struct KillMatrixReport {
+  std::vector<MutationOutcome> outcomes;
+  bool clean_controls_ok = false;
+  std::string control_failure;  // first clean-control violation, if any
+
+  /// Every mutation killed AND every clean control stayed green.
+  [[nodiscard]] bool all_green() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the full mutation-kill matrix: clean controls (no mutation, with and
+/// without fault injection), then every mutation over suitable detectors
+/// and `seeds` until killed.
+[[nodiscard]] KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt);
+
+}  // namespace asfsim

@@ -1,0 +1,22 @@
+// Livelock watchdog diagnostics (docs/robustness.md).
+//
+// The watchdog itself lives in the Kernel (set_watchdog): when no
+// transaction commits for SimConfig::watchdog_cycles, the run loop throws
+// LivelockError. Machine arms it with livelock_report() as the report
+// callback, so the error's what() carries a structured dump of WHY the
+// machine stopped making progress: per-core retry counts and doom causes,
+// the hottest conflict lines, commit/abort/fallback totals, and the fault
+// plan's injection summary when one is attached.
+#pragma once
+
+#include <string>
+
+namespace asfsim {
+
+class Machine;
+
+/// Build the diagnostic dump for a stalled `m`. Read-only; safe to call
+/// from the kernel's run loop mid-simulation.
+[[nodiscard]] std::string livelock_report(Machine& m);
+
+}  // namespace asfsim

@@ -86,6 +86,11 @@ class GuestCtx {
         if (r.capacity_abort) {
           c.rt_.self_doom(c.core_, AbortCause::kCapacity);
           self_abort = true;
+        } else if (r.spurious_abort) {
+          // Injected fault: ASF reserves the right to abort spuriously;
+          // software must treat it like any transient conflict.
+          c.rt_.self_doom(c.core_, AbortCause::kConflict);
+          self_abort = true;
         } else if (is_write) {
           c.rt_.write_value(c.core_, addr, size, value);
         } else {
@@ -224,8 +229,12 @@ class GuestCtx {
       ats_slot = true;
       rt_.note_ats_dispatch();
     }
+    // max_tx_retries = 0 disables the fallback entirely (livelock studies:
+    // progress then rests on backoff alone; pair with watchdog_cycles).
+    const bool fallback_enabled = cfg_.max_tx_retries != 0;
     for (;;) {
-      if (capacity_aborts >= 3 || rt_.retries(core_) >= 24) {
+      if (fallback_enabled && (capacity_aborts >= cfg_.max_capacity_aborts ||
+                               rt_.retries(core_) >= cfg_.max_tx_retries)) {
         rt_.note_fallback_start(core_);
         co_await acquire_fallback();
         co_await body();  // runs non-transactionally under the global lock

@@ -1,5 +1,8 @@
 #include "guest/machine.hpp"
 
+#include <stdexcept>
+
+#include "fault/watchdog.hpp"
 #include "trace/clock.hpp"
 
 namespace asfsim {
@@ -19,6 +22,19 @@ Machine::Machine(const SimConfig& cfg, DetectorKind detector,
       runtime_(kernel_, mem_, backing_, stats_, cfg_) {
   mem_.set_detector(detector_.get());
   mem_.set_tx_control(&runtime_);
+  if (std::string err = cfg_.validate(detector_->nsub()); !err.empty()) {
+    throw std::invalid_argument("SimConfig: " + err);
+  }
+  if (cfg_.fault.any_injection()) {
+    fault_ = std::make_unique<FaultPlan>(cfg_.fault, cfg_.seed, cfg_.ncores);
+    kernel_.set_fault_plan(fault_.get());
+    mem_.set_fault_plan(fault_.get());
+    runtime_.set_fault_plan(fault_.get());
+  }
+  if (cfg_.watchdog_cycles != 0) {
+    kernel_.set_watchdog(cfg_.watchdog_cycles,
+                         [this] { return livelock_report(*this); });
+  }
   // The software-fallback lock word gets a cache line of its own.
   fallback_lock_ = galloc_.alloc(kLineBytes, kLineBytes);
   backing_.write(fallback_lock_, 8, 0);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "fault/plan.hpp"
 #include "guest/ctx.hpp"
 #include "htm/asf_runtime.hpp"
 #include "mem/backing_store.hpp"
@@ -60,6 +61,10 @@ class Machine {
   }
   [[nodiscard]] trace::TraceHub& trace_hub() { return hub_; }
 
+  /// The fault-injection plan, or null when no injection is configured
+  /// (SimConfig::fault — tools read the counters after a run).
+  [[nodiscard]] FaultPlan* fault_plan() { return fault_.get(); }
+
   /// Enable the bounded in-memory event ring (of `depth` events).
   TxTrace& enable_trace(std::size_t depth = 4096) {
     trace_ = std::make_unique<TxTrace>(depth);
@@ -88,6 +93,7 @@ class Machine {
   GAllocator galloc_;
   Addr fallback_lock_ = 0;
   std::unique_ptr<TxTrace> trace_;
+  std::unique_ptr<FaultPlan> fault_;
   std::vector<std::unique_ptr<GuestCtx>> ctxs_;
 };
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "fault/fault_config.hpp"
+
 namespace asfsim {
 
 CliOptions parse_cli(int argc, char** argv, double default_scale) {
@@ -38,11 +40,42 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
                      argv[0]);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--fault-spurious") == 0) {
+      o.fault_spurious = std::atof(need_value("--fault-spurious"));
+    } else if (std::strcmp(argv[i], "--fault-commit") == 0) {
+      o.fault_commit = std::atof(need_value("--fault-commit"));
+    } else if (std::strcmp(argv[i], "--fault-evict") == 0) {
+      o.fault_evict = std::atof(need_value("--fault-evict"));
+    } else if (std::strcmp(argv[i], "--fault-probe-jitter") == 0) {
+      o.fault_probe_jitter =
+          static_cast<std::uint64_t>(std::atoll(need_value("--fault-probe-jitter")));
+    } else if (std::strcmp(argv[i], "--fault-sched-jitter") == 0) {
+      o.fault_sched_jitter =
+          static_cast<std::uint64_t>(std::atoll(need_value("--fault-sched-jitter")));
+    } else if (std::strcmp(argv[i], "--mutate") == 0) {
+      o.mutate = need_value("--mutate");
+      ProtocolMutation mut;
+      if (!parse_mutation(o.mutate, mut)) {
+        std::fprintf(stderr,
+                     "%s: unknown --mutate %s (try drop-dirty-subblock, "
+                     "forget-invalidated-specinfo, skip-written-mask, "
+                     "skip-commit-validation)\n",
+                     argv[0], o.mutate.c_str());
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+      o.watchdog = static_cast<std::uint64_t>(std::atoll(need_value("--watchdog")));
+    } else if (std::strcmp(argv[i], "--job-timeout") == 0) {
+      o.job_timeout = std::atof(need_value("--job-timeout"));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--scale f] [--threads n] [--seed n] [--csv dir] "
           "[--jobs n] [--no-cache] [--trace-dir dir] "
-          "[--trace-format jsonl|perfetto]\n",
+          "[--trace-format jsonl|perfetto]\n"
+          "  robustness: [--fault-spurious p] [--fault-commit p] "
+          "[--fault-evict p] [--fault-probe-jitter n] "
+          "[--fault-sched-jitter n] [--mutate name] [--watchdog n] "
+          "[--job-timeout s]\n",
           argv[0]);
       std::exit(0);
     } else {

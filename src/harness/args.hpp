@@ -13,6 +13,16 @@
 //   --trace-dir <dir>     write one full-timeline trace file per job
 //   --trace-format <fmt>  jsonl (default) or perfetto
 //                         (see docs/observability.md)
+//
+// Robustness flags (docs/robustness.md):
+//   --fault-spurious <p>      per-tx-access spurious-abort probability
+//   --fault-commit <p>        per-commit injected-abort probability
+//   --fault-evict <p>         per-tx-access forced speculative eviction prob.
+//   --fault-probe-jitter <n>  max extra cycles per probe broadcast
+//   --fault-sched-jitter <n>  max extra cycles per scheduled resume
+//   --mutate <name>           protocol mutation (chaos harness)
+//   --watchdog <n>            livelock watchdog threshold in cycles (0 = off)
+//   --job-timeout <s>         per-job wall-clock limit in seconds (0 = off)
 #pragma once
 
 #include <cstdint>
@@ -29,6 +39,17 @@ struct CliOptions {
   bool no_cache = false;   // skip the content-addressed result cache
   std::string trace_dir;   // empty = tracing disabled
   std::string trace_format = "jsonl";  // "jsonl" | "perfetto"
+
+  // Robustness knobs (apply_robustness_options folds them into the
+  // ExperimentConfig; all defaults preserve the clean-run byte output).
+  double fault_spurious = 0.0;
+  double fault_commit = 0.0;
+  double fault_evict = 0.0;
+  std::uint64_t fault_probe_jitter = 0;
+  std::uint64_t fault_sched_jitter = 0;
+  std::string mutate;        // validated by parse_cli (parse_mutation)
+  std::uint64_t watchdog = 0;
+  double job_timeout = 0.0;  // seconds; env ASFSIM_JOB_TIMEOUT also works
 };
 
 /// Parse the common flags; exits with a usage message on errors.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/detector.hpp"
+#include "harness/args.hpp"
 #include "sim/config.hpp"
 #include "stats/counters.hpp"
 #include "workloads/workload.hpp"
@@ -17,6 +18,10 @@ struct ExperimentConfig {
   WorkloadParams params;
   bool timeseries = false;  // record Fig-3 style time series
   Cycle max_cycles = Cycle{1} << 36;  // livelock guard
+  /// Host wall-clock budget for the run, in seconds (0 = unlimited).
+  /// Deliberately NOT part of the JobSpec cache key: it never changes the
+  /// simulation result, only whether the host gives up on it.
+  double wall_limit_s = 0.0;
 
   /// Convenience: same experiment with a different detector.
   [[nodiscard]] ExperimentConfig with(DetectorKind d,
@@ -51,6 +56,11 @@ struct ExperimentResult {
 
   [[nodiscard]] bool ok() const { return validation_error.empty(); }
 };
+
+/// Fold the CLI robustness flags (--fault-*, --mutate, --watchdog) into an
+/// experiment config. The fault knobs land in cfg.sim.fault and therefore
+/// in the JobSpec hash; wall_limit_s stays host-side.
+void apply_robustness_options(const CliOptions& opts, ExperimentConfig& cfg);
 
 /// Run one experiment to completion. Throws on simulator-level failures
 /// (deadlock, cycle-limit); workload validation failures are reported in the

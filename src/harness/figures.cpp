@@ -30,6 +30,7 @@ ExperimentConfig base_config(const CliOptions& opts) {
   cfg.params.seed = opts.seed;
   cfg.params.scale = opts.scale;
   cfg.sim.ncores = opts.threads;
+  apply_robustness_options(opts, cfg);
   return cfg;
 }
 
@@ -40,6 +41,7 @@ runner::RunnerOptions runner_opts(const CliOptions& opts) {
   o.trace_dir = opts.trace_dir;
   o.trace_format = opts.trace_format == "perfetto" ? TraceFormat::kPerfetto
                                                    : TraceFormat::kJsonl;
+  o.job_wall_limit_s = opts.job_timeout;
   return o;
 }
 

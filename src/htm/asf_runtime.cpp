@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fault/plan.hpp"
 #include "sim/kernel.hpp"
 
 namespace asfsim {
@@ -80,6 +81,13 @@ void AsfRuntime::self_doom(CoreId core, AbortCause cause) {
 }
 
 void AsfRuntime::commit(CoreId core) {
+  // Injected commit-time abort (late interference, e.g. an interrupt at the
+  // commit point): the transaction dooms itself instead of committing, and
+  // the guest's CommitOp observes it like a conflict that raced the commit.
+  if (fault_ != nullptr && fault_->commit_abort(core)) {
+    self_doom(core, AbortCause::kConflict);
+    return;
+  }
   PerCore& p = cores_[core];
   assert(p.active && !p.doomed);
   const TxFootprint fp = mem_.tx_footprint(core);
@@ -94,6 +102,7 @@ void AsfRuntime::commit(CoreId core) {
   p.overlay.clear();
   mem_.clear_spec(core, /*discard_written_lines=*/false);
   p.active = false;
+  kernel_.note_progress();  // feeds the livelock watchdog
   const Cycle duration = kernel_.now() - p.tx_start;
   stats_.tx_busy_cycles += duration;
   stats_.on_tx_commit();
@@ -161,6 +170,7 @@ void AsfRuntime::note_fallback(CoreId core) {
   p.wasted = 0;
   ++stats_.fallback_runs;
   ++stats_.tx_commits;  // the work did complete exactly once
+  kernel_.note_progress();  // fallback completions are progress too
 }
 
 void AsfRuntime::note_backoff(CoreId core, Cycle wait) {

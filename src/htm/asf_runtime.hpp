@@ -31,6 +31,7 @@
 namespace asfsim {
 
 class Kernel;
+class FaultPlan;
 
 /// Thrown inside guest coroutines to unwind an aborted transaction to its
 /// retry loop (GuestCtx::run_tx).
@@ -93,6 +94,11 @@ class AsfRuntime final : public ITxControl {
   /// Optional trace hub (null while no sink is attached — the disabled
   /// path is a single null-pointer branch per would-be event).
   void set_trace_hub(trace::TraceHub* hub) { hub_ = hub; }
+  /// Optional fault plan (null while injection is disabled): commit()
+  /// consults it for injected commit-time aborts. A faulted commit dooms
+  /// the transaction instead; callers observe it via doomed(core) exactly
+  /// like a remote conflict that raced the commit point.
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
 
   // ---- value path ---------------------------------------------------------
   /// Read `size` bytes at `a` as seen by `core`: its own overlay bytes win,
@@ -137,6 +143,7 @@ class AsfRuntime final : public ITxControl {
   BackoffManager backoff_;
   std::unique_ptr<AdaptiveScheduler> scheduler_;
   trace::TraceHub* hub_ = nullptr;
+  FaultPlan* fault_ = nullptr;
   std::vector<PerCore> cores_;
 };
 

@@ -17,10 +17,18 @@ class BackoffManager {
       : base_(cfg.backoff_base), cap_shift_(cfg.backoff_cap_shift), rng_(seed) {}
 
   /// Backoff wait for the given retry count (1 = first retry). Randomized in
-  /// [window/2, window] where window = base << min(retry, cap).
+  /// [window/2, window] where window = base << min(retry, cap). The window
+  /// saturates instead of overflowing: base << shift with a large
+  /// backoff_cap_shift is UB on Cycle (uint64_t would wrap, signed shifts
+  /// overflow), so clamp to a huge-but-finite window.
   [[nodiscard]] Cycle wait_for(std::uint32_t retry) {
     const std::uint32_t shift = retry < cap_shift_ ? retry : cap_shift_;
-    const Cycle window = base_ << shift;
+    Cycle window;
+    if (shift >= 63 || (base_ << shift) >> shift != base_) {
+      window = ~Cycle{0} >> 1;  // saturate: still sortable, never wraps to 0
+    } else {
+      window = base_ << shift;
+    }
     return window / 2 + rng_.below(window / 2 + 1);
   }
 

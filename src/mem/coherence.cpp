@@ -4,13 +4,14 @@
 #include <cassert>
 
 #include "core/classifier.hpp"
+#include "fault/plan.hpp"
 #include "sim/kernel.hpp"
 #include "trace/sink.hpp"
 
 namespace asfsim {
 
 MemorySystem::MemorySystem(Kernel& kernel, const SimConfig& cfg, Stats& stats)
-    : kernel_(kernel), cfg_(cfg), stats_(stats) {
+    : kernel_(kernel), cfg_(cfg), stats_(stats), mutation_(cfg.fault.mutation) {
   for (std::uint32_t c = 0; c < cfg_.ncores; ++c) {
     l1_.emplace_back(cfg_.l1);
     l2_.emplace_back(cfg_.l2);
@@ -56,7 +57,11 @@ void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
   SpecState& m = spec_meta_[core][line];
   const SubBlockMask q = quantize(mask, detector_->nsub());
   if (is_write) {
-    m.write_bytes |= mask;
+    // MUTATION kSkipWrittenMask: set the architectural S-WR bits but "forget"
+    // the byte-exact write mask — the mask/bit-agreement invariant kills it.
+    if (mutation_ != ProtocolMutation::kSkipWrittenMask) {
+      m.write_bytes |= mask;
+    }
     m.bits.spec |= q;
     m.bits.wr |= q;
   } else {
@@ -155,6 +160,15 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
           ++stats_.piggyback_messages;
         }
         retain = pc.retain_spec_info;
+        // MUTATION kForgetInvalidatedSpecinfo: drop the victim's speculative
+        // info (and its metadata, so no structural audit can see the hole)
+        // instead of retaining it inside the invalidated line (§IV-B). Only
+        // the serializability replay catches the missed late conflict.
+        if (retain &&
+            mutation_ == ProtocolMutation::kForgetInvalidatedSpecinfo) {
+          retain = false;
+          spec_meta_[o].erase(line);
+        }
       }
     }
 
@@ -179,6 +193,25 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
     }
   }
   return out;
+}
+
+bool MemorySystem::evict_speculative_line(CoreId core) {
+  // Deterministic victim choice: the lowest-addressed speculative line
+  // (spec_meta_ iteration order is hash-order, which varies across library
+  // implementations — never use it for victim selection).
+  Addr victim = ~Addr{0};
+  for (const auto& [line, meta] : spec_meta_[core]) {
+    if (line < victim) victim = line;
+  }
+  if (victim == ~Addr{0}) return false;
+  l1_[core].drop(victim);
+  l2_[core].drop(victim);
+  l3_[core].drop(victim);
+  dirty_marks_[core].erase(victim);
+  // The entry dies with the imminent capacity abort; erase it now so the
+  // metadata-residency invariant holds at every audit point.
+  spec_meta_[core].erase(victim);
+  return true;
 }
 
 bool MemorySystem::fill_l1(CoreId core, Addr line, Moesi state) {
@@ -255,6 +288,23 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
   }
 
   AccessResult r;
+  if (fault_ != nullptr && is_tx) {
+    // Capacity-pressure fault: one of the requester's own speculative lines
+    // is pushed out, which ASF surfaces as a capacity abort.
+    if (!spec_meta_[core].empty() && fault_->forced_eviction(core) &&
+        evict_speculative_line(core)) {
+      r.capacity_abort = true;
+      r.latency = cfg_.l1.latency;
+      return r;
+    }
+    // Spurious abort: the access dooms its own transaction for no
+    // architectural reason (ASF explicitly permits this).
+    if (fault_->spurious_abort(core)) {
+      r.spurious_abort = true;
+      r.latency = cfg_.l1.latency;
+      return r;
+    }
+  }
   TagArray& l1 = l1_[core];
   TagArray::Entry* e = l1.find(line);
   const bool valid = e != nullptr && e->state != Moesi::kInvalid;
@@ -306,6 +356,7 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       // (invalidating probes never produce piggyback info)
       e = l1.find(line);  // doom() handling cannot touch our line, but re-find
       r.latency += bus_wait;
+      if (fault_ != nullptr) r.latency += fault_->probe_jitter(core);
       if (valid) {
         // S or O upgrade: data already local, pay the invalidation round trip.
         e->state = Moesi::kModified;
@@ -333,6 +384,7 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       SubBlockMask pb = 0;
       const ProbeOutcome po = probe_remotes(core, line, mask, false, &pb);
       r.latency = bus_wait + source_latency(po.remote_owner);
+      if (fault_ != nullptr) r.latency += fault_->probe_jitter(core);
       if (valid) {
         // Dirty-forced refetch: the line stays resident; its stale marks are
         // cleared and fresh piggy-back info (if any) re-applied below.
@@ -347,7 +399,13 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
         }
         dirty_marks_[core].erase(line);
       }
-      if (pb != 0) dirty_marks_[core][line] |= pb;
+      // MUTATION kDropDirtySubblock: discard the piggy-backed S-WR set
+      // instead of marking those sub-blocks Dirty (§IV-C / Fig 7). Replay
+      // alone cannot see this (commit-time validation rescues the schedule);
+      // the piggyback-coverage invariant in check_invariants() kills it.
+      if (pb != 0 && mutation_ != ProtocolMutation::kDropDirtySubblock) {
+        dirty_marks_[core][line] |= pb;
+      }
     }
   }
 
@@ -359,6 +417,9 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
 void MemorySystem::validate_readers_at_commit(CoreId committer, Addr line,
                                               ByteMask written) {
   if (detector_->global_oracle()) return;  // the oracle never misses
+  // MUTATION kSkipCommitValidation: reopen the silent-store window that
+  // retention creates (DESIGN.md §6.5) — the serializability replay kills it.
+  if (mutation_ == ProtocolMutation::kSkipCommitValidation) return;
   for (CoreId o = 0; o < cfg_.ncores; ++o) {
     if (o == committer) continue;
     auto it = spec_meta_[o].find(line);
@@ -433,6 +494,32 @@ std::string MemorySystem::check_invariants() const {
       if (e != nullptr && e->retained && e->state != Moesi::kInvalid) {
         return "core " + std::to_string(c) + " line " + std::to_string(line) +
                ": retained flag on a valid line";
+      }
+    }
+  }
+  // Piggyback coverage (paper §IV-C): while core c's transaction holds S-WR
+  // sub-blocks on a line, every OTHER core with a load-origin copy (S or E —
+  // such a copy can only come from a non-invalidating fill, whose response
+  // piggy-backs the S-WR set) must carry Dirty marks covering those
+  // sub-blocks. M/O holders are exempt: write-origin fills carry no
+  // piggyback and are protected by commit-time reader validation instead.
+  if (txctl_ != nullptr && detector_->dirty_handling()) {
+    for (CoreId c = 0; c < cfg_.ncores; ++c) {
+      if (!txctl_->in_tx(c)) continue;
+      for (const auto& [line, meta] : spec_meta_[c]) {
+        const SubBlockMask swr = meta.bits.spec_written();
+        if (swr == 0) continue;
+        for (CoreId o = 0; o < cfg_.ncores; ++o) {
+          if (o == c) continue;
+          const Moesi st = l1_state(o, line);
+          if (st != Moesi::kShared && st != Moesi::kExclusive) continue;
+          if ((dirty_marks(o, line) & swr) != swr) {
+            return "core " + std::to_string(o) + " line " +
+                   std::to_string(line) +
+                   ": S/E copy missing Dirty marks for core " +
+                   std::to_string(c) + "'s S-WR sub-blocks (piggyback lost)";
+          }
+        }
       }
     }
   }

@@ -31,6 +31,7 @@
 namespace asfsim {
 
 class Kernel;
+class FaultPlan;
 
 namespace trace {
 class TraceHub;
@@ -58,6 +59,8 @@ struct AccessResult {
   Cycle latency = 0;
   bool capacity_abort = false;  // requester's own tx cannot keep its
                                 // speculative lines in the L1
+  bool spurious_abort = false;  // injected fault: abort for no architectural
+                                // reason (real ASF reserves the right)
   DataSource source = DataSource::kL1;
 };
 
@@ -70,6 +73,9 @@ class MemorySystem {
   /// Attach the trace hub (null while tracing is disabled; the only cost
   /// then is one null check on the avoided-conflict path).
   void set_trace_hub(trace::TraceHub* hub) { hub_ = hub; }
+  /// Attach the fault plan (null while injection is disabled; the only cost
+  /// then is one null check per transactional access / probe broadcast).
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
   [[nodiscard]] ConflictDetector& detector() const { return *detector_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
@@ -143,12 +149,19 @@ class MemorySystem {
   void oracle_check(CoreId requester, Addr line, ByteMask mask, bool is_write);
   [[nodiscard]] bool line_pinned(CoreId core, Addr line) const;
 
+  /// Capacity-pressure fault: evict the core's lowest-addressed speculative
+  /// line from its whole private hierarchy. Returns false when the core has
+  /// no speculative lines (nothing to evict).
+  bool evict_speculative_line(CoreId core);
+
   Kernel& kernel_;
   const SimConfig cfg_;
   Stats& stats_;
   ITxControl* txctl_ = nullptr;
   ConflictDetector* detector_ = nullptr;
   trace::TraceHub* hub_ = nullptr;
+  FaultPlan* fault_ = nullptr;
+  const ProtocolMutation mutation_;  // from cfg_.fault (chaos harness)
 
   /// Serialize a probe broadcast on the snoop bus: returns the queuing
   /// delay (cycles the requester stalls behind earlier broadcasts).

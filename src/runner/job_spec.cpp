@@ -54,7 +54,7 @@ JobSpec make_job_spec(const std::string& workload,
   const SimConfig& sim = spec.config.sim;
   std::string& s = spec.canonical;
   s.reserve(768);
-  s += "asfsim-jobspec v1\n";
+  s += "asfsim-jobspec v2\n";
   s += "workload " + workload + "\n";
   kv(s, "detector", static_cast<std::uint64_t>(cfg.detector));
   kv(s, "nsub", cfg.nsub);
@@ -79,6 +79,18 @@ JobSpec make_job_spec(const std::string& workload,
   kv(s, "enable_ats", sim.enable_ats ? 1 : 0);
   kv(s, "ats_alpha", sim.ats_alpha);
   kv(s, "ats_threshold", sim.ats_threshold);
+  // v2: robustness knobs that change simulation output. The host-side
+  // wall-clock limit (ExperimentConfig::wall_limit_s) is deliberately
+  // excluded — it never changes the result, only whether the host waits.
+  kv(s, "max_tx_retries", sim.max_tx_retries);
+  kv(s, "max_capacity_aborts", sim.max_capacity_aborts);
+  kv(s, "watchdog_cycles", sim.watchdog_cycles);
+  kv(s, "fault_spurious", sim.fault.spurious_abort_rate);
+  kv(s, "fault_commit", sim.fault.commit_abort_rate);
+  kv(s, "fault_evict", sim.fault.evict_rate);
+  kv(s, "fault_probe_jitter", sim.fault.probe_jitter);
+  kv(s, "fault_sched_jitter", sim.fault.sched_jitter);
+  kv(s, "mutation", static_cast<std::uint64_t>(sim.fault.mutation));
 
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",

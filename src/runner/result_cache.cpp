@@ -20,11 +20,14 @@ constexpr const char* kHeader = "asfsim-cache v1";
 
 /// Reads "<key> <count>\n<count raw bytes>\n" length-prefixed sections; the
 /// raw payload may contain anything (spec text, stats blob, error strings).
+/// `max_bytes` bounds the count (the file size): a corrupted length field
+/// must parse as damage, not as a multi-gigabyte allocation.
 bool read_section(std::istream& in, const std::string& key,
-                  std::string& payload) {
+                  std::string& payload, std::size_t max_bytes) {
   std::string k;
   std::size_t n = 0;
   if (!(in >> k >> n) || k != key) return false;
+  if (n > max_bytes) return false;
   if (in.get() != '\n') return false;
   payload.resize(n);
   if (n > 0 && !in.read(payload.data(), static_cast<std::streamsize>(n))) {
@@ -55,33 +58,58 @@ std::string ResultCache::entry_path(const JobSpec& spec) const {
 }
 
 std::optional<ExperimentResult> ResultCache::load(const JobSpec& spec) const {
-  std::ifstream in(entry_path(spec), std::ios::binary);
+  const std::string path = entry_path(spec);
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return std::nullopt;
+  std::error_code size_ec;
+  const auto file_size = static_cast<std::size_t>(
+      std::filesystem::file_size(path, size_ec));
+  if (size_ec) return std::nullopt;
+
+  // Every anomaly past this point quarantines the file: a truncated write,
+  // a flipped bit, or tampering must degrade to one recomputation, never to
+  // wrong results or a permanently poisoned entry.
+  const auto corrupt = [&]() -> std::optional<ExperimentResult> {
+    in.close();
+    quarantine(path);
+    return std::nullopt;
+  };
 
   std::string header;
-  if (!std::getline(in, header) || header != kHeader) return std::nullopt;
+  if (!std::getline(in, header) || header != kHeader) return corrupt();
   std::string stored_spec, workload, detector, error, stats_blob;
-  if (!read_section(in, "spec", stored_spec) ||
-      !read_section(in, "workload", workload) ||
-      !read_section(in, "detector", detector) ||
-      !read_section(in, "validation_error", error) ||
-      !read_section(in, "stats", stats_blob)) {
-    return std::nullopt;
+  if (!read_section(in, "spec", stored_spec, file_size) ||
+      !read_section(in, "workload", workload, file_size) ||
+      !read_section(in, "detector", detector, file_size) ||
+      !read_section(in, "validation_error", error, file_size) ||
+      !read_section(in, "stats", stats_blob, file_size)) {
+    return corrupt();
   }
   if (in.peek() != std::ifstream::traits_type::eof()) {
-    return std::nullopt;  // trailing bytes: truncated write or tampering
+    return corrupt();  // trailing bytes: truncated write or tampering
   }
-  // The hash addressed the file; the spec text authenticates it.
+  // The hash addressed the file; the spec text authenticates it. A clean
+  // mismatch is overwhelmingly a damaged spec section (a true 64-bit hash
+  // collision is astronomically unlikely), so it quarantines too.
   if (stored_spec != spec.canonical || workload != spec.workload) {
-    return std::nullopt;
+    return corrupt();
   }
 
   ExperimentResult r;
   r.workload = workload;
   r.detector = detector;
   r.validation_error = error;
-  if (!deserialize_stats(stats_blob, r.stats)) return std::nullopt;
+  if (!deserialize_stats(stats_blob, r.stats)) return corrupt();
   return r;
+}
+
+void ResultCache::quarantine(const std::string& path) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path bad(path);
+  bad.replace_extension(".bad");
+  fs::rename(path, bad, ec);
+  if (ec) fs::remove(path, ec);  // never fails the run either way
 }
 
 void ResultCache::store(const JobSpec& spec,

@@ -7,8 +7,10 @@
 // or a hand-edited file degrades to a cache miss, never to wrong results.
 // Stores go through a temp file + rename, so concurrent bench processes
 // sharing one cache directory race benignly (last writer wins with an
-// identical payload). Any parse failure on load is a miss — corruption is
-// repaired by recomputation, and `rm -rf <dir>` is always safe.
+// identical payload). Any parse failure on load is a miss — the offending
+// file is quarantined (renamed to <hash>.bad, or removed when even the
+// rename fails) so the poisoned entry cannot be consulted again, and the
+// result is recomputed and re-stored. `rm -rf <dir>` is always safe.
 #pragma once
 
 #include <optional>
@@ -35,6 +37,10 @@ class ResultCache {
 
  private:
   [[nodiscard]] std::string entry_path(const JobSpec& spec) const;
+  /// Move a corrupt entry out of the lookup path (<hash>.result ->
+  /// <hash>.bad; removed outright if the rename fails). Keeping the bytes
+  /// around makes cache corruption diagnosable after the fact.
+  void quarantine(const std::string& path) const;
 
   std::string dir_;
 };

@@ -75,7 +75,12 @@ Runner::Runner(RunnerOptions opts)
       jobs_(resolve_jobs(opts_.jobs)),
       pool_(std::make_unique<ThreadPool>(jobs_)),
       progress_enabled_(resolve_progress(opts_.progress)),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  if (const char* env = std::getenv("ASFSIM_JOB_TIMEOUT");
+      env != nullptr && *env != '\0') {
+    opts_.job_wall_limit_s = std::atof(env);
+  }
+}
 
 Runner::~Runner() {
   pool_.reset();  // drain: every submitted job finishes before the manifest
@@ -113,7 +118,13 @@ std::shared_future<ExperimentResult> Runner::submit(
 
 ExperimentResult Runner::get(const std::string& workload,
                              const ExperimentConfig& cfg) {
-  return submit(workload, cfg).get();
+  try {
+    return submit(workload, cfg).get();
+  } catch (const JobError&) {
+    throw;  // already carries its identity (shared future, second get())
+  } catch (const std::exception& e) {
+    throw JobError(workload, detector_label(cfg), cfg.params.seed, e.what());
+  }
 }
 
 ExperimentResult Runner::run_one(const JobSpec& spec,
@@ -139,23 +150,34 @@ ExperimentResult Runner::run_one(const JobSpec& spec,
     trace.path = opts_.trace_dir + "/" + spec.workload + "-" + spec.hash_hex +
                  trace_file_extension(trace.format);
   }
+  // The runner-wide wall limit applies to every job that didn't set its
+  // own; it is host-side only and deliberately not in the JobSpec hash.
+  ExperimentConfig cfg = spec.config;
+  if (opts_.job_wall_limit_s > 0.0 && cfg.wall_limit_s == 0.0) {
+    cfg.wall_limit_s = opts_.job_wall_limit_s;
+  }
   try {
-    ExperimentResult result = run_experiment(spec.workload, spec.config, trace);
+    ExperimentResult result = run_experiment(spec.workload, cfg, trace);
     if (opts_.use_cache) cache_.store(spec, result);
     job_finished(entry_index, "executed", elapsed_ms(), trace.path);
     return result;
-  } catch (...) {
-    job_finished(entry_index, "failed", elapsed_ms());
+  } catch (const std::exception& e) {
+    job_finished(entry_index, "failed", elapsed_ms(), {}, e.what());
     throw;  // surfaces at future.get() in the submitting thread
+  } catch (...) {
+    job_finished(entry_index, "failed", elapsed_ms(), {}, "unknown exception");
+    throw;
   }
 }
 
 void Runner::job_finished(std::size_t entry_index, const char* source,
-                          double wall_ms, std::string trace_path) {
+                          double wall_ms, std::string trace_path,
+                          std::string error) {
   std::lock_guard<std::mutex> lk(mu_);
   entries_[entry_index].source = source;
   entries_[entry_index].wall_ms = wall_ms;
   entries_[entry_index].trace = std::move(trace_path);
+  entries_[entry_index].error = std::move(error);
   if (source[0] == 'e') ++totals_.executed;
   if (source[0] == 'c') ++totals_.cache_hits;
   ++completed_;
@@ -231,6 +253,11 @@ void Runner::write_manifest() {
                   static_cast<unsigned long long>(e.seed), e.source,
                   e.wall_ms);
     out << buf;
+    const bool failed = e.source[0] == 'f';
+    out << ", \"status\": \"" << (failed ? "failed" : "ok") << "\"";
+    if (failed && !e.error.empty()) {
+      out << ", \"error\": \"" << json_escape(e.error) << "\"";
+    }
     if (!e.trace.empty()) {
       out << ", \"trace\": \"" << json_escape(e.trace) << "\"";
     }

@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,27 @@ struct RunnerOptions {
   /// are still stored; stats stay byte-identical either way.
   std::string trace_dir;
   TraceFormat trace_format = TraceFormat::kJsonl;
+  /// Per-job host wall-clock limit in seconds (0 = unlimited): jobs that
+  /// exceed it fail with WallClockError instead of hanging the whole
+  /// harness. $ASFSIM_JOB_TIMEOUT overrides when set. Jobs that already
+  /// carry their own ExperimentConfig::wall_limit_s keep it.
+  double job_wall_limit_s = 0.0;
+};
+
+/// Wraps any exception escaping a job with its (workload, detector, seed)
+/// identity, so a failure in a 500-job sweep names the cell that died.
+struct JobError : std::runtime_error {
+  JobError(std::string wl, std::string det, std::uint64_t sd,
+           const std::string& reason)
+      : std::runtime_error("job " + wl + " [" + det + "] seed " +
+                           std::to_string(sd) + ": " + reason),
+        workload(std::move(wl)),
+        detector(std::move(det)),
+        seed(sd) {}
+
+  std::string workload;
+  std::string detector;
+  std::uint64_t seed = 0;
 };
 
 /// Aggregate counters, readable at any time (consistent snapshot).
@@ -78,7 +100,8 @@ class Runner {
 
   /// submit() + wait. A spec already submitted returns its memoized
   /// result, so "submit everything, then get() in print order" costs one
-  /// simulation per distinct spec. Rethrows simulator-level failures.
+  /// simulation per distinct spec. Simulator-level failures rethrow as
+  /// JobError carrying the (workload, detector, seed) identity.
   ExperimentResult get(const std::string& workload,
                        const ExperimentConfig& cfg);
 
@@ -94,11 +117,13 @@ class Runner {
     const char* source = "pending";  // executed | cache | failed
     double wall_ms = 0.0;
     std::string trace;  // trace file path (empty when tracing is off)
+    std::string error;  // exception text for failed jobs
   };
 
   ExperimentResult run_one(const JobSpec& spec, std::size_t entry_index);
   void job_finished(std::size_t entry_index, const char* source,
-                    double wall_ms, std::string trace_path = {});
+                    double wall_ms, std::string trace_path = {},
+                    std::string error = {});
   void print_progress_locked();
   void write_manifest();
 

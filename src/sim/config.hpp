@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "fault/fault_config.hpp"
 #include "sim/types.hpp"
 
 namespace asfsim {
@@ -58,6 +60,24 @@ struct SimConfig {
   Cycle backoff_base = 32;
   std::uint32_t backoff_cap_shift = 8;  // max backoff = base << cap
 
+  // Software fallback thresholds (GuestCtx::run_tx): take the serializing
+  // lock after this many retries or capacity aborts of one logical
+  // transaction. max_tx_retries = 0 disables the fallback entirely —
+  // progress then rests on backoff alone (requester-wins has no guarantee;
+  // pair with watchdog_cycles when experimenting, docs/robustness.md).
+  std::uint32_t max_tx_retries = 24;
+  std::uint32_t max_capacity_aborts = 3;
+
+  // Livelock watchdog: abort the run (LivelockError + diagnostic dump) when
+  // no transaction commits for this many cycles. 0 disables (default: long
+  // non-transactional phases are legitimate).
+  Cycle watchdog_cycles = 0;
+
+  // Fault injection + protocol mutation (docs/robustness.md). All-zero by
+  // default: a clean run never constructs a FaultPlan and its stats are
+  // byte-identical to builds without the fault subsystem.
+  FaultConfig fault;
+
   // Optional adaptive transaction scheduling (ATS) extension: serialize
   // transactions from cores whose abort EMA exceeds the threshold.
   bool enable_ats = false;
@@ -72,6 +92,12 @@ struct SimConfig {
     l3.ways = 16;
     l3.latency = 50;
   }
+
+  /// Sanity-check the configuration. `nsub` is the conflict detector's
+  /// sub-block count (1 for per-line detectors). Returns an empty string
+  /// when valid, else a description of the first problem. Machine rejects
+  /// invalid configs at construction (std::invalid_argument).
+  [[nodiscard]] std::string validate(std::uint32_t nsub = 1) const;
 };
 
 }  // namespace asfsim

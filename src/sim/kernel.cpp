@@ -1,6 +1,9 @@
 #include "sim/kernel.hpp"
 
 #include <cassert>
+#include <chrono>
+
+#include "fault/plan.hpp"
 
 namespace asfsim {
 
@@ -19,6 +22,7 @@ void Kernel::spawn(CoreId core, Task<void> root, Cycle start) {
 void Kernel::schedule(CoreId core, std::coroutine_handle<> h, Cycle at) {
   auto& slot = cores_.at(core);
   assert(!slot.has_event && "one pending resume per core");
+  if (fault_ != nullptr) at += fault_->sched_jitter(core);
   slot.pending = h;
   slot.callback = nullptr;
   slot.ready_at = at < now_ ? now_ : at;
@@ -30,6 +34,7 @@ void Kernel::schedule_callback(CoreId core, std::function<void()> fn,
                                Cycle at) {
   auto& slot = cores_.at(core);
   assert(!slot.has_event && "one pending event per core");
+  if (fault_ != nullptr) at += fault_->sched_jitter(core);
   slot.pending = {};
   slot.callback = std::move(fn);
   slot.ready_at = at < now_ ? now_ : at;
@@ -38,6 +43,9 @@ void Kernel::schedule_callback(CoreId core, std::function<void()> fn,
 }
 
 Cycle Kernel::run(Cycle max_cycles) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  progress_mark_ = now_;
+  audit_mark_ = now_;
   for (;;) {
     // Pick the earliest pending event; FIFO among equal cycles.
     CoreId best = kInvalidCore;
@@ -65,6 +73,30 @@ Cycle Kernel::run(Cycle max_cycles) {
     if (slot.ready_at > now_) now_ = slot.ready_at;
     if (now_ > max_cycles) {
       throw CycleLimitError("Kernel::run: cycle limit exceeded (livelock?)");
+    }
+    if (watchdog_cycles_ != 0 && now_ - progress_mark_ > watchdog_cycles_) {
+      std::string dump =
+          watchdog_report_ ? watchdog_report_() : std::string{};
+      throw LivelockError(
+          "Kernel::run: livelock watchdog fired — no commit progress for " +
+          std::to_string(now_ - progress_mark_) + " cycles (limit " +
+          std::to_string(watchdog_cycles_) + ")" +
+          (dump.empty() ? "" : "\n" + dump));
+    }
+    if (audit_interval_ != 0 && now_ - audit_mark_ >= audit_interval_) {
+      audit_mark_ = now_;
+      audit_fn_();  // throws to fail the run (chaos invariant audit)
+    }
+    if (wall_limit_s_ > 0.0 && (events_ & 0xfff) == 0) {
+      const std::chrono::duration<double> used =
+          std::chrono::steady_clock::now() - wall_start;
+      if (used.count() > wall_limit_s_) {
+        throw WallClockError(
+            "Kernel::run: wall-clock limit exceeded (" +
+            std::to_string(used.count()) + "s > " +
+            std::to_string(wall_limit_s_) + "s at cycle " +
+            std::to_string(now_) + ")");
+      }
     }
     slot.has_event = false;
     auto h = slot.pending;

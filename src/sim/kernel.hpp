@@ -32,6 +32,19 @@ struct CycleLimitError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by the livelock watchdog: no commit progress for watchdog_cycles.
+/// what() carries the full structured diagnostic dump (docs/robustness.md).
+struct LivelockError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when run() exceeds its host wall-clock budget (runner job guard).
+struct WallClockError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class FaultPlan;
+
 class Kernel {
  public:
   explicit Kernel(std::uint32_t ncores);
@@ -64,6 +77,32 @@ class Kernel {
   }
   [[nodiscard]] std::uint64_t events_processed() const { return events_; }
 
+  /// Record forward progress (a commit or a fallback-path completion). The
+  /// watchdog measures "cycles since the last note_progress()".
+  void note_progress() { progress_mark_ = now_; }
+
+  /// Arm the livelock watchdog: if no note_progress() happens for `cycles`
+  /// simulated cycles, run() calls `report` and throws LivelockError with
+  /// the returned diagnostic dump. 0 disarms.
+  void set_watchdog(Cycle cycles, std::function<std::string()> report) {
+    watchdog_cycles_ = cycles;
+    watchdog_report_ = std::move(report);
+  }
+
+  /// Run `fn` at least every `interval` simulated cycles (chaos harness
+  /// invariant audits). `fn` throws to fail the run. 0 disarms.
+  void set_audit(Cycle interval, std::function<void()> fn) {
+    audit_interval_ = interval;
+    audit_fn_ = std::move(fn);
+  }
+
+  /// Abort run() with WallClockError once it has consumed `seconds` of host
+  /// wall-clock time (checked every few thousand events). 0 disarms.
+  void set_wall_limit(double seconds) { wall_limit_s_ = seconds; }
+
+  /// Attach a fault plan (sched_jitter stretches event delays). Null detaches.
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+
  private:
   struct CoreSlot {
     Task<void> root;
@@ -81,6 +120,17 @@ class Kernel {
   Cycle now_ = 0;
   std::uint64_t seq_counter_ = 0;
   std::uint64_t events_ = 0;
+
+  // Robustness hooks (docs/robustness.md). All default-off: a clean run
+  // executes one integer compare per event beyond the seed behavior.
+  Cycle progress_mark_ = 0;
+  Cycle watchdog_cycles_ = 0;
+  std::function<std::string()> watchdog_report_;
+  Cycle audit_interval_ = 0;
+  Cycle audit_mark_ = 0;
+  std::function<void()> audit_fn_;
+  double wall_limit_s_ = 0.0;
+  FaultPlan* fault_ = nullptr;
 };
 
 }  // namespace asfsim

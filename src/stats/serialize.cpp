@@ -50,9 +50,15 @@ class Reader {
   bool u64(std::uint64_t& v) {
     if (!literal(" ")) return false;
     if (rest_.empty() || rest_[0] < '0' || rest_[0] > '9') return false;
+    if (rest_[0] == '0' && rest_.size() > 1 && rest_[1] >= '0' &&
+        rest_[1] <= '9') {
+      return false;  // leading zero: serialize_stats never writes one
+    }
     v = 0;
     while (!rest_.empty() && rest_[0] >= '0' && rest_[0] <= '9') {
-      v = v * 10 + static_cast<std::uint64_t>(rest_[0] - '0');
+      const auto d = static_cast<std::uint64_t>(rest_[0] - '0');
+      if (v > (~std::uint64_t{0} - d) / 10) return false;  // would wrap
+      v = v * 10 + d;
       rest_.remove_prefix(1);
     }
     return true;
@@ -76,6 +82,10 @@ class Reader {
   bool var_seq(std::string_view key, std::vector<Cycle>& values) {
     std::uint64_t n = 0;
     if (!literal(key) || !u64(n)) return false;
+    // Each value needs >= 2 bytes of input (" 0"), so a count larger than
+    // the remaining blob is corruption — reject it before reserving, or a
+    // flipped count byte would turn into a giant allocation.
+    if (n > rest_.size() / 2) return false;
     values.clear();
     values.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -194,6 +204,9 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
   if (!ok || flag > 1 || by_line_flat.size() % 2 != 0) return false;
   out.record_timeseries = flag == 1;
   for (std::size_t i = 0; i < by_line_flat.size(); i += 2) {
+    // Canonical blobs are sorted by address with no duplicates; anything
+    // else is corruption (a duplicate would silently merge two entries).
+    if (i > 0 && by_line_flat[i] <= by_line_flat[i - 2]) return false;
     out.false_by_line[by_line_flat[i]] = by_line_flat[i + 1];
   }
   return true;

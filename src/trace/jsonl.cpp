@@ -101,9 +101,15 @@ class LineParser {
 
   bool u64(std::uint64_t& v) {
     if (rest_.empty() || rest_[0] < '0' || rest_[0] > '9') return false;
+    if (rest_[0] == '0' && rest_.size() > 1 && rest_[1] >= '0' &&
+        rest_[1] <= '9') {
+      return false;  // leading zero: to_jsonl never writes one
+    }
     v = 0;
     while (!rest_.empty() && rest_[0] >= '0' && rest_[0] <= '9') {
-      v = v * 10 + static_cast<std::uint64_t>(rest_[0] - '0');
+      const auto d = static_cast<std::uint64_t>(rest_[0] - '0');
+      if (v > (~std::uint64_t{0} - d) / 10) return false;  // would wrap
+      v = v * 10 + d;
       rest_.remove_prefix(1);
     }
     return true;

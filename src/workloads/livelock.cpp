@@ -1,0 +1,66 @@
+// livelock — adversarial microworkload: every thread hammers ONE shared
+// cell with a read–long-compute–write transaction. Under requester-wins
+// each access aborts whoever got there first, so with the software fallback
+// disabled (SimConfig::max_tx_retries = 0) and a small backoff cap the
+// system can stop committing entirely — the scenario the livelock watchdog
+// (SimConfig::watchdog_cycles) exists to diagnose. Under the default config
+// it completes via backoff + fallback and self-validates like any workload.
+#include "guest/garray.hpp"
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+namespace {
+
+class LivelockWorkload final : public Workload {
+ public:
+  const char* name() const override { return "livelock"; }
+  const char* description() const override {
+    return "single-cell contention storm (watchdog/robustness demo)";
+  }
+
+  void setup(Machine& m, const WorkloadParams& p) override {
+    ntx_per_thread_ = p.scaled(40);
+    cell_ = GArray64::alloc(m.galloc(), 1);
+    cell_.poke(m, 0, 0);
+    threads_ = p.threads;
+    for (CoreId t = 0; t < threads_; ++t) {
+      m.spawn(t, worker(m.ctx(t), this, ntx_per_thread_));
+    }
+  }
+
+  std::string validate(Machine& m) override {
+    const std::uint64_t got = cell_.peek(m, 0);
+    const std::uint64_t expect = threads_ * ntx_per_thread_;
+    if (got != expect) {
+      return "livelock cell mismatch: got " + std::to_string(got) +
+             ", expected " + std::to_string(expect);
+    }
+    return {};
+  }
+
+ private:
+  static Task<void> worker(GuestCtx& c, LivelockWorkload* w,
+                           std::uint64_t ntx) {
+    for (std::uint64_t i = 0; i < ntx; ++i) {
+      co_await c.run_tx([&]() -> Task<void> {
+        const std::uint64_t v = co_await w->cell_.get(c, 0);
+        // A long in-transaction window: plenty of time for every other
+        // core's read-modify-write to doom this one.
+        co_await c.work(150);
+        co_await w->cell_.set(c, 0, v + 1);
+      });
+    }
+  }
+
+  GArray64 cell_;
+  std::uint64_t ntx_per_thread_ = 0;
+  std::uint32_t threads_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_livelock() {
+  return std::make_unique<LivelockWorkload>();
+}
+
+}  // namespace asfsim

@@ -24,6 +24,8 @@ const std::vector<WorkloadInfo>& workload_registry() {
       // Microworkloads (tests/examples).
       {"counter", &make_counter},
       {"bank", &make_bank},
+      // Adversarial contention storm (watchdog demo, docs/robustness.md).
+      {"livelock", &make_livelock},
   };
   return reg;
 }

@@ -74,5 +74,6 @@ std::unique_ptr<Workload> make_utilitymine();
 std::unique_ptr<Workload> make_fluidanimate();
 std::unique_ptr<Workload> make_yada();
 std::unique_ptr<Workload> make_bayes();
+std::unique_ptr<Workload> make_livelock();
 
 }  // namespace asfsim

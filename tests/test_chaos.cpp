@@ -1,0 +1,64 @@
+// Chaos harness: clean controls stay green (with and without legal fault
+// injection) and every protocol mutation is killed by at least one oracle —
+// the same gate the chaos CI job enforces via asfsim_chaos (docs/robustness.md).
+#include <gtest/gtest.h>
+
+#include "fault/chaos.hpp"
+
+namespace asfsim {
+namespace {
+
+TEST(ChaosCell, CleanControlPassesBothOracles) {
+  ChaosCell cell;  // subblock/4, seed 1, no faults, no mutation
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kClean) << r.detail;
+  EXPECT_GT(r.commits, 0u);
+}
+
+TEST(ChaosCell, LegalFaultInjectionNeverTripsAnOracle) {
+  // Spurious aborts, forced evictions, failed commits, and timing jitter are
+  // all legal ASF behaviour: the retry loop must absorb them and the
+  // committed history must still serialize.
+  ChaosCell cell;
+  cell.fault.spurious_abort_rate = 0.002;
+  cell.fault.commit_abort_rate = 0.005;
+  cell.fault.evict_rate = 0.001;
+  cell.fault.probe_jitter = 3;
+  cell.fault.sched_jitter = 2;
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kClean) << r.detail;
+}
+
+TEST(ChaosCell, BaselineDetectorControlIsClean) {
+  ChaosCell cell;
+  cell.detector = DetectorKind::kBaseline;
+  cell.nsub = 1;
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kClean) << r.detail;
+}
+
+// The headline acceptance criterion: every --mutate variant must be caught
+// by the serializability replay or the invariant auditor on at least one
+// cell, while all clean controls stay green.
+TEST(KillMatrix, EveryMutationIsKilled) {
+  const KillMatrixReport report = run_kill_matrix(KillMatrixOptions{});
+  EXPECT_TRUE(report.clean_controls_ok) << report.control_failure;
+  ASSERT_EQ(report.outcomes.size(), all_mutations().size());
+  for (const MutationOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.killed) << to_string(o.mutation)
+                          << " survived every chaos cell";
+  }
+  EXPECT_TRUE(report.all_green()) << report.summary();
+}
+
+TEST(KillMatrix, SummaryNamesEveryMutation) {
+  const KillMatrixReport report = run_kill_matrix(KillMatrixOptions{});
+  const std::string s = report.summary();
+  for (const ProtocolMutation m : all_mutations()) {
+    EXPECT_NE(s.find(to_string(m)), std::string::npos) << s;
+  }
+  EXPECT_NE(s.find("ALL GREEN"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace asfsim

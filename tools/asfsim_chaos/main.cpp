@@ -1,0 +1,198 @@
+// asfsim_chaos: robustness driver for the fault-injection subsystem.
+//
+// Subcommands:
+//   matrix    run the mutation-kill matrix (clean controls + every
+//             --mutate variant until an oracle kills it). Exit 0 iff all
+//             mutations are killed AND every clean control stays green —
+//             this is what the chaos CI job gates on.
+//   cell      run one chaos cell (detector × seed × fault × mutation) and
+//             print its verdict. Exit 0 iff the verdict is clean.
+//   livelock  run a deliberately livelocked configuration (counter
+//             workload, 256 B direct-mapped L1, fallback disabled) and
+//             demand the kernel watchdog terminates it with a diagnostic
+//             dump. --runner routes the same job through the parallel
+//             runner to demonstrate JobError context propagation.
+//
+// See docs/robustness.md for the mutation catalog and triage guide.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.hpp"
+#include "harness/experiment.hpp"
+#include "runner/runner.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace asfsim;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: asfsim_chaos <matrix|cell|livelock> [options]\n"
+      "  matrix [--seeds a,b,c] [--ntx N] [--audit N] [--verbose]\n"
+      "  cell --mutate NAME [--detector baseline|subblock] [--nsub N]\n"
+      "       [--seed N] [--ntx N] [--audit N]\n"
+      "  livelock [--runner]\n");
+  std::exit(code);
+}
+
+std::uint64_t parse_u64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "asfsim_chaos: bad number '%s'\n", s);
+    std::exit(2);
+  }
+  return v;
+}
+
+const char* next_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "asfsim_chaos: %s needs a value\n", argv[i]);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+int cmd_matrix(int argc, char** argv) {
+  KillMatrixOptions opt;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      opt.seeds.clear();
+      std::string list = next_arg(argc, argv, i);
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        opt.seeds.push_back(parse_u64(list.substr(pos, end - pos).c_str()));
+        pos = end + 1;
+      }
+    } else if (std::strcmp(argv[i], "--ntx") == 0) {
+      opt.ntx = static_cast<int>(parse_u64(next_arg(argc, argv, i)));
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      opt.audit_interval = parse_u64(next_arg(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      usage(2);
+    }
+  }
+  const KillMatrixReport report = run_kill_matrix(opt);
+  std::printf("%s\n", report.summary().c_str());
+  return report.all_green() ? 0 : 1;
+}
+
+int cmd_cell(int argc, char** argv) {
+  ChaosCell cell;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutate") == 0) {
+      const char* name = next_arg(argc, argv, i);
+      if (!parse_mutation(name, cell.fault.mutation)) {
+        std::fprintf(stderr, "asfsim_chaos: unknown mutation '%s'\n", name);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--detector") == 0) {
+      const char* d = next_arg(argc, argv, i);
+      if (std::strcmp(d, "baseline") == 0) {
+        cell.detector = DetectorKind::kBaseline;
+        cell.nsub = 1;
+      } else if (std::strcmp(d, "subblock") == 0) {
+        cell.detector = DetectorKind::kSubBlock;
+      } else {
+        std::fprintf(stderr, "asfsim_chaos: unknown detector '%s'\n", d);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--nsub") == 0) {
+      cell.nsub = static_cast<std::uint32_t>(parse_u64(next_arg(argc, argv, i)));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      cell.seed = parse_u64(next_arg(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--ntx") == 0) {
+      cell.ntx = static_cast<int>(parse_u64(next_arg(argc, argv, i)));
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      cell.audit_interval = parse_u64(next_arg(argc, argv, i));
+    } else {
+      usage(2);
+    }
+  }
+  const ChaosCellResult r = run_chaos_cell(cell);
+  std::printf("verdict: %s\n", to_string(r.verdict));
+  if (!r.detail.empty()) std::printf("detail: %s\n", r.detail.c_str());
+  std::printf("commits: %llu\n", static_cast<unsigned long long>(r.commits));
+  return r.verdict == ChaosVerdict::kClean ? 0 : 1;
+}
+
+/// A config that cannot make forward progress: the counter workload's
+/// per-thread state plus the hot counter line overflow a 256-byte
+/// direct-mapped L1, every transaction capacity-aborts, and with the
+/// fallback path disabled (max_tx_retries = 0) the retry loop spins
+/// forever. Only the watchdog ends it.
+ExperimentConfig livelocked_config() {
+  ExperimentConfig cfg;
+  cfg.detector = DetectorKind::kSubBlock;
+  cfg.nsub = 4;
+  cfg.sim.l1.size_bytes = 256;
+  cfg.sim.l1.ways = 1;
+  cfg.sim.max_tx_retries = 0;  // never fall back to the lock
+  cfg.sim.backoff_cap_shift = 2;
+  cfg.sim.watchdog_cycles = 200'000;
+  cfg.params.threads = 4;
+  cfg.params.seed = 7;
+  return cfg;
+}
+
+int cmd_livelock(int argc, char** argv) {
+  bool via_runner = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runner") == 0) {
+      via_runner = true;
+    } else {
+      usage(2);
+    }
+  }
+  const ExperimentConfig cfg = livelocked_config();
+  try {
+    if (via_runner) {
+      runner::RunnerOptions ro;
+      ro.use_cache = false;
+      ro.jobs = 2;
+      ro.manifest_path = "-";
+      runner::Runner r(ro);
+      (void)r.get("counter", cfg);
+    } else {
+      (void)run_experiment("counter", cfg);
+    }
+  } catch (const runner::JobError& e) {
+    std::printf("runner surfaced the livelock with job context:\n%s\n",
+                e.what());
+    return 0;
+  } catch (const LivelockError& e) {
+    std::printf("watchdog fired as designed:\n%s\n", e.what());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "livelock demo completed without tripping the watchdog — "
+               "the configuration is no longer livelocked\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    usage(0);
+  }
+  if (std::strcmp(argv[1], "matrix") == 0) {
+    return cmd_matrix(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "cell") == 0) {
+    return cmd_cell(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "livelock") == 0) {
+    return cmd_livelock(argc - 2, argv + 2);
+  }
+  usage(2);
+}

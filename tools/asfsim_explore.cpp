@@ -13,6 +13,13 @@
 //   --ats               enable adaptive transaction scheduling
 //   --trace <n>         print the last n transaction events after the run
 //   --list              list registered workloads and exit
+//
+// Robustness knobs (docs/robustness.md):
+//   --fault-spurious p / --fault-commit p / --fault-evict p
+//   --fault-probe-jitter n / --fault-sched-jitter n
+//   --mutate <name>     deliberately break one sub-block protocol rule
+//   --watchdog <n>      livelock watchdog: abort + diagnose after n
+//                       cycles without a commit
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -141,6 +148,29 @@ int main(int argc, char** argv) {
       common.threads = static_cast<std::uint32_t>(std::atoi(need("--threads")));
     } else if (!std::strcmp(argv[i], "--seed")) {
       common.seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
+    } else if (!std::strcmp(argv[i], "--fault-spurious")) {
+      common.fault_spurious = std::atof(need("--fault-spurious"));
+    } else if (!std::strcmp(argv[i], "--fault-commit")) {
+      common.fault_commit = std::atof(need("--fault-commit"));
+    } else if (!std::strcmp(argv[i], "--fault-evict")) {
+      common.fault_evict = std::atof(need("--fault-evict"));
+    } else if (!std::strcmp(argv[i], "--fault-probe-jitter")) {
+      common.fault_probe_jitter =
+          static_cast<std::uint64_t>(std::atoll(need("--fault-probe-jitter")));
+    } else if (!std::strcmp(argv[i], "--fault-sched-jitter")) {
+      common.fault_sched_jitter =
+          static_cast<std::uint64_t>(std::atoll(need("--fault-sched-jitter")));
+    } else if (!std::strcmp(argv[i], "--mutate")) {
+      common.mutate = need("--mutate");
+      ProtocolMutation mut = ProtocolMutation::kNone;
+      if (!parse_mutation(common.mutate, mut)) {
+        std::fprintf(stderr, "unknown --mutate %s (try --help)\n",
+                     common.mutate.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--watchdog")) {
+      common.watchdog =
+          static_cast<std::uint64_t>(std::atoll(need("--watchdog")));
     } else if (!std::strcmp(argv[i], "--list")) {
       for (const auto& w : workload_registry()) {
         std::printf("%-14s %s\n", w.name, w.make()->description());
@@ -163,6 +193,7 @@ int main(int argc, char** argv) {
   cfg.params.scale = common.scale;
   cfg.sim.ncores = common.threads;
   cfg.sim.enable_ats = ats;
+  apply_robustness_options(common, cfg);
 
   if (trace_depth == 0) {
     const ExperimentResult r = run_experiment(workload, cfg);
