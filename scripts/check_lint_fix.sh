@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end test for the asfsim_lint autofixer:
+#   1. --fix --dry-run must not modify the file (idempotence of the preview),
+#   2. --fix must rewrite the copy so it re-lints clean,
+#   3. the fixed file must still compile as C++20,
+#   4. a second --fix pass must be a no-op (fixpoint).
+#
+# usage: check_lint_fix.sh <asfsim_lint-binary> <fix-fixture-dir>
+set -u
+
+LINT=${1:?usage: check_lint_fix.sh <asfsim_lint-binary> <fix-fixture-dir>}
+DIR=${2:?usage: check_lint_fix.sh <asfsim_lint-binary> <fix-fixture-dir>}
+CXX=${CXX:-c++}
+
+fail=0
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+for src in $(find "$DIR" -name '*.cpp' | sort); do
+  # Keep a sim/ path component so determinism rules stay in scope.
+  mkdir -p "$work/sim"
+  f="$work/sim/$(basename "$src")"
+  cp "$src" "$f"
+
+  # The unfixed fixture must actually have findings, else the test is vacuous.
+  if "$LINT" "$f" >/dev/null 2>&1; then
+    echo "FAIL: $src: fixture lints clean before --fix (nothing to test)"; fail=1
+    continue
+  fi
+
+  # 1. dry-run leaves the file untouched.
+  before=$(cksum "$f")
+  "$LINT" --fix --dry-run "$f" >/dev/null 2>&1
+  after=$(cksum "$f")
+  if [ "$before" != "$after" ]; then
+    echo "FAIL: $src: --fix --dry-run modified the file"; fail=1
+    continue
+  fi
+
+  # 2. real fix, then re-lint clean.
+  "$LINT" --fix "$f" >/dev/null 2>&1
+  if ! out=$("$LINT" "$f" 2>/dev/null); then
+    echo "FAIL: $src: file still has findings after --fix:"; fail=1
+    printf '%s\n' "$out"
+    continue
+  fi
+
+  # 3. fixed output compiles.
+  if ! "$CXX" -std=c++20 -fsyntax-only "$f"; then
+    echo "FAIL: $src: fixed output does not compile"; fail=1
+    continue
+  fi
+
+  # 4. second --fix is a no-op.
+  before=$(cksum "$f")
+  "$LINT" --fix "$f" >/dev/null 2>&1
+  after=$(cksum "$f")
+  if [ "$before" != "$after" ]; then
+    echo "FAIL: $src: --fix is not a fixpoint (second pass changed the file)"; fail=1
+    continue
+  fi
+
+  echo "ok:   $src (fix -> clean, compiles, fixpoint)"
+done
+
+exit $fail

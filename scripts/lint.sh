@@ -53,7 +53,8 @@ if [ ! -x "$LINT" ]; then
   }
 fi
 echo "lint.sh: asfsim_lint src examples tests"
-if ! "$LINT" --exclude lint_fixtures src examples tests; then
+if ! "$LINT" --exclude lint_fixtures --baseline .asfsim-lint-baseline \
+     src examples tests; then
   fail=1
 fi
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/conflict.hpp"
 #include "guest/garray.hpp"
 #include "guest/machine.hpp"
 
@@ -16,6 +17,7 @@ const char* to_string(ChaosVerdict v) {
     case ChaosVerdict::kInvariantViolation: return "invariant-violation";
     case ChaosVerdict::kReplayViolation: return "replay-violation";
     case ChaosVerdict::kRunFailed: return "run-failed";
+    case ChaosVerdict::kPolicyViolation: return "policy-violation";
   }
   return "?";
 }
@@ -156,6 +158,31 @@ ChaosCellResult run_chaos_cell(const ChaosCell& cell) {
     res.verdict = ChaosVerdict::kRunFailed;
     res.detail = buf;
   }
+
+  // Backoff-progressivity policy oracle (paper §V-A). Every retried abort
+  // stalls for abort_latency PLUS a strictly positive software backoff, so
+  // backoff_cycles must strictly exceed stalls * abort_latency. Lock-wait
+  // aborts are exempt (they wait on the lock holder, not the backoff
+  // manager). A backoff that never sleeps passes both correctness oracles —
+  // requester-wins and the fallback path still serialize — so only this
+  // liveness check can see it.
+  if (res.verdict == ChaosVerdict::kClean) {
+    const Stats& st = m.stats();
+    const std::uint64_t lock_waits =
+        st.aborts_by_cause[static_cast<std::size_t>(AbortCause::kLockWait)];
+    const std::uint64_t stalls = st.tx_aborts - lock_waits;
+    const Cycle floor = static_cast<Cycle>(stalls) * m.config().abort_latency;
+    if (stalls > 0 && st.backoff_cycles <= floor) {
+      std::snprintf(buf, sizeof(buf),
+                    "%llu retried aborts stalled only %llu cycles "
+                    "(abort-penalty floor is %llu): backoff never sleeps",
+                    static_cast<unsigned long long>(stalls),
+                    static_cast<unsigned long long>(st.backoff_cycles),
+                    static_cast<unsigned long long>(floor));
+      res.verdict = ChaosVerdict::kPolicyViolation;
+      res.detail = buf;
+    }
+  }
   return res;
 }
 
@@ -165,6 +192,9 @@ const std::vector<ProtocolMutation>& all_mutations() {
       ProtocolMutation::kForgetInvalidatedSpecinfo,
       ProtocolMutation::kSkipWrittenMask,
       ProtocolMutation::kSkipCommitValidation,
+      ProtocolMutation::kWrongSubblockIndexMath,
+      ProtocolMutation::kStalePiggybackMask,
+      ProtocolMutation::kBackoffNeverSleeps,
   };
   return kAll;
 }
@@ -186,9 +216,17 @@ std::vector<CellShape> shapes_for(ProtocolMutation m) {
     case ProtocolMutation::kDropDirtySubblock:
     case ProtocolMutation::kForgetInvalidatedSpecinfo:
     case ProtocolMutation::kSkipCommitValidation:
+    // The two new bookkeeping bugs only exist where sub-block state exists
+    // (rotation is the identity at nsub=1; the baseline never piggybacks).
+    case ProtocolMutation::kWrongSubblockIndexMath:
+    case ProtocolMutation::kStalePiggybackMask:
       return {{DetectorKind::kSubBlock, 4},
               {DetectorKind::kSubBlock, 8},
               {DetectorKind::kSubBlock, 16}};
+    case ProtocolMutation::kBackoffNeverSleeps:
+      // Detector-independent liveness policy: one sub-block shape plus the
+      // baseline proves the oracle does not depend on sub-blocking.
+      return {{DetectorKind::kSubBlock, 4}, {DetectorKind::kBaseline, 1}};
     case ProtocolMutation::kNone: break;
   }
   return {};
@@ -290,7 +328,8 @@ KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt) {
                       r.detail.empty() ? "" : " — ", r.detail.c_str());
         }
         if (r.verdict == ChaosVerdict::kInvariantViolation ||
-            r.verdict == ChaosVerdict::kReplayViolation) {
+            r.verdict == ChaosVerdict::kReplayViolation ||
+            r.verdict == ChaosVerdict::kPolicyViolation) {
           outcome.killed = true;
           outcome.verdict = r.verdict;
           outcome.cell_label = cell_label(s, seed);

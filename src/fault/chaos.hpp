@@ -5,7 +5,11 @@
 // configuration with two oracles armed:
 //   * an in-flight invariant auditor — MemorySystem::check_invariants()
 //     runs from the kernel loop every audit_interval cycles;
-//   * a post-run strict-serializability replay of the committed history.
+//   * a post-run strict-serializability replay of the committed history;
+//   * a post-run backoff-progressivity policy oracle — every retried abort
+//     must have stalled for the abort penalty PLUS a strictly positive
+//     software backoff (catches liveness bugs the correctness oracles are
+//     blind to, e.g. a backoff that never sleeps).
 // The kill matrix then demands that EVERY protocol mutation is killed by at
 // least one oracle on at least one cell, while clean (mutation-free) cells
 // stay green — including cells with fault injection enabled, because legal
@@ -23,10 +27,12 @@
 namespace asfsim {
 
 enum class ChaosVerdict : std::uint8_t {
-  kClean = 0,           // both oracles passed
+  kClean = 0,           // all oracles passed
   kInvariantViolation,  // the in-flight auditor fired
   kReplayViolation,     // the committed history is not serializable
   kRunFailed,           // the run itself died (deadlock, cycle limit, ...)
+  kPolicyViolation,     // a liveness/QoS policy oracle fired (e.g. the
+                        // backoff-progressivity check)
 };
 
 [[nodiscard]] const char* to_string(ChaosVerdict v);

@@ -36,6 +36,20 @@ enum class ProtocolMutation : std::uint8_t {
   /// Disable the commit-time reader-validation net, reopening the
   /// silent-store window that retention creates (DESIGN.md §6.5).
   kSkipCommitValidation,
+  /// Record the architectural sub-block SPEC/WR bits under a rotated
+  /// sub-block index (classic off-by-one in index math) while the
+  /// byte-exact masks stay correct — the mask/bit-agreement invariant
+  /// kills it.
+  kWrongSubblockIndexMath,
+  /// Apply the PREVIOUS fill response's piggy-backed S-WR set instead of
+  /// the one that just arrived (a buffered-response reuse bug) — the
+  /// piggyback-coverage invariant kills it.
+  kStalePiggybackMask,
+  /// The TM library's exponential backoff silently returns a zero wait,
+  /// deleting the paper §V-A livelock defense. Both correctness oracles
+  /// stay green (requester-wins + the fallback still serialize), so only
+  /// the backoff-progressivity policy oracle can see it.
+  kBackoffNeverSleeps,
 };
 
 [[nodiscard]] const char* to_string(ProtocolMutation m);

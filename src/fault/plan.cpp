@@ -13,6 +13,12 @@ const char* to_string(ProtocolMutation m) {
     case ProtocolMutation::kSkipWrittenMask: return "skip-written-mask";
     case ProtocolMutation::kSkipCommitValidation:
       return "skip-commit-validation";
+    case ProtocolMutation::kWrongSubblockIndexMath:
+      return "wrong-subblock-index-math";
+    case ProtocolMutation::kStalePiggybackMask:
+      return "stale-piggyback-mask";
+    case ProtocolMutation::kBackoffNeverSleeps:
+      return "backoff-never-sleeps";
   }
   return "?";
 }
@@ -26,7 +32,10 @@ bool parse_mutation(std::string_view name, ProtocolMutation& out) {
        {ProtocolMutation::kDropDirtySubblock,
         ProtocolMutation::kForgetInvalidatedSpecinfo,
         ProtocolMutation::kSkipWrittenMask,
-        ProtocolMutation::kSkipCommitValidation}) {
+        ProtocolMutation::kSkipCommitValidation,
+        ProtocolMutation::kWrongSubblockIndexMath,
+        ProtocolMutation::kStalePiggybackMask,
+        ProtocolMutation::kBackoffNeverSleeps}) {
     if (name == to_string(m)) {
       out = m;
       return true;

@@ -55,6 +55,10 @@ ExperimentResult run_machine(const std::string& workload,
   r.detector = m.detector().name();
   r.validation_error = wl->validate(m);
   r.stats = m.stats();
+  if (const FaultPlan* plan = m.fault_plan()) {
+    r.fault_counters = plan->counters();
+    r.has_fault_counters = true;
+  }
   return r;
 }
 

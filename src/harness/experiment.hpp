@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/detector.hpp"
+#include "fault/plan.hpp"
 #include "harness/args.hpp"
 #include "sim/config.hpp"
 #include "stats/counters.hpp"
@@ -53,6 +54,12 @@ struct ExperimentResult {
   std::string detector;
   Stats stats;
   std::string validation_error;  // empty string = outputs validated OK
+  /// What the fault plan actually injected during an *executed* run with
+  /// injection enabled. Deliberately outside Stats (the stats blob format
+  /// stays byte-identical to fault-free builds), so cache loads come back
+  /// with has_fault_counters == false.
+  FaultCounters fault_counters;
+  bool has_fault_counters = false;
 
   [[nodiscard]] bool ok() const { return validation_error.empty(); }
 };

@@ -1,6 +1,8 @@
 #include "htm/asf_runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "sim/kernel.hpp"
@@ -15,6 +17,8 @@ AsfRuntime::AsfRuntime(Kernel& kernel, MemorySystem& mem,
       backing_(backing),
       stats_(stats),
       backoff_(cfg, cfg.seed ^ 0x9e3779b97f4a7c15ULL),
+      backoff_disabled_(cfg.fault.mutation ==
+                        ProtocolMutation::kBackoffNeverSleeps),
       cores_(cfg.ncores) {
   if (cfg.enable_ats) {
     scheduler_ = std::make_unique<AdaptiveScheduler>(cfg.ncores, cfg.ats_alpha,
@@ -92,8 +96,17 @@ void AsfRuntime::commit(CoreId core) {
   assert(p.active && !p.doomed);
   const TxFootprint fp = mem_.tx_footprint(core);
   // Apply the write overlay to committed memory (gang-commit), validating
-  // still-speculating readers whose read sets the commit overwrites.
-  for (const auto& [line, ov] : p.overlay) {
+  // still-speculating readers whose read sets the commit overwrites. Lines
+  // are applied in address order: reader validation dooms conflicting
+  // readers and records the triggering line, so hash-order application
+  // would attribute the doom to a different line on a different stdlib.
+  std::vector<Addr> commit_lines;
+  commit_lines.reserve(p.overlay.size());
+  // asfsim-lint: allow(unordered-iteration) — keys are sorted just below.
+  for (const auto& [line, ov] : p.overlay) commit_lines.push_back(line);
+  std::sort(commit_lines.begin(), commit_lines.end());
+  for (const Addr line : commit_lines) {
+    const auto& ov = p.overlay.find(line)->second;
     mem_.validate_readers_at_commit(core, line, ov.mask);
     for (std::uint32_t b = 0; b < kLineBytes; ++b) {
       if (ov.mask & (ByteMask{1} << b)) backing_.write(line + b, 1, ov.data[b]);

@@ -84,6 +84,10 @@ class AsfRuntime final : public ITxControl {
   /// backoff). Pure bookkeeping: never changes timing.
   void note_backoff(CoreId core, Cycle wait);
   [[nodiscard]] Cycle backoff_wait(CoreId core) {
+    // MUTATION kBackoffNeverSleeps: the exponential backoff silently
+    // returns a zero wait. Correctness oracles stay green; the chaos
+    // harness's backoff-progressivity policy oracle kills it.
+    if (backoff_disabled_) return 0;
     return backoff_.wait_for(cores_[core].retries);
   }
 
@@ -141,6 +145,7 @@ class AsfRuntime final : public ITxControl {
   BackingStore& backing_;
   Stats& stats_;
   BackoffManager backoff_;
+  const bool backoff_disabled_;  // MUTATION kBackoffNeverSleeps
   std::unique_ptr<AdaptiveScheduler> scheduler_;
   trace::TraceHub* hub_ = nullptr;
   FaultPlan* fault_ = nullptr;

@@ -1,7 +1,9 @@
 #include "mem/coherence.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <utility>
 
 #include "core/classifier.hpp"
 #include "fault/plan.hpp"
@@ -19,6 +21,7 @@ MemorySystem::MemorySystem(Kernel& kernel, const SimConfig& cfg, Stats& stats)
   }
   spec_meta_.resize(cfg_.ncores);
   dirty_marks_.resize(cfg_.ncores);
+  stale_pb_.assign(cfg_.ncores, 0);
 }
 
 bool MemorySystem::line_pinned(CoreId core, Addr line) const {
@@ -55,7 +58,18 @@ SubBlockState MemorySystem::subblock_state(CoreId core, Addr line,
 void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
                                       bool is_write) {
   SpecState& m = spec_meta_[core][line];
-  const SubBlockMask q = quantize(mask, detector_->nsub());
+  SubBlockMask q = quantize(mask, detector_->nsub());
+  // MUTATION kWrongSubblockIndexMath: commit the architectural bits under a
+  // rotated sub-block index (classic off-by-one in index math) while the
+  // byte-exact masks stay correct — the mask/bit-agreement invariant in
+  // check_invariants() kills it.
+  if (mutation_ == ProtocolMutation::kWrongSubblockIndexMath) {
+    const std::uint32_t n = detector_->nsub();
+    if (n > 1) {
+      q = static_cast<SubBlockMask>(((q << 1) | (q >> (n - 1))) &
+                                    ((SubBlockMask{1} << n) - 1));
+    }
+  }
   if (is_write) {
     // MUTATION kSkipWrittenMask: set the architectural S-WR bits but "forget"
     // the byte-exact write mask — the mask/bit-agreement invariant kills it.
@@ -73,6 +87,9 @@ void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
 TxFootprint MemorySystem::tx_footprint(CoreId core) const {
   TxFootprint fp;
   const std::uint32_t nsub = detector_->nsub();
+  // Pure sum over disjoint per-line state; every visit order yields the
+  // same totals.
+  // asfsim-lint: allow(unordered-iteration)
   for (const auto& [line, meta] : spec_meta_[core]) {
     if (meta.read_bytes != 0) {
       ++fp.read_lines;
@@ -200,6 +217,9 @@ bool MemorySystem::evict_speculative_line(CoreId core) {
   // (spec_meta_ iteration order is hash-order, which varies across library
   // implementations — never use it for victim selection).
   Addr victim = ~Addr{0};
+  // Min-reduce over the keys is order-insensitive; the comment above is
+  // exactly why the victim is chosen this way.
+  // asfsim-lint: allow(unordered-iteration)
   for (const auto& [line, meta] : spec_meta_[core]) {
     if (line < victim) victim = line;
   }
@@ -399,6 +419,13 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
         }
         dirty_marks_[core].erase(line);
       }
+      // MUTATION kStalePiggybackMask: apply the PREVIOUS fill response's
+      // piggy-backed S-WR set instead of the one that just arrived (a
+      // buffered-response reuse bug) — the piggyback-coverage invariant in
+      // check_invariants() kills it.
+      if (mutation_ == ProtocolMutation::kStalePiggybackMask) {
+        pb = std::exchange(stale_pb_[core], pb);
+      }
       // MUTATION kDropDirtySubblock: discard the piggy-backed S-WR set
       // instead of marking those sub-blocks Dirty (§IV-C / Fig 7). Replay
       // alone cannot see this (commit-time validation rescues the schedule);
@@ -447,12 +474,21 @@ void MemorySystem::validate_readers_at_commit(CoreId committer, Addr line,
 std::string MemorySystem::check_invariants() const {
   // Candidate lines: everything any core's metadata or dirty marks mention
   // (the interesting lines); exclusivity is verified by direct state
-  // queries on each of them.
+  // queries on each of them. The candidate set is sorted and deduplicated
+  // so that the FIRST violation reported — which the chaos oracles match on
+  // and operators diff across runs — is the same on every stdlib, not an
+  // accident of unordered_map enumeration order.
   std::vector<Addr> lines;
   for (CoreId c = 0; c < cfg_.ncores; ++c) {
+    // asfsim-lint: allow(unordered-iteration) — keys are sorted just below.
     for (const auto& [line, meta] : spec_meta_[c]) lines.push_back(line);
+    // asfsim-lint: allow(unordered-iteration) — keys are sorted just below.
     for (const auto& [line, marks] : dirty_marks_[c]) lines.push_back(line);
   }
+  std::sort(lines.begin(), lines.end());
+  // std::vector::erase, not the guest map's coroutine erase (homonym).
+  // asfsim-lint: allow(discarded-task)
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
   for (const Addr line : lines) {
     int m_or_e = 0, owned = 0, valid = 0;
     for (CoreId c = 0; c < cfg_.ncores; ++c) {
@@ -476,7 +512,10 @@ std::string MemorySystem::check_invariants() const {
   // deliberately survives invalidation + eviction (its upper-bound role).
   const bool oracle = detector_->global_oracle();
   for (CoreId c = 0; c < cfg_.ncores; ++c) {
-    for (const auto& [line, meta] : spec_meta_[c]) {
+    for (const Addr line : lines) {
+      const auto it = spec_meta_[c].find(line);
+      if (it == spec_meta_[c].end()) continue;
+      const SpecState& meta = it->second;
       const TagArray::Entry* e = l1_[c].find(line);
       if (e == nullptr && !oracle) {
         return "core " + std::to_string(c) + " line " + std::to_string(line) +
@@ -506,7 +545,10 @@ std::string MemorySystem::check_invariants() const {
   if (txctl_ != nullptr && detector_->dirty_handling()) {
     for (CoreId c = 0; c < cfg_.ncores; ++c) {
       if (!txctl_->in_tx(c)) continue;
-      for (const auto& [line, meta] : spec_meta_[c]) {
+      for (const Addr line : lines) {
+        const auto it = spec_meta_[c].find(line);
+        if (it == spec_meta_[c].end()) continue;
+        const SpecState& meta = it->second;
         const SubBlockMask swr = meta.bits.spec_written();
         if (swr == 0) continue;
         for (CoreId o = 0; o < cfg_.ncores; ++o) {
@@ -527,6 +569,9 @@ std::string MemorySystem::check_invariants() const {
 }
 
 void MemorySystem::clear_spec(CoreId core, bool discard_written_lines) {
+  // Per-line drops touch disjoint cache entries; no cross-line effect
+  // depends on visit order.
+  // asfsim-lint: allow(unordered-iteration)
   for (auto& [line, meta] : spec_meta_[core]) {
     TagArray::Entry* e = l1_[core].find(line);
     if (e == nullptr) continue;

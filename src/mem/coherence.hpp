@@ -173,6 +173,9 @@ class MemorySystem {
   mutable std::vector<std::unordered_map<Addr, SpecState>> spec_meta_;
   // Persistent Dirty sub-block marks, keyed by line.
   std::vector<std::unordered_map<Addr, SubBlockMask>> dirty_marks_;
+  // MUTATION kStalePiggybackMask only: per-core one-entry buffer holding the
+  // previous fill's piggybacked S-WR set (the "stale response" being reused).
+  std::vector<SubBlockMask> stale_pb_;
 };
 
 }  // namespace asfsim

@@ -80,6 +80,10 @@ Runner::Runner(RunnerOptions opts)
       env != nullptr && *env != '\0') {
     opts_.job_wall_limit_s = std::atof(env);
   }
+  if (const char* env = std::getenv("ASFSIM_FAULT_COUNTERS");
+      env != nullptr && *env != '\0') {
+    opts_.manifest_fault_counters = env[0] == '1';
+  }
 }
 
 Runner::~Runner() {
@@ -159,7 +163,8 @@ ExperimentResult Runner::run_one(const JobSpec& spec,
   try {
     ExperimentResult result = run_experiment(spec.workload, cfg, trace);
     if (opts_.use_cache) cache_.store(spec, result);
-    job_finished(entry_index, "executed", elapsed_ms(), trace.path);
+    job_finished(entry_index, "executed", elapsed_ms(), trace.path, {},
+                 result.has_fault_counters ? &result.fault_counters : nullptr);
     return result;
   } catch (const std::exception& e) {
     job_finished(entry_index, "failed", elapsed_ms(), {}, e.what());
@@ -172,12 +177,17 @@ ExperimentResult Runner::run_one(const JobSpec& spec,
 
 void Runner::job_finished(std::size_t entry_index, const char* source,
                           double wall_ms, std::string trace_path,
-                          std::string error) {
+                          std::string error,
+                          const FaultCounters* fault_counters) {
   std::lock_guard<std::mutex> lk(mu_);
   entries_[entry_index].source = source;
   entries_[entry_index].wall_ms = wall_ms;
   entries_[entry_index].trace = std::move(trace_path);
   entries_[entry_index].error = std::move(error);
+  if (fault_counters != nullptr) {
+    entries_[entry_index].fault_counters = *fault_counters;
+    entries_[entry_index].has_fault_counters = true;
+  }
   if (source[0] == 'e') ++totals_.executed;
   if (source[0] == 'c') ++totals_.cache_hits;
   ++completed_;
@@ -256,7 +266,48 @@ void Runner::write_manifest() {
     const bool failed = e.source[0] == 'f';
     out << ", \"status\": \"" << (failed ? "failed" : "ok") << "\"";
     if (failed && !e.error.empty()) {
-      out << ", \"error\": \"" << json_escape(e.error) << "\"";
+      // Multi-line errors (the livelock watchdog embeds its diagnostic
+      // dump in what()) split into a one-line "error" plus a "diagnostic"
+      // array, so `jq .error` stays a headline and the dump stays readable.
+      const std::size_t nl = e.error.find('\n');
+      out << ", \"error\": \"" << json_escape(e.error.substr(0, nl)) << "\"";
+      if (nl != std::string::npos) {
+        out << ", \"diagnostic\": [";
+        std::size_t pos = nl + 1;
+        bool first = true;
+        while (pos <= e.error.size()) {
+          const std::size_t next = e.error.find('\n', pos);
+          const std::size_t end =
+              next == std::string::npos ? e.error.size() : next;
+          const std::string line = e.error.substr(pos, end - pos);
+          if (!line.empty()) {
+            out << (first ? "" : ", ") << "\"" << json_escape(line) << "\"";
+            first = false;
+          }
+          if (next == std::string::npos) break;
+          pos = next + 1;
+        }
+        out << "]";
+      }
+    }
+    if (opts_.manifest_fault_counters && e.has_fault_counters) {
+      const FaultCounters& fc = e.fault_counters;
+      char fcbuf[512];
+      std::snprintf(fcbuf, sizeof(fcbuf),
+                    ", \"fault_counters\": {\"spurious_aborts\": %llu, "
+                    "\"commit_aborts\": %llu, \"forced_evictions\": %llu, "
+                    "\"probe_jitter_events\": %llu, "
+                    "\"probe_jitter_cycles\": %llu, "
+                    "\"sched_jitter_events\": %llu, "
+                    "\"sched_jitter_cycles\": %llu}",
+                    static_cast<unsigned long long>(fc.spurious_aborts),
+                    static_cast<unsigned long long>(fc.commit_aborts),
+                    static_cast<unsigned long long>(fc.forced_evictions),
+                    static_cast<unsigned long long>(fc.probe_jitter_events),
+                    static_cast<unsigned long long>(fc.probe_jitter_cycles),
+                    static_cast<unsigned long long>(fc.sched_jitter_events),
+                    static_cast<unsigned long long>(fc.sched_jitter_cycles));
+      out << fcbuf;
     }
     if (!e.trace.empty()) {
       out << ", \"trace\": \"" << json_escape(e.trace) << "\"";

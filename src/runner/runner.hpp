@@ -59,6 +59,12 @@ struct RunnerOptions {
   /// harness. $ASFSIM_JOB_TIMEOUT overrides when set. Jobs that already
   /// carry their own ExperimentConfig::wall_limit_s keep it.
   double job_wall_limit_s = 0.0;
+  /// Opt-in: embed each executed fault-injected job's FaultCounters in its
+  /// manifest entry (what was actually injected, not just configured).
+  /// Cache hits carry no counters — the stats blob stays byte-identical to
+  /// fault-free builds — so their entries simply omit the object.
+  /// $ASFSIM_FAULT_COUNTERS=0/1 overrides when set.
+  bool manifest_fault_counters = false;
 };
 
 /// Wraps any exception escaping a job with its (workload, detector, seed)
@@ -117,13 +123,17 @@ class Runner {
     const char* source = "pending";  // executed | cache | failed
     double wall_ms = 0.0;
     std::string trace;  // trace file path (empty when tracing is off)
-    std::string error;  // exception text for failed jobs
+    std::string error;  // exception text for failed jobs (first line; any
+                        // further lines land in the "diagnostic" array)
+    FaultCounters fault_counters;  // executed fault-injected jobs only
+    bool has_fault_counters = false;
   };
 
   ExperimentResult run_one(const JobSpec& spec, std::size_t entry_index);
   void job_finished(std::size_t entry_index, const char* source,
                     double wall_ms, std::string trace_path = {},
-                    std::string error = {});
+                    std::string error = {},
+                    const FaultCounters* fault_counters = nullptr);
   void print_progress_locked();
   void write_manifest();
 

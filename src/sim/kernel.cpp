@@ -43,6 +43,9 @@ void Kernel::schedule_callback(CoreId core, std::function<void()> fn,
 }
 
 Cycle Kernel::run(Cycle max_cycles) {
+  // Wall-clock watchdog escape hatch only: the reading never feeds any
+  // simulated state, it just bounds how long a runaway run may burn CPU.
+  // asfsim-lint: allow(nondeterministic-source)
   const auto wall_start = std::chrono::steady_clock::now();
   progress_mark_ = now_;
   audit_mark_ = now_;
@@ -88,8 +91,11 @@ Cycle Kernel::run(Cycle max_cycles) {
       audit_fn_();  // throws to fail the run (chaos invariant audit)
     }
     if (wall_limit_s_ > 0.0 && (events_ & 0xfff) == 0) {
-      const std::chrono::duration<double> used =
-          std::chrono::steady_clock::now() - wall_start;
+      // Same wall-clock guard: aborts the process run, never the simulation
+      // state.
+      // asfsim-lint: allow(nondeterministic-source)
+      const auto wall_now = std::chrono::steady_clock::now();
+      const std::chrono::duration<double> used = wall_now - wall_start;
       if (used.count() > wall_limit_s_) {
         throw WallClockError(
             "Kernel::run: wall-clock limit exceeded (" +

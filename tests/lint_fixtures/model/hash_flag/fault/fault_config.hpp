@@ -1,0 +1,76 @@
+// Fault-injection and protocol-mutation configuration (docs/robustness.md).
+//
+// FaultConfig is embedded in SimConfig, so every knob participates in the
+// runner's canonical JobSpec serialization: a faulted run can never alias a
+// clean run in the result cache. Injection itself (FaultPlan) is derived
+// from the simulation seed, so fault runs are byte-deterministic across
+// --jobs values and repeat runs.
+//
+// Mutations are different from faults: a fault is a legal-but-unlucky event
+// (real ASF hardware aborts spuriously and under capacity pressure), while
+// a mutation deliberately breaks one documented rule of the sub-block
+// protocol so the chaos harness can prove the correctness oracles would
+// catch a real implementation bug of that shape.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// One deliberately-broken sub-block protocol rule (--mutate=<name>).
+enum class ProtocolMutation : std::uint8_t {
+  kNone = 0,
+  /// Discard piggy-backed S-WR masks instead of marking the requester's
+  /// sub-blocks Dirty (breaks paper §IV-C / Fig 7).
+  kDropDirtySubblock,
+  /// Drop an invalidated line's speculative info instead of retaining it
+  /// (breaks paper §IV-B; the metadata is erased too, so only the
+  /// behavioral oracles can see the breakage).
+  kForgetInvalidatedSpecinfo,
+  /// Record speculative writes in the architectural sub-block bits but not
+  /// in the byte-exact write mask (a metadata-bookkeeping bug).
+  kSkipWrittenMask,
+  /// Disable the commit-time reader-validation net, reopening the
+  /// silent-store window that retention creates (DESIGN.md §6.5).
+  kSkipCommitValidation,
+};
+
+[[nodiscard]] const char* to_string(ProtocolMutation m);
+
+/// Parse a --mutate name ("drop-dirty-subblock", ...). Returns false for
+/// unknown names; "none" and "" map to kNone.
+[[nodiscard]] bool parse_mutation(std::string_view name, ProtocolMutation& out);
+
+struct FaultConfig {
+  /// Per-transactional-access probability of a spurious abort (the access
+  /// dooms its own transaction for no architectural reason).
+  double spurious_abort_rate = 0.0;
+  /// Per-commit probability that the commit attempt fails and the
+  /// transaction aborts instead (late interference, e.g. an interrupt).
+  double commit_abort_rate = 0.0;
+  /// Per-transactional-access probability of a capacity-pressure event:
+  /// one of the requester's own speculative lines is evicted, which ASF
+  /// surfaces as a capacity abort.
+  double evict_rate = 0.0;
+  /// Max extra cycles added to each probe broadcast (uniform in [0, n]).
+  Cycle probe_jitter = 0;
+  /// Max extra cycles added to each scheduled resume (uniform in [0, n]).
+  Cycle sched_jitter = 0;
+  /// Protocol mutation, if any (chaos harness; never a "fault").
+  ProtocolMutation mutation = ProtocolMutation::kNone;
+
+  /// Any probabilistic/timing injection enabled (mutations excluded)?
+  [[nodiscard]] bool any_injection() const {
+    return spurious_abort_rate > 0.0 || commit_abort_rate > 0.0 ||
+           evict_rate > 0.0 || probe_jitter != 0 || sched_jitter != 0;
+  }
+  /// Anything at all (injection or mutation) deviating from a clean run?
+  [[nodiscard]] bool enabled() const {
+    return any_injection() || mutation != ProtocolMutation::kNone;
+  }
+};
+
+}  // namespace asfsim

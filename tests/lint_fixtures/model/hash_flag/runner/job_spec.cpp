@@ -1,0 +1,101 @@
+#include "runner/job_spec.hpp"
+
+#include <cstdio>
+#include <type_traits>
+
+namespace asfsim::runner {
+
+namespace {
+
+template <typename UInt>
+void kv(std::string& out, const char* key, UInt v) {
+  static_assert(std::is_unsigned_v<UInt> || std::is_same_v<UInt, int>);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %llu\n", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// %a is exact (no rounding on round trip) and independent of print
+// precision, so double-valued knobs cannot alias across specs.
+void kv(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %a\n", key, v);
+  out += buf;
+}
+
+void kv_cache(std::string& out, const char* key, const CacheLevelConfig& c) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %u %u %u %llu\n", key, c.size_bytes,
+                c.line_bytes, c.ways,
+                static_cast<unsigned long long>(c.latency));
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+JobSpec make_job_spec(const std::string& workload,
+                      const ExperimentConfig& cfg) {
+  JobSpec spec;
+  spec.workload = workload;
+  spec.config = cfg;
+  // Mirror run_experiment: the effective sim seed is the params seed.
+  spec.config.sim.seed = cfg.params.seed;
+
+  const SimConfig& sim = spec.config.sim;
+  std::string& s = spec.canonical;
+  s.reserve(768);
+  s += "asfsim-jobspec v2\n";
+  s += "workload " + workload + "\n";
+  kv(s, "detector", static_cast<std::uint64_t>(cfg.detector));
+  kv(s, "nsub", cfg.nsub);
+  kv(s, "timeseries", cfg.timeseries ? 1 : 0);
+  kv(s, "max_cycles", cfg.max_cycles);
+  kv(s, "threads", cfg.params.threads);
+  kv(s, "seed", cfg.params.seed);
+  kv(s, "scale", cfg.params.scale);
+  kv(s, "ncores", sim.ncores);
+  kv_cache(s, "l1", sim.l1);
+  kv_cache(s, "l2", sim.l2);
+  kv_cache(s, "l3", sim.l3);
+  kv(s, "mem_latency", sim.mem_latency);
+  kv(s, "cache2cache_latency", sim.cache2cache_latency);
+  kv(s, "upgrade_latency", sim.upgrade_latency);
+  kv(s, "bus_occupancy", sim.bus_occupancy);
+  kv(s, "commit_latency", sim.commit_latency);
+  kv(s, "abort_latency", sim.abort_latency);
+  kv(s, "backoff_base", sim.backoff_base);
+  kv(s, "backoff_cap_shift", sim.backoff_cap_shift);
+  kv(s, "enable_ats", sim.enable_ats ? 1 : 0);
+  kv(s, "ats_alpha", sim.ats_alpha);
+  kv(s, "ats_threshold", sim.ats_threshold);
+  // v2: robustness knobs that change simulation output. The host-side
+  // wall-clock limit (ExperimentConfig::wall_limit_s) is deliberately
+  // excluded — it never changes the result, only whether the host waits.
+  kv(s, "max_tx_retries", sim.max_tx_retries);
+  kv(s, "max_capacity_aborts", sim.max_capacity_aborts);
+  kv(s, "watchdog_cycles", sim.watchdog_cycles);
+  kv(s, "fault_spurious", sim.fault.spurious_abort_rate);
+  kv(s, "fault_commit", sim.fault.commit_abort_rate);
+  kv(s, "fault_evict", sim.fault.evict_rate);
+  kv(s, "fault_probe_jitter", sim.fault.probe_jitter);
+  kv(s, "fault_sched_jitter", sim.fault.sched_jitter);
+  kv(s, "mutation", static_cast<std::uint64_t>(sim.fault.mutation));
+
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(spec.canonical)));
+  spec.hash_hex = buf;
+  return spec;
+}
+
+}  // namespace asfsim::runner

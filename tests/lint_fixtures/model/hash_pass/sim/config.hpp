@@ -1,0 +1,103 @@
+// Simulation configuration (paper Table II, "Simulation configuration").
+//
+// The paper models 8 AMD Opteron 2.2GHz out-of-order cores on PTLsim-ASF.
+// We keep the memory-hierarchy geometry and load-to-use latencies and model
+// the core with an in-order timing approximation (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_config.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// Geometry and latency of one cache level. Latencies are load-to-use.
+struct CacheLevelConfig {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 1;
+  Cycle latency = 1;
+
+  [[nodiscard]] std::uint32_t num_sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+/// Full machine configuration. Defaults reproduce paper Table II.
+struct SimConfig {
+  std::uint32_t ncores = 8;
+
+  // L1 D-cache: 64KB, 64B lines, 2-way, 3-cycle load-to-use.
+  CacheLevelConfig l1{64 * 1024, 64, 2, 3};
+  // Private L2: 512KB, 16-way, 15-cycle load-to-use.
+  CacheLevelConfig l2{512 * 1024, 64, 16, 15};
+  // Private L3: 2MB, 16-way, 50-cycle load-to-use.
+  CacheLevelConfig l3{2 * 1024 * 1024, 16 * 64 * 4, 50};  // fixed below
+  // Main memory load-to-use latency.
+  Cycle mem_latency = 210;
+  // Remote-L1 cache-to-cache transfer latency (HyperTransport-ish).
+  Cycle cache2cache_latency = 60;
+  // Ownership-upgrade (S/O -> M) invalidation round trip.
+  Cycle upgrade_latency = 20;
+
+  // Snoop-bus occupancy: each probe broadcast holds the bus for this many
+  // cycles; later probes queue behind it (0 disables contention modeling).
+  Cycle bus_occupancy = 4;
+  // Delayed-probe mode (0 = atomic-at-issue, the default): an access that
+  // needs a broadcast stalls this many cycles BEFORE the probe executes, so
+  // conflict checks see the machine state at delivery time rather than at
+  // issue time. Used by bench/ablation_timing to validate the
+  // atomic-at-issue substitution (DESIGN.md §2).
+  Cycle probe_delay = 0;
+
+  // Transaction bookkeeping costs.
+  Cycle commit_latency = 5;   // gang-clear of speculative bits
+  Cycle abort_latency = 50;   // discard + pipeline restart
+
+  // Software backoff manager (paper §V-A: exponential backoff library).
+  Cycle backoff_base = 32;
+  std::uint32_t backoff_cap_shift = 8;  // max backoff = base << cap
+
+  // Software fallback thresholds (GuestCtx::run_tx): take the serializing
+  // lock after this many retries or capacity aborts of one logical
+  // transaction. max_tx_retries = 0 disables the fallback entirely —
+  // progress then rests on backoff alone (requester-wins has no guarantee;
+  // pair with watchdog_cycles when experimenting, docs/robustness.md).
+  std::uint32_t max_tx_retries = 24;
+  std::uint32_t max_capacity_aborts = 3;
+
+  // Livelock watchdog: abort the run (LivelockError + diagnostic dump) when
+  // no transaction commits for this many cycles. 0 disables (default: long
+  // non-transactional phases are legitimate).
+  Cycle watchdog_cycles = 0;
+
+  // Fault injection + protocol mutation (docs/robustness.md). All-zero by
+  // default: a clean run never constructs a FaultPlan and its stats are
+  // byte-identical to builds without the fault subsystem.
+  FaultConfig fault;
+
+  // Optional adaptive transaction scheduling (ATS) extension: serialize
+  // transactions from cores whose abort EMA exceeds the threshold.
+  bool enable_ats = false;
+  double ats_alpha = 0.3;
+  double ats_threshold = 0.5;
+
+  std::uint64_t seed = 1;
+
+  SimConfig() {
+    l3.size_bytes = 2 * 1024 * 1024;
+    l3.line_bytes = 64;
+    l3.ways = 16;
+    l3.latency = 50;
+  }
+
+  /// Sanity-check the configuration. `nsub` is the conflict detector's
+  /// sub-block count (1 for per-line detectors). Returns an empty string
+  /// when valid, else a description of the first problem. Machine rejects
+  /// invalid configs at construction (std::invalid_argument).
+  [[nodiscard]] std::string validate(std::uint32_t nsub = 1) const;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,115 @@
+// Run statistics: everything needed to regenerate the paper's tables/figures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/conflict.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// Collected over one simulation run.
+class Stats {
+ public:
+  // ---- transactions ----------------------------------------------------
+  std::uint64_t tx_attempts = 0;   // transaction launches incl. retries
+  std::uint64_t tx_commits = 0;
+  std::uint64_t tx_aborts = 0;
+  /// Transactions that completed via the serializing software fallback
+  /// (lock elision) after repeated capacity aborts (ASF is best-effort).
+  std::uint64_t fallback_runs = 0;
+  /// Transactions dispatched through the ATS serializing queue (extension).
+  std::uint64_t ats_serialized = 0;
+  std::array<std::uint64_t, 4> aborts_by_cause{};  // indexed by AbortCause
+
+  // ---- conflicts (one record per aborted victim) -----------------------
+  std::uint64_t conflicts_total = 0;
+  std::uint64_t conflicts_false = 0;
+  std::array<std::uint64_t, 3> false_by_type{};  // indexed by ConflictType
+  std::array<std::uint64_t, 3> true_by_type{};
+
+  /// False conflicts a finer-grained detector declined to signal although
+  /// baseline ASF's per-line check would have (paper's "reduced" conflicts).
+  std::uint64_t false_conflicts_avoided = 0;
+
+  // ---- memory system ----------------------------------------------------
+  std::uint64_t accesses = 0;
+  std::uint64_t tx_accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l3_hits = 0;
+  std::uint64_t mem_fetches = 0;
+  std::uint64_t c2c_transfers = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t piggyback_messages = 0;  // load responses carrying S-WR masks
+  std::uint64_t dirty_refetches = 0;     // local hits forced to miss by Dirty
+  std::uint64_t upgrades = 0;
+  /// Cycles requesters stalled waiting for the snoop bus (contention).
+  Cycle bus_wait_cycles = 0;
+
+  // ---- figures-oriented histograms --------------------------------------
+  /// Fig 8 (analytical): of the false conflicts seen by THIS run's
+  /// detector, how many would still conflict when both access masks are
+  /// quantized to N sub-blocks. Index i corresponds to N = 1<<i
+  /// (1, 2, 4, 8, 16); index 0 therefore equals conflicts_false.
+  std::array<std::uint64_t, 5> false_surviving_at{};
+
+  /// Fig 4: false-conflict count by conflicting line address.
+  std::unordered_map<Addr, std::uint64_t> false_by_line;
+  /// Fig 5: transactional-access count by start byte offset within the line.
+  std::array<std::uint64_t, 64> tx_access_by_offset{};
+  /// Fig 3 (enabled on demand): cycles of tx launches / false conflicts.
+  bool record_timeseries = false;
+  std::vector<Cycle> tx_start_cycles;
+  std::vector<Cycle> false_conflict_cycles;
+
+  // ---- outcome -----------------------------------------------------------
+  Cycle total_cycles = 0;
+  /// Sum of in-transaction cycles over all attempts (committed + aborted);
+  /// tx_busy_cycles / (ncores * total_cycles) is the transactional duty.
+  Cycle tx_busy_cycles = 0;
+
+  // ---- per-attempt profile (trace subsystem; always collected) -----------
+  /// log2-bucketed attempt durations: bucket 0 holds value 0, bucket i
+  /// holds values in [2^(i-1), 2^i), the last bucket absorbs the tail.
+  std::array<std::uint64_t, 32> tx_duration_hist{};
+  /// log2-bucketed read/write-set footprints (lines) at attempt end.
+  std::array<std::uint64_t, 16> tx_read_lines_hist{};
+  std::array<std::uint64_t, 16> tx_write_lines_hist{};
+  /// In-transaction cycles of attempts that ended in an abort.
+  Cycle wasted_cycles = 0;
+  /// Abort-penalty + backoff stall cycles between retry attempts.
+  Cycle backoff_cycles = 0;
+
+  // ---- hooks -------------------------------------------------------------
+  void on_tx_attempt(Cycle now);
+  void on_tx_commit();
+  void on_tx_abort(AbortCause cause);
+  void on_conflict(const ConflictRecord& rec);
+  void on_avoided_false_conflict();
+  void on_tx_access(std::uint32_t line_off);
+  /// Attempt end (commit or abort): duration and footprint histograms.
+  void on_attempt_end(Cycle duration, std::uint32_t read_lines,
+                      std::uint32_t write_lines, bool aborted);
+  void on_backoff(Cycle wait);
+
+  [[nodiscard]] static std::uint32_t log2_bucket(std::uint64_t v,
+                                                 std::size_t nbuckets);
+
+  // ---- derived -----------------------------------------------------------
+  [[nodiscard]] double false_conflict_rate() const {
+    return conflicts_total == 0
+               ? 0.0
+               : static_cast<double>(conflicts_false) / conflicts_total;
+  }
+  [[nodiscard]] double avg_retries() const {
+    return tx_commits == 0
+               ? 0.0
+               : static_cast<double>(tx_attempts - tx_commits) / tx_commits;
+  }
+};
+
+}  // namespace asfsim

@@ -1,0 +1,215 @@
+#include "stats/serialize.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace asfsim {
+
+namespace {
+
+// v2: appended the per-attempt profile fields (trace subsystem). The
+// version bump makes older blobs fail deserialization cleanly; the result
+// cache never serves them anyway (the code stamp changed with the code).
+constexpr const char* kHeader = "asfsim-stats v2";
+
+void put(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", key, v);
+  out += buf;
+}
+
+template <typename Range>
+void put_seq(std::string& out, const char* key, const Range& values) {
+  out += key;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %zu",
+                static_cast<std::size_t>(std::size(values)));
+  out += buf;
+  for (const std::uint64_t v : values) {
+    std::snprintf(buf, sizeof(buf), " %" PRIu64, v);
+    out += buf;
+  }
+  out += '\n';
+}
+
+/// Cursor over the blob; every read checks syntax so corruption surfaces
+/// as a false return from deserialize_stats, never as garbage stats.
+class Reader {
+ public:
+  explicit Reader(std::string_view blob) : rest_(blob) {}
+
+  bool literal(std::string_view text) {
+    if (rest_.substr(0, text.size()) != text) return false;
+    rest_.remove_prefix(text.size());
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (!literal(" ")) return false;
+    if (rest_.empty() || rest_[0] < '0' || rest_[0] > '9') return false;
+    if (rest_[0] == '0' && rest_.size() > 1 && rest_[1] >= '0' &&
+        rest_[1] <= '9') {
+      return false;  // leading zero: serialize_stats never writes one
+    }
+    v = 0;
+    while (!rest_.empty() && rest_[0] >= '0' && rest_[0] <= '9') {
+      const auto d = static_cast<std::uint64_t>(rest_[0] - '0');
+      if (v > (~std::uint64_t{0} - d) / 10) return false;  // would wrap
+      v = v * 10 + d;
+      rest_.remove_prefix(1);
+    }
+    return true;
+  }
+
+  bool field(std::string_view key, std::uint64_t& v) {
+    return literal(key) && u64(v) && literal("\n");
+  }
+
+  template <typename Range>
+  bool fixed_seq(std::string_view key, Range& values) {
+    std::uint64_t n = 0;
+    if (!literal(key) || !u64(n)) return false;
+    if (n != static_cast<std::uint64_t>(std::size(values))) return false;
+    for (auto& v : values) {
+      if (!u64(v)) return false;
+    }
+    return literal("\n");
+  }
+
+  bool var_seq(std::string_view key, std::vector<Cycle>& values) {
+    std::uint64_t n = 0;
+    if (!literal(key) || !u64(n)) return false;
+    // Each value needs >= 2 bytes of input (" 0"), so a count larger than
+    // the remaining blob is corruption — reject it before reserving, or a
+    // flipped count byte would turn into a giant allocation.
+    if (n > rest_.size() / 2) return false;
+    values.clear();
+    values.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t v = 0;
+      if (!u64(v)) return false;
+      values.push_back(v);
+    }
+    return literal("\n");
+  }
+
+  [[nodiscard]] bool done() const { return rest_.empty(); }
+
+ private:
+  std::string_view rest_;
+};
+
+}  // namespace
+
+std::string serialize_stats(const Stats& s) {
+  std::string out;
+  out.reserve(2048);
+  out += kHeader;
+  out += '\n';
+  put(out, "tx_attempts", s.tx_attempts);
+  put(out, "tx_commits", s.tx_commits);
+  put(out, "tx_aborts", s.tx_aborts);
+  put(out, "fallback_runs", s.fallback_runs);
+  put(out, "ats_serialized", s.ats_serialized);
+  put_seq(out, "aborts_by_cause", s.aborts_by_cause);
+  put(out, "conflicts_total", s.conflicts_total);
+  put(out, "conflicts_false", s.conflicts_false);
+  put_seq(out, "false_by_type", s.false_by_type);
+  put_seq(out, "true_by_type", s.true_by_type);
+  put(out, "false_conflicts_avoided", s.false_conflicts_avoided);
+  put(out, "accesses", s.accesses);
+  put(out, "tx_accesses", s.tx_accesses);
+  put(out, "l1_hits", s.l1_hits);
+  put(out, "l2_hits", s.l2_hits);
+  put(out, "l3_hits", s.l3_hits);
+  put(out, "mem_fetches", s.mem_fetches);
+  put(out, "c2c_transfers", s.c2c_transfers);
+  put(out, "probes_sent", s.probes_sent);
+  put(out, "piggyback_messages", s.piggyback_messages);
+  put(out, "dirty_refetches", s.dirty_refetches);
+  put(out, "upgrades", s.upgrades);
+  put(out, "bus_wait_cycles", s.bus_wait_cycles);
+  put_seq(out, "false_surviving_at", s.false_surviving_at);
+
+  std::vector<std::pair<Addr, std::uint64_t>> by_line(s.false_by_line.begin(),
+                                                      s.false_by_line.end());
+  std::sort(by_line.begin(), by_line.end());
+  std::vector<std::uint64_t> flat;
+  flat.reserve(by_line.size() * 2);
+  for (const auto& [addr, count] : by_line) {
+    flat.push_back(addr);
+    flat.push_back(count);
+  }
+  put_seq(out, "false_by_line", flat);
+
+  put_seq(out, "tx_access_by_offset", s.tx_access_by_offset);
+  put(out, "record_timeseries", s.record_timeseries ? 1 : 0);
+  put_seq(out, "tx_start_cycles", s.tx_start_cycles);
+  put_seq(out, "false_conflict_cycles", s.false_conflict_cycles);
+  put(out, "total_cycles", s.total_cycles);
+  put(out, "tx_busy_cycles", s.tx_busy_cycles);
+  put_seq(out, "tx_duration_hist", s.tx_duration_hist);
+  put_seq(out, "tx_read_lines_hist", s.tx_read_lines_hist);
+  put_seq(out, "tx_write_lines_hist", s.tx_write_lines_hist);
+  put(out, "wasted_cycles", s.wasted_cycles);
+  put(out, "backoff_cycles", s.backoff_cycles);
+  return out;
+}
+
+bool deserialize_stats(std::string_view blob, Stats& out) {
+  out = Stats{};
+  Reader r(blob);
+  std::uint64_t flag = 0;
+  std::vector<Cycle> by_line_flat;
+  const bool ok =
+      r.literal(kHeader) && r.literal("\n") &&
+      r.field("tx_attempts", out.tx_attempts) &&
+      r.field("tx_commits", out.tx_commits) &&
+      r.field("tx_aborts", out.tx_aborts) &&
+      r.field("fallback_runs", out.fallback_runs) &&
+      r.field("ats_serialized", out.ats_serialized) &&
+      r.fixed_seq("aborts_by_cause", out.aborts_by_cause) &&
+      r.field("conflicts_total", out.conflicts_total) &&
+      r.field("conflicts_false", out.conflicts_false) &&
+      r.fixed_seq("false_by_type", out.false_by_type) &&
+      r.fixed_seq("true_by_type", out.true_by_type) &&
+      r.field("false_conflicts_avoided", out.false_conflicts_avoided) &&
+      r.field("accesses", out.accesses) &&
+      r.field("tx_accesses", out.tx_accesses) &&
+      r.field("l1_hits", out.l1_hits) && r.field("l2_hits", out.l2_hits) &&
+      r.field("l3_hits", out.l3_hits) &&
+      r.field("mem_fetches", out.mem_fetches) &&
+      r.field("c2c_transfers", out.c2c_transfers) &&
+      r.field("probes_sent", out.probes_sent) &&
+      r.field("piggyback_messages", out.piggyback_messages) &&
+      r.field("dirty_refetches", out.dirty_refetches) &&
+      r.field("upgrades", out.upgrades) &&
+      r.field("bus_wait_cycles", out.bus_wait_cycles) &&
+      r.fixed_seq("false_surviving_at", out.false_surviving_at) &&
+      r.var_seq("false_by_line", by_line_flat) &&
+      r.fixed_seq("tx_access_by_offset", out.tx_access_by_offset) &&
+      r.field("record_timeseries", flag) &&
+      r.var_seq("tx_start_cycles", out.tx_start_cycles) &&
+      r.var_seq("false_conflict_cycles", out.false_conflict_cycles) &&
+      r.field("total_cycles", out.total_cycles) &&
+      r.field("tx_busy_cycles", out.tx_busy_cycles) &&
+      r.fixed_seq("tx_duration_hist", out.tx_duration_hist) &&
+      r.fixed_seq("tx_read_lines_hist", out.tx_read_lines_hist) &&
+      r.fixed_seq("tx_write_lines_hist", out.tx_write_lines_hist) &&
+      r.field("wasted_cycles", out.wasted_cycles) &&
+      r.field("backoff_cycles", out.backoff_cycles) && r.done();
+  if (!ok || flag > 1 || by_line_flat.size() % 2 != 0) return false;
+  out.record_timeseries = flag == 1;
+  for (std::size_t i = 0; i < by_line_flat.size(); i += 2) {
+    // Canonical blobs are sorted by address with no duplicates; anything
+    // else is corruption (a duplicate would silently merge two entries).
+    if (i > 0 && by_line_flat[i] <= by_line_flat[i - 2]) return false;
+    out.false_by_line[by_line_flat[i]] = by_line_flat[i + 1];
+  }
+  return true;
+}
+
+}  // namespace asfsim

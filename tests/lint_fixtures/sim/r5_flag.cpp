@@ -1,0 +1,21 @@
+// lint fixture: MUST flag nondeterministic-source (three sites).
+// Lives under a `sim/` path component, so the determinism pass is in scope.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+
+namespace asfsim {
+
+std::uint64_t jitter_seed() {
+  // C PRNG: per-process state, never derived from cfg.seed.
+  const int r = std::rand();
+  // Wall-clock read feeding simulated state.
+  const auto t = std::time(nullptr);
+  // Chrono clock type mentioned in sim-affecting code.
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(r) ^ static_cast<std::uint64_t>(t) ^
+         static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace asfsim

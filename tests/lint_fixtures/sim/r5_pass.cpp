@@ -1,0 +1,35 @@
+// lint fixture: MUST pass — deterministic randomness and the benign
+// homonyms of the banned names.
+#include <cstdint>
+
+namespace asfsim {
+
+// Seeded, pure-function randomness: the approved source.
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+struct Timer {
+  // A member named `time` is not std::time.
+  std::uint64_t time() const { return 0; }
+};
+
+struct ScopedClock {
+  explicit ScopedClock(int) {}
+};
+
+std::uint64_t deterministic_jitter(std::uint64_t seed) {
+  Rng rng{seed ^ 0x9e3779b97f4a7c15ULL};
+  Timer t;
+  // A variable named `clock` is a declaration, not a clock() call.
+  ScopedClock clock(0);
+  return rng.next() + t.time();
+}
+
+}  // namespace asfsim

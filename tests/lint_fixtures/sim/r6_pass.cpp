@@ -1,0 +1,31 @@
+// lint fixture: MUST pass — ordered/sequence iteration and non-iterating
+// uses of unordered containers.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace asfsim {
+
+struct DetectorState {
+  std::unordered_map<std::uint64_t, std::uint32_t> spec;
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> per_core;
+  std::vector<std::uint64_t> lines;
+  std::map<std::uint64_t, std::uint32_t> ordered;
+};
+
+std::uint64_t stable_walk(const DetectorState& st) {
+  std::uint64_t sum = 0;
+  // A plain vector iterates in index order.
+  for (const std::uint64_t line : st.lines) sum += line;
+  // std::map iterates in key order.
+  for (const auto& [line, mask] : st.ordered) sum += line + mask;
+  // Iterating the OUTER vector of per-core maps is index order, fine.
+  for (const auto& core_map : st.per_core) sum += core_map.size();
+  // Point lookups into the unordered map never depend on hash order.
+  const auto it = st.spec.find(7);
+  if (it != st.spec.end()) sum += it->second;
+  return sum;
+}
+
+}  // namespace asfsim

@@ -37,6 +37,56 @@ TEST(ChaosCell, BaselineDetectorControlIsClean) {
   EXPECT_EQ(r.verdict, ChaosVerdict::kClean) << r.detail;
 }
 
+// Each of the three bookkeeping/liveness mutations added with the policy
+// oracle must be killed by the specific oracle designed to see it (pinning
+// the diagnosis, not just "some oracle fired").
+TEST(ChaosCell, WrongSubblockIndexMathKilledByInvariantAuditor) {
+  ChaosCell cell;  // subblock/4, seed 1
+  cell.fault.mutation = ProtocolMutation::kWrongSubblockIndexMath;
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kInvariantViolation) << r.detail;
+  EXPECT_NE(r.detail.find("sub-block bits disagree"), std::string::npos)
+      << r.detail;
+}
+
+TEST(ChaosCell, StalePiggybackMaskKilledByInvariantAuditor) {
+  ChaosCell cell;
+  cell.fault.mutation = ProtocolMutation::kStalePiggybackMask;
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kInvariantViolation) << r.detail;
+  EXPECT_NE(r.detail.find("piggyback lost"), std::string::npos) << r.detail;
+}
+
+TEST(ChaosCell, BackoffNeverSleepsKilledByPolicyOracle) {
+  // Correctness oracles are blind to this one: the run still serializes and
+  // completes. Only the backoff-progressivity policy check can see it.
+  ChaosCell cell;
+  cell.fault.mutation = ProtocolMutation::kBackoffNeverSleeps;
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kPolicyViolation) << r.detail;
+  EXPECT_NE(r.detail.find("backoff never sleeps"), std::string::npos)
+      << r.detail;
+}
+
+TEST(ChaosCell, BackoffPolicyOracleAcceptsRealBackoff) {
+  // The same shape without the mutation must satisfy the progressivity
+  // bound — i.e. the policy oracle has no false positives on this cell.
+  ChaosCell cell;
+  const ChaosCellResult r = run_chaos_cell(cell);
+  EXPECT_EQ(r.verdict, ChaosVerdict::kClean) << r.detail;
+}
+
+TEST(Mutations, NewMutationNamesRoundTrip) {
+  for (const ProtocolMutation m :
+       {ProtocolMutation::kWrongSubblockIndexMath,
+        ProtocolMutation::kStalePiggybackMask,
+        ProtocolMutation::kBackoffNeverSleeps}) {
+    ProtocolMutation parsed = ProtocolMutation::kNone;
+    ASSERT_TRUE(parse_mutation(to_string(m), parsed)) << to_string(m);
+    EXPECT_EQ(parsed, m);
+  }
+}
+
 // The headline acceptance criterion: every --mutate variant must be caught
 // by the serializability replay or the invariant auditor on at least one
 // cell, while all clean controls stay green.

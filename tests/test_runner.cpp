@@ -262,5 +262,90 @@ TEST(Runner, WritesMachineReadableManifest) {
   EXPECT_NE(text.find(runner::code_version_stamp()), std::string::npos);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(Runner, ManifestEmbedsFaultCountersWhenOptedIn) {
+  TempCacheDir dir("fault_counters");
+  const std::string manifest = dir.str() + "/manifest.json";
+  std::filesystem::create_directories(dir.str());
+  ExperimentConfig cfg = small_config();
+  cfg.sim.fault.spurious_abort_rate = 0.01;  // high enough to actually fire
+  cfg.sim.fault.probe_jitter = 3;
+  {
+    auto opts = cached_opts(dir);
+    opts.manifest_path = manifest;
+    opts.manifest_fault_counters = true;
+    Runner r(opts);
+    (void)r.get("counter", cfg);
+    (void)r.get("counter", small_config());  // fault-free: no counters object
+  }
+  const std::string text = slurp(manifest);
+  EXPECT_NE(text.find("\"fault_counters\": {"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"spurious_aborts\":"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"probe_jitter_cycles\":"), std::string::npos) << text;
+  // Exactly one entry carries the object: the fault-free job omits it.
+  const std::size_t first = text.find("\"fault_counters\"");
+  EXPECT_EQ(text.find("\"fault_counters\"", first + 1), std::string::npos)
+      << text;
+}
+
+TEST(Runner, ManifestOmitsFaultCountersByDefault) {
+  TempCacheDir dir("fault_counters_off");
+  const std::string manifest = dir.str() + "/manifest.json";
+  std::filesystem::create_directories(dir.str());
+  ExperimentConfig cfg = small_config();
+  cfg.sim.fault.spurious_abort_rate = 0.01;
+  {
+    auto opts = cached_opts(dir);
+    opts.manifest_path = manifest;  // manifest_fault_counters stays false
+    Runner r(opts);
+    (void)r.get("counter", cfg);
+  }
+  EXPECT_EQ(slurp(manifest).find("\"fault_counters\""), std::string::npos);
+}
+
+TEST(Runner, LivelockDumpLandsInManifestDiagnosticArray) {
+  // Same no-forward-progress shape as asfsim_chaos livelock: the counter
+  // workload's footprint overflows a tiny 1-way L1, every attempt capacity-
+  // aborts, and the watchdog ends the run. The watchdog dump rides inside
+  // LivelockError::what(); the manifest must split it into a one-line
+  // "error" headline plus a "diagnostic" array.
+  TempCacheDir dir("livelock_manifest");
+  const std::string manifest = dir.str() + "/manifest.json";
+  std::filesystem::create_directories(dir.str());
+  ExperimentConfig cfg;
+  cfg.detector = DetectorKind::kSubBlock;
+  cfg.nsub = 4;
+  cfg.sim.l1.size_bytes = 256;
+  cfg.sim.l1.ways = 1;
+  cfg.sim.max_tx_retries = 0;  // never fall back to the lock
+  cfg.sim.backoff_cap_shift = 2;
+  cfg.sim.watchdog_cycles = 200'000;
+  cfg.params.threads = 4;
+  cfg.params.seed = 7;
+  {
+    auto opts = cached_opts(dir);
+    opts.manifest_path = manifest;
+    opts.use_cache = false;
+    Runner r(opts);
+    EXPECT_THROW((void)r.get("counter", cfg), runner::JobError);
+  }
+  const std::string text = slurp(manifest);
+  EXPECT_NE(text.find("\"status\": \"failed\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"error\": \""), std::string::npos) << text;
+  EXPECT_NE(text.find("livelock watchdog fired"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"diagnostic\": ["), std::string::npos) << text;
+  // The headline "error" value itself must be single-line: no escaped
+  // newline may appear anywhere (the dump was split, not embedded).
+  EXPECT_EQ(text.find("\\n"), std::string::npos) << text;
+  // Dump content made it into the array (per-core state + hot lines).
+  EXPECT_NE(text.find("core "), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace asfsim

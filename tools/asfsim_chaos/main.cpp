@@ -30,13 +30,18 @@ namespace {
 using namespace asfsim;
 
 [[noreturn]] void usage(int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
   std::fprintf(
-      code == 0 ? stdout : stderr,
+      out,
       "usage: asfsim_chaos <matrix|cell|livelock> [options]\n"
       "  matrix [--seeds a,b,c] [--ntx N] [--audit N] [--verbose]\n"
       "  cell --mutate NAME [--detector baseline|subblock] [--nsub N]\n"
       "       [--seed N] [--ntx N] [--audit N]\n"
-      "  livelock [--runner]\n");
+      "  livelock [--runner]\n"
+      "mutations (--mutate):\n");
+  for (const ProtocolMutation m : all_mutations()) {
+    std::fprintf(out, "  %s\n", to_string(m));
+  }
   std::exit(code);
 }
 

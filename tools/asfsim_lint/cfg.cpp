@@ -1,0 +1,276 @@
+#include "cfg.hpp"
+
+#include "parser.hpp"
+
+namespace asfsim_lint {
+namespace {
+
+struct Region {
+  std::size_t entry = kNpos;          // first node, kNpos if empty
+  std::vector<std::size_t> exits;     // nodes whose control falls out
+};
+
+class Builder {
+ public:
+  Builder(const LexedFile& file, const Ast& ast, std::size_t fn_index)
+      : toks_(file.tokens), ast_(ast), fn_(fn_index) {}
+
+  Cfg run() {
+    cfg_.fn = fn_;
+    cfg_.nodes.push_back(make_node(CfgNodeKind::kEntry, kNpos, kNpos));
+    cfg_.nodes.push_back(make_node(CfgNodeKind::kExit, kNpos, kNpos));
+    const FunctionDecl& f = ast_.functions[fn_];
+    Region body;
+    if (f.body_open != kNpos && f.body_close != kNpos &&
+        f.body_open + 1 <= f.body_close) {
+      body = parse_seq(f.body_open + 1, f.body_close);
+    }
+    if (body.entry == kNpos) {
+      cfg_.nodes[0].succ.push_back(1);
+    } else {
+      cfg_.nodes[0].succ.push_back(body.entry);
+      for (const std::size_t x : body.exits) cfg_.nodes[x].succ.push_back(1);
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  static CfgNode make_node(CfgNodeKind kind, std::size_t begin,
+                           std::size_t end) {
+    CfgNode n;
+    n.kind = kind;
+    n.begin = begin;
+    n.end = end;
+    return n;
+  }
+
+  std::size_t add_node(CfgNodeKind kind, std::size_t begin, std::size_t end) {
+    cfg_.nodes.push_back(make_node(kind, begin, end));
+    return cfg_.nodes.size() - 1;
+  }
+
+  bool is(std::size_t i, const char* s) const {
+    return i < toks_.size() && toks_[i].text == s;
+  }
+  bool mine(std::size_t i) const {
+    return i < ast_.fn_of.size() && ast_.fn_of[i] == fn_;
+  }
+
+  /// Statement list over [begin, end); consecutive plain statements merge
+  /// into one kBody node.
+  Region parse_seq(std::size_t begin, std::size_t end) {
+    Region region;
+    std::vector<std::size_t> pending;  // nodes flowing into the next stmt
+    std::size_t i = begin;
+    int guard = 0;
+    while (i < end && ++guard < (1 << 20)) {
+      const auto [stmt, next] = parse_stmt(i, end);
+      if (next <= i) break;  // no progress: malformed input, stop cleanly
+      i = next;
+      if (stmt.entry == kNpos) continue;
+      // Merge a plain statement into an adjacent preceding plain sibling.
+      if (stmt.entry == cfg_.nodes.size() - 1 && pending.size() == 1 &&
+          stmt.exits.size() == 1 && stmt.exits[0] == stmt.entry) {
+        CfgNode& prev = cfg_.nodes[pending[0]];
+        CfgNode& cur = cfg_.nodes[stmt.entry];
+        if (prev.kind == CfgNodeKind::kBody && cur.kind == CfgNodeKind::kBody &&
+            cur.succ.empty() && prev.end == cur.begin) {
+          prev.end = cur.end;
+          cfg_.nodes.pop_back();
+          continue;  // pending unchanged: still the merged node
+        }
+      }
+      if (region.entry == kNpos) region.entry = stmt.entry;
+      for (const std::size_t p : pending) {
+        cfg_.nodes[p].succ.push_back(stmt.entry);
+      }
+      pending = stmt.exits;
+    }
+    region.exits = std::move(pending);
+    if (region.entry != kNpos && region.exits.empty()) {
+      // Whole region was control statements with no fallthrough recorded;
+      // keep the graph connected.
+      region.exits.push_back(region.entry);
+    }
+    return region;
+  }
+
+  /// One statement starting at `i`; returns its region and the index just
+  /// past it.
+  std::pair<Region, std::size_t> parse_stmt(std::size_t i, std::size_t end) {
+    if (i >= end) return {{}, end};
+    if (is(i, ";")) return {{}, i + 1};
+    if (is(i, "}")) return {{}, i + 1};  // stray closer: consume, stay sound
+    if (is(i, "{")) {
+      const std::size_t close = match_brace(i, end);
+      if (!mine(i)) return {{}, close + 1};  // nested lambda body: opaque
+      Region r = parse_seq(i + 1, close);
+      return {r, close + 1};
+    }
+    if (is(i, "if") || is(i, "switch")) return parse_branch(i, end);
+    if (is(i, "while") || is(i, "for")) return parse_loop(i, end);
+    if (is(i, "do")) return parse_do(i, end);
+    if (is(i, "else") || is(i, "try")) {
+      // `else`/`try` introduce the next statement directly.
+      auto [r, next] = parse_stmt(i + 1, end);
+      return {r, next};
+    }
+    if (is(i, "catch")) {
+      std::size_t j = i + 1;
+      if (is(j, "(")) {
+        const std::size_t close = match_paren(toks_, j);
+        j = close == kNpos ? j + 1 : close + 1;
+      }
+      auto [r, next] = parse_stmt(j, end);
+      return {r, next};
+    }
+    return parse_plain(i, end);
+  }
+
+  std::pair<Region, std::size_t> parse_branch(std::size_t i, std::size_t end) {
+    const std::string intro = toks_[i].text;
+    std::size_t open = i + 1;
+    if (is(open, "constexpr")) ++open;
+    if (!is(open, "(")) return parse_plain(i, end);
+    const std::size_t close = match_paren(toks_, open);
+    if (close == kNpos || close >= end) return parse_plain(i, end);
+    const std::size_t node = add_node(CfgNodeKind::kBranch, i, close + 1);
+    cfg_.nodes[node].intro = intro;
+    cfg_.nodes[node].cond_open = open;
+    cfg_.nodes[node].cond_close = close;
+    auto [then_r, next] = parse_stmt(close + 1, end);
+    Region region;
+    region.entry = node;
+    if (then_r.entry != kNpos) {
+      cfg_.nodes[node].succ.push_back(then_r.entry);
+      region.exits = then_r.exits;
+    }
+    if (intro == "if" && is(next, "else")) {
+      auto [else_r, after] = parse_stmt(next + 1, end);
+      next = after;
+      if (else_r.entry != kNpos) {
+        cfg_.nodes[node].succ.push_back(else_r.entry);
+        region.exits.insert(region.exits.end(), else_r.exits.begin(),
+                            else_r.exits.end());
+      } else {
+        region.exits.push_back(node);
+      }
+    } else {
+      region.exits.push_back(node);  // not-taken edge falls through
+    }
+    return {region, next};
+  }
+
+  std::pair<Region, std::size_t> parse_loop(std::size_t i, std::size_t end) {
+    const std::string intro = toks_[i].text;
+    const std::size_t open = i + 1;
+    if (!is(open, "(")) return parse_plain(i, end);
+    const std::size_t close = match_paren(toks_, open);
+    if (close == kNpos || close >= end) return parse_plain(i, end);
+    const std::size_t node = add_node(CfgNodeKind::kLoop, i, close + 1);
+    cfg_.nodes[node].intro = intro;
+    cfg_.nodes[node].cond_open = open;
+    cfg_.nodes[node].cond_close = close;
+    auto [body_r, next] = parse_stmt(close + 1, end);
+    if (body_r.entry != kNpos) {
+      cfg_.nodes[node].succ.push_back(body_r.entry);
+      for (const std::size_t x : body_r.exits) {
+        cfg_.nodes[x].succ.push_back(node);  // back edge
+      }
+    }
+    Region region;
+    region.entry = node;
+    region.exits.push_back(node);  // loop-exit edge
+    return {region, next};
+  }
+
+  std::pair<Region, std::size_t> parse_do(std::size_t i, std::size_t end) {
+    auto [body_r, next] = parse_stmt(i + 1, end);
+    std::size_t node = kNpos;
+    if (is(next, "while") && is(next + 1, "(")) {
+      const std::size_t open = next + 1;
+      const std::size_t close = match_paren(toks_, open);
+      if (close != kNpos && close < end) {
+        node = add_node(CfgNodeKind::kLoop, next, close + 1);
+        cfg_.nodes[node].intro = "do";
+        cfg_.nodes[node].cond_open = open;
+        cfg_.nodes[node].cond_close = close;
+        next = close + 1;
+        if (is(next, ";")) ++next;
+      }
+    }
+    Region region;
+    if (node == kNpos) return {body_r, next};
+    if (body_r.entry != kNpos) {
+      region.entry = body_r.entry;
+      for (const std::size_t x : body_r.exits) {
+        cfg_.nodes[x].succ.push_back(node);
+      }
+      cfg_.nodes[node].succ.push_back(body_r.entry);  // back edge
+    } else {
+      region.entry = node;
+    }
+    region.exits.push_back(node);
+    return {region, next};
+  }
+
+  /// Plain statement: everything up to the `;` at this nesting level (or
+  /// the region end). Nested brace/paren/bracket runs — including lambda
+  /// bodies — are swallowed whole.
+  std::pair<Region, std::size_t> parse_plain(std::size_t i, std::size_t end) {
+    std::size_t k = i;
+    int depth = 0;
+    while (k < end) {
+      const Token& t = toks_[k];
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]") --depth;
+      if (t.text == "}") {
+        if (depth == 0) break;  // enclosing region ends mid-statement
+        --depth;
+      }
+      if (depth == 0 && t.text == ";") {
+        ++k;
+        break;
+      }
+      if (depth < 0) break;
+      ++k;
+    }
+    if (k <= i) k = i + 1;
+    const std::size_t node = add_node(CfgNodeKind::kBody, i, k);
+    Region region;
+    region.entry = node;
+    region.exits.push_back(node);
+    return {region, k};
+  }
+
+  std::size_t match_brace(std::size_t open, std::size_t end) const {
+    int depth = 0;
+    for (std::size_t k = open; k < end; ++k) {
+      if (toks_[k].text == "{") ++depth;
+      if (toks_[k].text == "}" && --depth == 0) return k;
+    }
+    return end == 0 ? 0 : end - 1;
+  }
+
+  const std::vector<Token>& toks_;
+  const Ast& ast_;
+  std::size_t fn_;
+  Cfg cfg_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const LexedFile& file, const Ast& ast, std::size_t fn_index) {
+  return Builder(file, ast, fn_index).run();
+}
+
+std::vector<Cfg> build_cfgs(const LexedFile& file, const Ast& ast) {
+  std::vector<Cfg> out;
+  out.reserve(ast.functions.size());
+  for (std::size_t i = 0; i < ast.functions.size(); ++i) {
+    out.push_back(build_cfg(file, ast, i));
+  }
+  return out;
+}
+
+}  // namespace asfsim_lint

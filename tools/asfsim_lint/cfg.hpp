@@ -1,0 +1,51 @@
+// asfsim_lint CFG-lite: per-function control-flow graphs built from the AST.
+//
+// Nodes are token ranges; branch/loop nodes carry the condition's paren
+// extent so rule passes can scan condition expressions structurally
+// (R1 coawait-in-condition consumes exactly these). Edges model structured
+// control flow only — break/continue/goto/exceptions fall through as if the
+// statement ended normally, which is sound for every current rule (they
+// need "is this token a condition" and reachability-free range queries,
+// not precise dataflow).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "lexer.hpp"
+
+namespace asfsim_lint {
+
+enum class CfgNodeKind : std::uint8_t {
+  kEntry,
+  kExit,
+  kBody,    // straight-line statement run
+  kBranch,  // if/switch header
+  kLoop,    // while/for/do-while header
+};
+
+struct CfgNode {
+  CfgNodeKind kind = CfgNodeKind::kBody;
+  std::size_t begin = kNpos;  // token range [begin, end)
+  std::size_t end = kNpos;
+  std::string intro;          // "if"/"while"/"for"/"switch"/"do" for headers
+  std::size_t cond_open = kNpos;   // `(` of the condition, for headers
+  std::size_t cond_close = kNpos;  // matching `)`
+  std::vector<std::size_t> succ;
+};
+
+struct Cfg {
+  std::size_t fn = kNpos;  // index into Ast::functions
+  // nodes[0] is the entry, nodes[1] the exit.
+  std::vector<CfgNode> nodes;
+};
+
+/// Build the CFG for one function of `ast` (by index into ast.functions).
+Cfg build_cfg(const LexedFile& file, const Ast& ast, std::size_t fn_index);
+
+/// Build CFGs for every function in the file (same order as ast.functions).
+std::vector<Cfg> build_cfgs(const LexedFile& file, const Ast& ast);
+
+}  // namespace asfsim_lint

@@ -1,0 +1,61 @@
+#include "fix.hpp"
+
+#include <algorithm>
+
+namespace asfsim_lint {
+
+FixResult apply_fixes(const LexedFile& file,
+                      const std::vector<Diagnostic>& diags) {
+  // Gather per-diagnostic edit sets for this file, keeping each set atomic:
+  // either all of a diagnostic's edits apply or none do.
+  struct Set {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    const std::vector<FixEdit>* edits = nullptr;
+  };
+  std::vector<Set> sets;
+  for (const Diagnostic& d : diags) {
+    if (d.path != file.path || d.fixes.empty()) continue;
+    Set s;
+    s.lo = d.fixes.front().begin;
+    s.hi = d.fixes.front().end;
+    for (const FixEdit& e : d.fixes) {
+      s.lo = std::min(s.lo, e.begin);
+      s.hi = std::max(s.hi, e.end);
+    }
+    s.edits = &d.fixes;
+    sets.push_back(s);
+  }
+  std::sort(sets.begin(), sets.end(),
+            [](const Set& a, const Set& b) { return a.lo < b.lo; });
+
+  FixResult result;
+  std::vector<FixEdit> accepted;
+  std::size_t last_hi = 0;
+  bool first = true;
+  for (const Set& s : sets) {
+    if (!first && s.lo < last_hi) {
+      ++result.skipped;  // overlaps a previously accepted diagnostic
+      continue;
+    }
+    first = false;
+    last_hi = std::max(last_hi, s.hi);
+    for (const FixEdit& e : *s.edits) accepted.push_back(e);
+    ++result.applied;
+  }
+
+  // Apply back-to-front so earlier offsets stay valid.
+  std::sort(accepted.begin(), accepted.end(),
+            [](const FixEdit& a, const FixEdit& b) { return a.begin > b.begin; });
+  result.source = file.source;
+  for (const FixEdit& e : accepted) {
+    if (e.begin > result.source.size() || e.end > result.source.size() ||
+        e.begin > e.end) {
+      continue;  // defensive: never write out of range
+    }
+    result.source.replace(e.begin, e.end - e.begin, e.replacement);
+  }
+  return result;
+}
+
+}  // namespace asfsim_lint

@@ -1,0 +1,24 @@
+// asfsim_lint autofixer: applies the byte-range FixEdits attached to
+// diagnostics back onto the original source text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace asfsim_lint {
+
+struct FixResult {
+  std::string source;   // file contents after applying the edits
+  int applied = 0;      // diagnostics whose edits were applied
+  int skipped = 0;      // fixable diagnostics dropped due to edit overlap
+};
+
+/// Apply the fixes of every diagnostic that belongs to `file` (matched by
+/// path). Edits are applied back-to-front; if two diagnostics' edit sets
+/// overlap, the later one is skipped rather than producing garbled output.
+FixResult apply_fixes(const LexedFile& file,
+                      const std::vector<Diagnostic>& diags);
+
+}  // namespace asfsim_lint

@@ -65,6 +65,7 @@ void parse_directives(const std::string& comment, std::uint32_t line,
 LexedFile lex(std::string path, const std::string& src) {
   LexedFile out;
   out.path = std::move(path);
+  out.source = src;
   std::uint32_t line = 1;
   std::size_t i = 0;
   const std::size_t n = src.size();
@@ -73,6 +74,11 @@ LexedFile lex(std::string path, const std::string& src) {
   auto newline = [&] {
     ++line;
     code_on_line = false;
+  };
+  auto emit = [&](TokKind kind, std::string text, std::uint32_t at_line,
+                  std::size_t begin, std::size_t end) {
+    out.tokens.push_back({kind, std::move(text), at_line, begin, end});
+    code_on_line = true;
   };
 
   while (i < n) {
@@ -123,22 +129,24 @@ LexedFile lex(std::string path, const std::string& src) {
     }
     // Raw string literal: R"delim( ... )delim".
     if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      const std::size_t begin = i;
       std::size_t j = i + 2;
       std::string delim;
       while (j < n && src[j] != '(') delim.push_back(src[j++]);
       const std::string close = ")" + delim + "\"";
       const std::size_t end = src.find(close, j);
       const std::size_t stop = end == std::string::npos ? n : end + close.size();
+      const std::uint32_t at = line;
       for (std::size_t k = i; k < stop; ++k) {
         if (src[k] == '\n') newline();
       }
-      out.tokens.push_back({TokKind::kString, "R\"...\"", line});
-      code_on_line = true;
+      emit(TokKind::kString, "R\"...\"", at, begin, stop);
       i = stop;
       continue;
     }
     // String / char literal.
     if (c == '"' || c == '\'') {
+      const std::size_t begin = i;
       const char quote = c;
       std::string text(1, c);
       ++i;
@@ -154,17 +162,15 @@ LexedFile lex(std::string path, const std::string& src) {
         text.push_back(quote);
         ++i;
       }
-      out.tokens.push_back(
-          {quote == '"' ? TokKind::kString : TokKind::kChar, text, line});
-      code_on_line = true;
+      emit(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text),
+           line, begin, i);
       continue;
     }
     // Identifier / keyword.
     if (ident_start(c)) {
       std::size_t j = i;
       while (j < n && ident_cont(src[j])) ++j;
-      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
-      code_on_line = true;
+      emit(TokKind::kIdent, src.substr(i, j - i), line, i, j);
       i = j;
       continue;
     }
@@ -177,8 +183,7 @@ LexedFile lex(std::string path, const std::string& src) {
                          src[j - 1] == 'p' || src[j - 1] == 'P')))) {
         ++j;
       }
-      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
-      code_on_line = true;
+      emit(TokKind::kNumber, src.substr(i, j - i), line, i, j);
       i = j;
       continue;
     }
@@ -193,9 +198,9 @@ LexedFile lex(std::string path, const std::string& src) {
         two("<<") || two(">>") || two("++") || two("--")) {
       p = src.substr(i, 2);
     }
-    out.tokens.push_back({TokKind::kPunct, p, line});
-    code_on_line = true;
-    i += p.size();
+    const std::size_t len = p.size();
+    emit(TokKind::kPunct, std::move(p), line, i, i + len);
+    i += len;
   }
   return out;
 }

@@ -1,13 +1,14 @@
 // asfsim_lint lexer: a minimal, dependency-free C++ tokenizer.
 //
 // Produces a flat token stream (identifiers, punctuation, literals) with
-// line numbers, plus the per-line suppression directives parsed out of
-// comments. This is deliberately NOT a real C++ front end: the rule engine
-// (rules.cpp) works on token patterns, which is enough for the simulator's
-// guest-code invariants and keeps the tool buildable with nothing but the
-// standard library.
+// line numbers and byte offsets, plus the per-line suppression directives
+// parsed out of comments. This is deliberately NOT a real C++ front end:
+// the parser (parser.cpp) builds a declaration/statement AST on top of this
+// stream, which is enough for the simulator's guest-code invariants and
+// keeps the tool buildable with nothing but the standard library.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -28,6 +29,10 @@ struct Token {
   TokKind kind;
   std::string text;
   std::uint32_t line;
+  // Byte range [begin, end) in the original source; the autofixer (fix.cpp)
+  // anchors its text edits here.
+  std::size_t begin = 0;
+  std::size_t end = 0;
 };
 
 /// Suppressions collected from `// asfsim-lint: allow(rule)` comments.
@@ -50,6 +55,7 @@ struct Suppressions {
 
 struct LexedFile {
   std::string path;
+  std::string source;  // original bytes (the autofixer edits these)
   std::vector<Token> tokens;
   Suppressions suppressions;
 };

@@ -1,0 +1,556 @@
+#include "parser.hpp"
+
+#include <unordered_set>
+
+namespace asfsim_lint {
+namespace {
+
+// Keywords that, when hit while walking back from a `{`, prove the brace is
+// not a function body (type/namespace/control/label contexts).
+const std::unordered_set<std::string> kNonFunctionKeywords = {
+    "struct",  "class",   "union",    "enum",    "namespace", "else",
+    "do",      "try",     "export",   "extern",  "return",    "co_return",
+    "co_yield", "co_await", "if",     "while",   "for",       "switch",
+    "case",    "default", "public",   "private", "protected", "concept",
+    "requires"};
+
+// Tokens skipped while walking back from a `{` across a trailing return
+// type / cv-qualifier run, looking for the parameter list's `)`.
+bool skippable_before_body(const Token& t) {
+  if (t.kind == TokKind::kIdent) {
+    return kNonFunctionKeywords.count(t.text) == 0;
+  }
+  static const std::unordered_set<std::string> kPunct = {
+      "::", "<", ">", ">>", ",", "*", "&", "&&", "->"};
+  return kPunct.count(t.text) != 0;
+}
+
+const std::unordered_set<std::string> kControlIntro = {"if", "while", "for",
+                                                       "switch", "catch"};
+
+struct BraceClass {
+  bool is_function = false;
+  bool is_lambda = false;
+  std::size_t param_open = kNpos;  // `(` of the parameter list, if any
+};
+
+/// Decide whether the `{` at `b` opens a function-like body (free/member
+/// function, constructor, or lambda) and locate its parameter list. Pure
+/// token heuristic; see the walk-back rules in docs/static_analysis.md.
+BraceClass classify_brace(const std::vector<Token>& toks, std::size_t b) {
+  BraceClass out;
+  if (b == 0) return out;
+  std::size_t k = b - 1;
+  for (int steps = 0; steps < 24; ++steps) {
+    const Token& t = toks[k];
+    if (tok_is(t, "]")) {  // capture list directly: `[&] {`
+      out.is_function = true;
+      out.is_lambda = true;
+      return out;
+    }
+    if (tok_is(t, ")")) {
+      const std::size_t open = match_paren_back(toks, k);
+      if (open == kNpos) return out;
+      if (open == 0) {
+        out.is_function = true;
+        out.param_open = open;
+        return out;
+      }
+      std::size_t p = open - 1;
+      // `if constexpr (...)`: the intro keyword sits one further back.
+      if (tok_is(toks[p], "constexpr") && p > 0) --p;
+      if (tok_ident(toks[p]) && kControlIntro.count(toks[p].text) != 0) {
+        return out;
+      }
+      // `noexcept(...)` / `requires(...)` trail a declarator: keep walking.
+      if (tok_is(toks[p], "noexcept") || tok_is(toks[p], "requires")) {
+        if (open == 0) return out;
+        k = open - 1;
+        continue;
+      }
+      if (tok_ident(toks[p]) || tok_is(toks[p], ">") || tok_is(toks[p], ">>")) {
+        out.is_function = true;
+        out.param_open = open;
+        return out;
+      }
+      if (tok_is(toks[p], "]")) {
+        out.is_function = true;
+        out.is_lambda = true;
+        out.param_open = open;
+        return out;
+      }
+      return out;
+    }
+    if (!skippable_before_body(t)) return out;
+    if (k == 0) return out;
+    --k;
+  }
+  return out;
+}
+
+/// Join token spellings into a readable type string ("std::uint32_t",
+/// "std::unordered_map<Addr, SpecState>").
+std::string join_type(const std::vector<Token>& toks, std::size_t begin,
+                      std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& t = toks[i].text;
+    const bool glue = out.empty() || t == "::" || t == "<" || t == ">" ||
+                      t == ">>" || t == "," || t == "&" || t == "*" ||
+                      (i > begin && (toks[i - 1].text == "::" ||
+                                     toks[i - 1].text == "<" ||
+                                     toks[i - 1].text == ","));
+    if (!glue) out += ' ';
+    out += t;
+    if (t == ",") out += ' ';
+  }
+  return out;
+}
+
+bool type_names_unordered(const std::string& type_text) {
+  return type_text.find("unordered_") != std::string::npos;
+}
+
+class Parser {
+ public:
+  explicit Parser(const LexedFile& file) : file_(file), toks_(file.tokens) {}
+
+  Ast run() {
+    analyze_blocks();
+    mark_coroutines();
+    parse_structs();
+    parse_params();
+    parse_range_fors();
+    scan_container_decls();
+    return std::move(ast_);
+  }
+
+ private:
+  // ---- pass 1: brace matching, function discovery, fn_of ----------------
+  void analyze_blocks() {
+    ast_.fn_of.assign(toks_.size(), kNpos);
+    struct OpenBlock {
+      std::size_t open;
+      bool is_function;
+      std::size_t fn_index;  // into ast_.functions when is_function
+      bool is_struct;
+      std::size_t struct_index;
+    };
+    std::vector<OpenBlock> stack;
+    std::vector<std::size_t> fn_stack;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      ast_.fn_of[i] = fn_stack.empty() ? kNpos : fn_stack.back();
+      if (tok_is(toks_[i], "{")) {
+        const BraceClass bc = classify_brace(toks_, i);
+        OpenBlock ob{i, bc.is_function, kNpos, false, kNpos};
+        if (bc.is_function) {
+          FunctionDecl fn;
+          fn.body_open = i;
+          fn.line = toks_[i].line;
+          fn.is_lambda = bc.is_lambda;
+          fn.enclosing = fn_stack.empty() ? kNpos : fn_stack.back();
+          fn.name = bc.is_lambda ? "<lambda>" : function_name(bc.param_open);
+          param_open_of_.push_back(bc.param_open);
+          ast_.functions.push_back(std::move(fn));
+          ob.fn_index = ast_.functions.size() - 1;
+          fn_stack.push_back(ob.fn_index);
+          ast_.fn_of[i] = ob.fn_index;
+        } else if (const std::size_t si = struct_intro(i); si != kNpos) {
+          ob.is_struct = true;
+          ob.struct_index = si;
+        }
+        stack.push_back(ob);
+      } else if (tok_is(toks_[i], "}")) {
+        if (stack.empty()) continue;
+        const OpenBlock ob = stack.back();
+        stack.pop_back();
+        if (ob.is_function) {
+          ast_.functions[ob.fn_index].body_close = i;
+          if (!fn_stack.empty() && fn_stack.back() == ob.fn_index) {
+            fn_stack.pop_back();
+          }
+        } else if (ob.is_struct) {
+          ast_.structs[ob.struct_index].body_close = i;
+        }
+      }
+    }
+    for (FunctionDecl& f : ast_.functions) {
+      if (f.body_close == kNpos) {
+        f.body_close = toks_.empty() ? 0 : toks_.size() - 1;
+      }
+    }
+    for (StructDecl& s : ast_.structs) {
+      if (s.body_close == kNpos) {
+        s.body_close = toks_.empty() ? 0 : toks_.size() - 1;
+      }
+    }
+  }
+
+  /// If the `{` at `b` opens a struct/class/union body, record the
+  /// declaration and return its index.
+  std::size_t struct_intro(std::size_t b) {
+    // Walk back over `final` and a base-clause until the name; the keyword
+    // sits right before it. Bounded walk: base clauses are short here.
+    std::size_t k = b;
+    for (int steps = 0; steps < 48 && k > 0; ++steps) {
+      --k;
+      const Token& t = toks_[k];
+      if (tok_ident(t) &&
+          (t.text == "struct" || t.text == "class" || t.text == "union")) {
+        if (k > 0 && tok_is(toks_[k - 1], "enum")) return kNpos;
+        if (k + 1 >= b || !tok_ident(toks_[k + 1])) return kNpos;
+        StructDecl s;
+        s.name = toks_[k + 1].text;
+        s.line = toks_[k + 1].line;
+        s.body_open = b;
+        ast_.structs.push_back(std::move(s));
+        return ast_.structs.size() - 1;
+      }
+      // Legal base-clause / name tokens; anything else ends the walk.
+      const bool ok =
+          tok_ident(t) || tok_is(t, ":") || tok_is(t, ",") ||
+          tok_is(t, "::") || tok_is(t, "<") || tok_is(t, ">") ||
+          tok_is(t, ">>");
+      if (!ok) return kNpos;
+      if (tok_ident(t) && kNonFunctionKeywords.count(t.text) != 0 &&
+          t.text != "public" && t.text != "private" && t.text != "protected" &&
+          t.text != "struct" && t.text != "class" && t.text != "union") {
+        return kNpos;
+      }
+    }
+    return kNpos;
+  }
+
+  std::string function_name(std::size_t param_open) const {
+    if (param_open == kNpos || param_open == 0) return "";
+    std::size_t k = param_open - 1;
+    // Skip an explicit template-argument list: `foo<int>(...)`.
+    if (tok_is(toks_[k], ">") || tok_is(toks_[k], ">>")) {
+      int depth = 0;
+      for (;; --k) {
+        if (tok_is(toks_[k], ">")) ++depth;
+        if (tok_is(toks_[k], ">>")) depth += 2;
+        if (tok_is(toks_[k], "<")) --depth;
+        if (depth <= 0 || k == 0) break;
+      }
+      if (k == 0) return "";
+      --k;
+    }
+    return tok_ident(toks_[k]) ? toks_[k].text : "";
+  }
+
+  // ---- pass 2: coroutine marking ----------------------------------------
+  void mark_coroutines() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (tok_is(toks_[i], "co_await") || tok_is(toks_[i], "co_return") ||
+          tok_is(toks_[i], "co_yield")) {
+        const std::size_t fn = ast_.fn_of[i];
+        if (fn != kNpos) ast_.functions[fn].is_coroutine = true;
+      }
+    }
+  }
+
+  // ---- pass 3: struct fields --------------------------------------------
+  void parse_structs() {
+    for (StructDecl& s : ast_.structs) {
+      parse_fields(s);
+      for (const FieldDecl& f : s.fields) {
+        if (type_names_unordered(f.type_text)) {
+          ast_.container_decls.push_back({f.type_text, f.name, f.line});
+        }
+      }
+    }
+  }
+
+  /// Member declarations at the struct body's own depth; methods (any `(`
+  /// in the statement), access labels, nested types, using/static members
+  /// are skipped. A `{...}` run at member depth whose closer is not
+  /// followed by `;` is a definition body and ends the statement.
+  void parse_fields(StructDecl& s) {
+    std::vector<std::size_t> stmt;  // token indices of the current statement
+    bool discard = false;
+    for (std::size_t i = s.body_open + 1; i < s.body_close;) {
+      const Token& t = toks_[i];
+      if (tok_is(t, "{") || tok_is(t, "(") || tok_is(t, "[")) {
+        const std::size_t close = match_bracket(i);
+        if (tok_is(t, "{") &&
+            (close + 1 >= s.body_close || !tok_is(toks_[close + 1], ";"))) {
+          // Definition body (inline method, nested type): drop statement.
+          stmt.clear();
+          discard = false;
+          i = close + 1;
+          continue;
+        }
+        if (!tok_is(t, "{")) discard = true;  // parens/brackets: not a field
+        for (std::size_t k = i; k <= close && k < s.body_close; ++k) {
+          stmt.push_back(k);
+        }
+        i = close + 1;
+        continue;
+      }
+      if (tok_is(t, ";")) {
+        if (!discard) record_field(s, stmt);
+        stmt.clear();
+        discard = false;
+        ++i;
+        continue;
+      }
+      if (tok_is(t, ":") && !stmt.empty() && tok_ident(toks_[stmt[0]]) &&
+          (toks_[stmt[0]].text == "public" ||
+           toks_[stmt[0]].text == "private" ||
+           toks_[stmt[0]].text == "protected")) {
+        stmt.clear();  // access label
+        discard = false;
+        ++i;
+        continue;
+      }
+      stmt.push_back(i);
+      ++i;
+    }
+  }
+
+  void record_field(StructDecl& s, const std::vector<std::size_t>& stmt) {
+    if (stmt.size() < 2) return;
+    static const std::unordered_set<std::string> kNonField = {
+        "using",   "typedef", "friend", "static", "template",      "struct",
+        "class",   "union",   "enum",   "operator", "static_assert", "explicit",
+        "virtual", "namespace"};
+    for (const std::size_t k : stmt) {
+      if (tok_ident(toks_[k]) && kNonField.count(toks_[k].text) != 0) return;
+    }
+    // Terminator: `=` (default init) or trailing `{...}` (brace init); the
+    // declarator name is the last identifier before it.
+    std::size_t term = stmt.size();
+    for (std::size_t j = 0; j < stmt.size(); ++j) {
+      const Token& t = toks_[stmt[j]];
+      if (tok_is(t, "=") || tok_is(t, "{")) {
+        term = j;
+        break;
+      }
+    }
+    std::size_t name_j = kNpos;
+    for (std::size_t j = term; j-- > 0;) {
+      if (tok_ident(toks_[stmt[j]])) {
+        name_j = j;
+        break;
+      }
+      if (!tok_is(toks_[stmt[j]], "&") && !tok_is(toks_[stmt[j]], "*")) {
+        return;  // array declarator etc.: not a plain field
+      }
+    }
+    if (name_j == kNpos || name_j == 0) return;
+    // Attributes lead some declarations; strip a leading [[...]] run.
+    std::size_t type_b = 0;
+    while (type_b + 1 < name_j && tok_is(toks_[stmt[type_b]], "[")) {
+      while (type_b < name_j && !tok_is(toks_[stmt[type_b]], "]")) ++type_b;
+      while (type_b < name_j && tok_is(toks_[stmt[type_b]], "]")) ++type_b;
+    }
+    if (type_b >= name_j) return;
+    FieldDecl f;
+    f.name = toks_[stmt[name_j]].text;
+    f.line = toks_[stmt[name_j]].line;
+    f.name_tok = stmt[name_j];
+    std::vector<Token> type_toks;
+    for (std::size_t j = type_b; j < name_j; ++j) {
+      type_toks.push_back(toks_[stmt[j]]);
+    }
+    f.type_text = join_type(type_toks, 0, type_toks.size());
+    if (f.type_text.empty()) return;
+    s.fields.push_back(std::move(f));
+  }
+
+  // ---- pass 4: parameter lists ------------------------------------------
+  void parse_params() {
+    for (std::size_t fi = 0; fi < ast_.functions.size(); ++fi) {
+      const std::size_t open = param_open_of_[fi];
+      if (open == kNpos) continue;
+      const std::size_t close = match_paren(toks_, open);
+      if (close == kNpos) continue;
+      FunctionDecl& fn = ast_.functions[fi];
+      std::size_t begin = open + 1;
+      int depth = 0;
+      for (std::size_t k = open + 1; k <= close; ++k) {
+        const Token& t = toks_[k];
+        if (tok_is(t, "(") || tok_is(t, "[") || tok_is(t, "{") ||
+            tok_is(t, "<")) {
+          ++depth;
+        }
+        if (tok_is(t, ")") || tok_is(t, "]") || tok_is(t, "}") ||
+            tok_is(t, ">")) {
+          --depth;
+        }
+        if (tok_is(t, ">>")) depth -= 2;
+        const bool at_end = k == close;
+        if ((depth == 0 && tok_is(t, ",")) || (at_end && depth <= 0)) {
+          if (k > begin) fn.params.push_back(parse_one_param(begin, k));
+          begin = k + 1;
+        }
+      }
+      for (const ParamDecl& p : fn.params) {
+        if (type_names_unordered(p.type_text)) {
+          ast_.container_decls.push_back(
+              {p.type_text, p.name, toks_[open].line});
+        }
+      }
+    }
+  }
+
+  ParamDecl parse_one_param(std::size_t begin, std::size_t end) const {
+    ParamDecl p;
+    std::size_t eq = end;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (tok_is(toks_[k], "=")) {
+        eq = k;
+        p.defaulted = true;
+        break;
+      }
+    }
+    std::size_t name_at = kNpos;
+    if (eq > begin && tok_ident(toks_[eq - 1]) && eq - 1 > begin) {
+      name_at = eq - 1;  // `Type name` (>= 2 tokens): last ident is the name
+    }
+    if (name_at != kNpos) {
+      p.name = toks_[name_at].text;
+      p.type_text = join_type(toks_, begin, name_at);
+    } else {
+      p.type_text = join_type(toks_, begin, eq);
+    }
+    return p;
+  }
+
+  // ---- pass 5: range-for statements -------------------------------------
+  void parse_range_fors() {
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (!tok_is(toks_[i], "for") || !tok_is(toks_[i + 1], "(")) continue;
+      const std::size_t open = i + 1;
+      const std::size_t close = match_paren(toks_, open);
+      if (close == kNpos) continue;
+      int depth = 0;
+      std::size_t colon = kNpos;
+      for (std::size_t k = open; k < close; ++k) {
+        const Token& t = toks_[k];
+        if (tok_is(t, "(") || tok_is(t, "[") || tok_is(t, "{")) ++depth;
+        if (tok_is(t, ")") || tok_is(t, "]") || tok_is(t, "}")) --depth;
+        if (depth != 1) continue;
+        if (tok_is(t, ";")) break;  // classic for
+        if (tok_is(t, ":")) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon == kNpos) continue;
+      ast_.range_fors.push_back({i, open, colon, close, ast_.fn_of[i]});
+    }
+  }
+
+  // ---- pass 6: free-standing container declarations ---------------------
+  /// Locals and parameters spelled `std::unordered_map<...> name ...`
+  /// anywhere a declaration can start. Wrapped occurrences (e.g. the
+  /// element type of a vector) are rejected by the boundary check; those
+  /// are covered by the struct-field pass with their true outer type.
+  void scan_container_decls() {
+    for (std::size_t u = 0; u < toks_.size(); ++u) {
+      if (!tok_ident(toks_[u]) ||
+          toks_[u].text.rfind("unordered_", 0) != 0 || u + 1 >= toks_.size() ||
+          !tok_is(toks_[u + 1], "<")) {
+        continue;
+      }
+      // Declaration-start boundary before the (possibly std::-qualified)
+      // container name.
+      std::size_t p = u;
+      if (p >= 2 && tok_is(toks_[p - 1], "::") &&
+          tok_is(toks_[p - 2], "std")) {
+        p -= 2;
+      }
+      while (p > 0 && tok_ident(toks_[p - 1]) &&
+             (toks_[p - 1].text == "const" || toks_[p - 1].text == "static" ||
+              toks_[p - 1].text == "mutable")) {
+        --p;
+      }
+      if (p > 0) {
+        const Token& b = toks_[p - 1];
+        const bool boundary = tok_is(b, ";") || tok_is(b, "{") ||
+                              tok_is(b, "}") || tok_is(b, "(") ||
+                              tok_is(b, ",") || tok_is(b, ":");
+        if (!boundary) continue;
+      }
+      // Balanced template-argument walk (a `>>` closes two levels).
+      int depth = 0;
+      std::size_t c = u + 1;
+      for (; c < toks_.size(); ++c) {
+        if (tok_is(toks_[c], "<")) ++depth;
+        if (tok_is(toks_[c], ">")) --depth;
+        if (tok_is(toks_[c], ">>")) depth -= 2;
+        if (depth <= 0) break;
+        if (tok_is(toks_[c], ";") || tok_is(toks_[c], "{")) {
+          c = toks_.size();
+          break;
+        }
+      }
+      if (c + 1 >= toks_.size()) continue;
+      std::size_t name_at = c + 1;
+      while (name_at < toks_.size() && (tok_is(toks_[name_at], "&") ||
+                                        tok_is(toks_[name_at], "*") ||
+                                        tok_is(toks_[name_at], "const"))) {
+        ++name_at;
+      }
+      if (name_at >= toks_.size() || !tok_ident(toks_[name_at])) continue;
+      const std::size_t after = name_at + 1;
+      if (after < toks_.size()) {
+        const Token& a = toks_[after];
+        const bool decl_end = tok_is(a, ";") || tok_is(a, "=") ||
+                              tok_is(a, "{") || tok_is(a, "(") ||
+                              tok_is(a, ",") || tok_is(a, ")") ||
+                              tok_is(a, ":");
+        if (!decl_end) continue;
+      }
+      ast_.container_decls.push_back({join_type(toks_, u, c + 1),
+                                      toks_[name_at].text,
+                                      toks_[name_at].line});
+    }
+  }
+
+  std::size_t match_bracket(std::size_t open) const {
+    const std::string& o = toks_[open].text;
+    const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+    int depth = 0;
+    for (std::size_t k = open; k < toks_.size(); ++k) {
+      if (toks_[k].text == o) ++depth;
+      if (toks_[k].text == close && --depth == 0) return k;
+    }
+    return toks_.size() - 1;
+  }
+
+  const LexedFile& file_;
+  const std::vector<Token>& toks_;
+  std::vector<std::size_t> param_open_of_;  // parallel to ast_.functions
+  Ast ast_;
+};
+
+}  // namespace
+
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t k = open; k < toks.size(); ++k) {
+    if (tok_is(toks[k], "(")) ++depth;
+    if (tok_is(toks[k], ")") && --depth == 0) return k;
+  }
+  return kNpos;
+}
+
+std::size_t match_paren_back(const std::vector<Token>& toks,
+                             std::size_t close) {
+  int depth = 0;
+  for (std::size_t k = close;; --k) {
+    if (tok_is(toks[k], ")")) ++depth;
+    if (tok_is(toks[k], "(")) {
+      if (--depth == 0) return k;
+    }
+    if (k == 0) break;
+  }
+  return kNpos;
+}
+
+Ast parse(const LexedFile& file) { return Parser(file).run(); }
+
+}  // namespace asfsim_lint

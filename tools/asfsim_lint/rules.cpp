@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <unordered_map>
+
+#include "cfg.hpp"
+#include "parser.hpp"
 
 namespace asfsim_lint {
 namespace {
@@ -10,156 +12,60 @@ namespace {
 bool is(const Token& t, const char* s) { return t.text == s; }
 bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
 
-// Keywords that, when hit while walking back from a `{`, prove the brace is
-// not a function body (type/namespace/control/label contexts).
-const std::unordered_set<std::string> kNonFunctionKeywords = {
-    "struct",  "class",   "union",    "enum",    "namespace", "else",
-    "do",      "try",     "export",   "extern",  "return",    "co_return",
-    "co_yield", "co_await", "if",     "while",   "for",       "switch",
-    "case",    "default", "public",   "private", "protected", "concept",
-    "requires"};
-
-// Tokens skipped while walking back from a `{` across a trailing return
-// type / cv-qualifier run, looking for the parameter list's `)`.
-bool skippable_before_body(const Token& t) {
-  if (t.kind == TokKind::kIdent) {
-    return kNonFunctionKeywords.count(t.text) == 0;
-  }
-  static const std::unordered_set<std::string> kPunct = {
-      "::", "<", ">", ">>", ",", "*", "&", "&&", "->"};
-  return kPunct.count(t.text) != 0;
-}
-
-const std::unordered_set<std::string> kControlIntro = {"if", "while", "for",
-                                                       "switch", "catch"};
-
-struct BlockInfo {
-  std::size_t open = 0;      // token index of `{`
-  std::size_t close = 0;     // token index of matching `}`
-  bool is_function = false;  // function / lambda / ctor body
-  bool is_coroutine = false; // function body containing a co_* keyword
-};
-
-struct FileShape {
-  std::vector<BlockInfo> blocks;
-  // For each token: index into `blocks` of the innermost *function* block
-  // containing it, or npos.
-  std::vector<std::size_t> fn_of;
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-};
-
-/// Find the token index of the `(` matching a given `)` (walking back).
-std::size_t matching_open_paren(const std::vector<Token>& toks,
-                                std::size_t close) {
-  int depth = 0;
-  for (std::size_t k = close;; --k) {
-    if (is(toks[k], ")")) ++depth;
-    if (is(toks[k], "(")) {
-      if (--depth == 0) return k;
-    }
-    if (k == 0) break;
-  }
-  return FileShape::npos;
-}
-
-/// Decide whether the `{` at `b` opens a function-like body (free/member
-/// function, constructor, or lambda). Pure token heuristic; see the
-/// walk-back rules in docs/static_analysis.md.
-bool brace_is_function_body(const std::vector<Token>& toks, std::size_t b) {
-  if (b == 0) return false;
-  std::size_t k = b - 1;
-  for (int steps = 0; steps < 24; ++steps) {
-    const Token& t = toks[k];
-    if (is(t, "]")) return true;  // capture list directly: `[&] {`
-    if (is(t, ")")) {
-      const std::size_t open = matching_open_paren(toks, k);
-      if (open == FileShape::npos || open == 0) return open != FileShape::npos;
-      std::size_t p = open - 1;
-      // `if constexpr (...)`: the intro keyword sits one further back.
-      if (is(toks[p], "constexpr") && p > 0) --p;
-      if (is_ident(toks[p]) && kControlIntro.count(toks[p].text) != 0) {
-        return false;
-      }
-      // `noexcept(...)` / `requires(...)` trail a declarator: keep walking.
-      if (is(toks[p], "noexcept") || is(toks[p], "requires")) {
-        if (open == 0) return false;
-        k = open - 1;
-        continue;
-      }
-      return is_ident(toks[p]) || is(toks[p], "]") || is(toks[p], ">") ||
-             is(toks[p], ">>");
-    }
-    if (!skippable_before_body(t)) return false;
-    if (k == 0) return false;
-    --k;
-  }
-  return false;
-}
-
-FileShape analyze_shape(const LexedFile& file) {
-  const auto& toks = file.tokens;
-  FileShape shape;
-  shape.fn_of.assign(toks.size(), FileShape::npos);
-
-  // Pass 1: match braces, classify function bodies, and record for every
-  // token its innermost enclosing function block.
-  std::vector<std::size_t> stack;          // open blocks (indices into blocks)
-  std::vector<std::size_t> fn_stack;       // subset that are function bodies
-  std::unordered_map<std::size_t, std::size_t> open_to_block;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    shape.fn_of[i] = fn_stack.empty() ? FileShape::npos : fn_stack.back();
-    if (is(toks[i], "{")) {
-      BlockInfo b;
-      b.open = i;
-      b.is_function = brace_is_function_body(toks, i);
-      shape.blocks.push_back(b);
-      const std::size_t idx = shape.blocks.size() - 1;
-      stack.push_back(idx);
-      if (b.is_function) fn_stack.push_back(idx);
-      shape.fn_of[i] = fn_stack.empty() ? FileShape::npos : fn_stack.back();
-    } else if (is(toks[i], "}")) {
-      if (!stack.empty()) {
-        const std::size_t idx = stack.back();
-        stack.pop_back();
-        shape.blocks[idx].close = i;
-        if (shape.blocks[idx].is_function && !fn_stack.empty() &&
-            fn_stack.back() == idx) {
-          fn_stack.pop_back();
-        }
-      }
-    }
-  }
-  for (auto& b : shape.blocks) {
-    if (b.close == 0) b.close = toks.empty() ? 0 : toks.size() - 1;
-  }
-
-  // Pass 2: a function block owning a co_* keyword is a coroutine body.
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (is(toks[i], "co_await") || is(toks[i], "co_return") ||
-        is(toks[i], "co_yield")) {
-      const std::size_t fn = shape.fn_of[i];
-      if (fn != FileShape::npos) shape.blocks[fn].is_coroutine = true;
-    }
-  }
-  return shape;
-}
-
-bool in_coroutine(const FileShape& shape, std::size_t tok) {
-  const std::size_t fn = shape.fn_of[tok];
-  return fn != FileShape::npos && shape.blocks[fn].is_coroutine;
-}
-
 bool path_contains(const std::string& path, const char* needle) {
   return path.find(needle) != std::string::npos;
 }
 
+// ---- R5/R6 helpers --------------------------------------------------------
+
+// Clock/entropy TYPES: any mention in sim-affecting code is a finding.
+const std::unordered_set<std::string> kNondetTypes = {
+    "random_device", "system_clock", "steady_clock", "high_resolution_clock"};
+
+// Banned FUNCTIONS: flagged only as calls (`name(`), unqualified or
+// std::-qualified, never as members (`obj.time(...)` is someone else's API).
+const std::unordered_set<std::string> kNondetCalls = {
+    "rand",   "srand",        "time",        "clock",
+    "getenv", "gettimeofday", "clock_gettime"};
+
+/// Declared type spelling with cv/storage qualifiers and std:: stripped,
+/// so "const std::unordered_map<K, V>" resolves to its container head.
+std::string type_head(std::string t) {
+  for (bool again = true; again;) {
+    again = false;
+    for (const char* q : {"const ", "static ", "mutable "}) {
+      const std::size_t n = std::string(q).size();
+      if (t.rfind(q, 0) == 0) {
+        t.erase(0, n);
+        again = true;
+      }
+    }
+  }
+  if (t.rfind("std::", 0) == 0) t.erase(0, 5);
+  return t;
+}
+
+/// Does iterating a declaration of this type (optionally through one
+/// subscript) walk an unordered container?
+bool iteration_is_unordered(const std::string& type_text, bool indexed) {
+  const std::string head = type_head(type_text);
+  const bool head_unordered = head.rfind("unordered_", 0) == 0;
+  const std::size_t first = type_text.find("unordered_");
+  if (first == std::string::npos) return false;
+  if (!indexed) return head_unordered;
+  if (!head_unordered) return true;  // e.g. vector<unordered_map<...>>[i]
+  // umap[k] yields the mapped type; only flag when that is unordered too.
+  return type_text.find("unordered_", first + 1) != std::string::npos;
+}
+
 class Checker {
  public:
-  Checker(const LexedFile& file, const TaskFunctionMap& task_fns)
-      : file_(file),
-        toks_(file.tokens),
-        shape_(analyze_shape(file)),
-        task_fns_(task_fns) {}
+  Checker(const ParsedFile& pf, const RuleContext& ctx)
+      : file_(pf.file),
+        toks_(pf.file.tokens),
+        ast_(pf.ast),
+        ctx_(ctx),
+        cfgs_(build_cfgs(pf.file, pf.ast)) {}
 
   std::vector<Diagnostic> run() {
     rule_coawait_in_condition();
@@ -167,6 +73,10 @@ class Checker {
     if (path_contains(file_.path, "workloads")) {
       rule_global_alloc_in_tx();
       rule_raw_guest_access();
+    }
+    if (sim_affecting_path(file_.path)) {
+      rule_nondeterministic_source();
+      rule_unordered_iteration();
     }
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
@@ -177,40 +87,29 @@ class Checker {
 
  private:
   void report(const char* rule, std::size_t tok, std::string message,
-              std::string hint = {}) {
+              std::string hint = {}, std::vector<FixEdit> fixes = {}) {
     const std::uint32_t line = toks_[tok].line;
     if (file_.suppressions.allows(rule, line)) return;
     // One report per (rule, line) is enough.
     for (const auto& d : diags_) {
       if (d.line == line && d.rule == rule) return;
     }
-    diags_.push_back(
-        {file_.path, line, rule, std::move(message), std::move(hint)});
+    diags_.push_back({file_.path, line, rule, std::move(message),
+                      std::move(hint), std::move(fixes)});
   }
 
-  std::size_t matching_close_paren(std::size_t open) const {
-    int depth = 0;
-    for (std::size_t k = open; k < toks_.size(); ++k) {
-      if (is(toks_[k], "(")) ++depth;
-      if (is(toks_[k], ")") && --depth == 0) return k;
+  /// Leading whitespace of the line containing byte `at`.
+  std::string indent_at(std::size_t at) const {
+    const std::string& src = file_.source;
+    std::size_t start = at;
+    while (start > 0 && src[start - 1] != '\n') --start;
+    std::string indent;
+    for (std::size_t k = start; k < src.size() && (src[k] == ' ' ||
+                                                   src[k] == '\t');
+         ++k) {
+      indent.push_back(src[k]);
     }
-    return FileShape::npos;
-  }
-
-  /// Number of top-level arguments of the call whose parens are
-  /// [open, close].
-  int call_arity(std::size_t open, std::size_t close) const {
-    int depth = 0;
-    int args = 0;
-    bool any = false;
-    for (std::size_t k = open; k <= close; ++k) {
-      const Token& t = toks_[k];
-      if (is(t, "(") || is(t, "[") || is(t, "{")) ++depth;
-      if (is(t, ")") || is(t, "]") || is(t, "}")) --depth;
-      if (depth == 1 && is(t, ",")) ++args;
-      if (depth >= 1 && !is(t, "(")) any = true;
-    }
-    return any ? args + 1 : 0;
+    return indent;
   }
 
   // ---- R1: co_await inside a condition expression -------------------------
@@ -223,32 +122,31 @@ class Checker {
   // and SIGILL at -O2. The safe shape hoists the awaited value into a named
   // local before branching, so we ban co_await in EVERY condition context,
   // whether or not the branch suspends today (the branch body is one edit
-  // away from suspending).
+  // away from suspending). Detection walks the CFG's condition nodes.
   void rule_coawait_in_condition() {
-    for (std::size_t i = 0; i < toks_.size(); ++i) {
-      if (!is_ident(toks_[i]) || kControlIntro.count(toks_[i].text) == 0 ||
-          is(toks_[i], "catch")) {
-        continue;
-      }
-      std::size_t open = i + 1;
-      if (open < toks_.size() && is(toks_[open], "constexpr")) ++open;
-      if (open >= toks_.size() || !is(toks_[open], "(")) continue;
-      const std::size_t close = matching_close_paren(open);
-      if (close == FileShape::npos) continue;
-      for (std::size_t k = open + 1; k < close; ++k) {
-        if (is(toks_[k], "co_await")) {
+    for (const Cfg& cfg : cfgs_) {
+      for (const CfgNode& n : cfg.nodes) {
+        if (n.kind != CfgNodeKind::kBranch && n.kind != CfgNodeKind::kLoop) {
+          continue;
+        }
+        if (n.cond_open == kNpos || n.cond_close == kNpos) continue;
+        const std::string intro = n.intro == "do" ? "while" : n.intro;
+        for (std::size_t k = n.cond_open + 1; k < n.cond_close; ++k) {
+          if (!is(toks_[k], "co_await")) continue;
           report(kRuleCoawaitInCondition, k,
-                 "co_await inside a '" + toks_[i].text +
+                 "co_await inside a '" + intro +
                      "' condition — GCC 12 corrupts the coroutine frame when "
                      "the controlled branch also suspends (DESIGN.md §7)",
                  "hoist the awaited value first:  const auto v = co_await "
                  "<expr>;  " +
-                     toks_[i].text + " (v ...) { ... }");
+                     intro + " (v ...) { ... }",
+                 hoist_fix(n));
         }
       }
     }
     // Ternary conditions: a co_await whose full expression meets a `?` at
-    // the same nesting depth before the statement ends.
+    // the same nesting depth before the statement ends. Token walk: the CFG
+    // does not model expressions.
     for (std::size_t i = 0; i < toks_.size(); ++i) {
       if (!is(toks_[i], "co_await")) continue;
       int depth = 0;
@@ -274,6 +172,36 @@ class Checker {
     }
   }
 
+  /// Autofix for an `if (co_await ...)` header: hoist the whole condition
+  /// into a named local above the statement. Only plain `if` — hoisting a
+  /// loop condition would freeze a value the loop must re-await, and
+  /// condition-declarations (`if (auto v = ...)`) need the declaration kept.
+  std::vector<FixEdit> hoist_fix(const CfgNode& n) const {
+    if (n.intro != "if") return {};
+    if (n.cond_open != n.begin + 1) return {};  // `if constexpr (...)`
+    int depth = 0;
+    for (std::size_t k = n.cond_open + 1; k < n.cond_close; ++k) {
+      const Token& t = toks_[k];
+      if (is(t, "(") || is(t, "[") || is(t, "{")) ++depth;
+      if (is(t, ")") || is(t, "]") || is(t, "}")) --depth;
+      if (depth == 0 && (is(t, "=") || is(t, ";"))) return {};
+    }
+    const Token& intro_tok = toks_[n.begin];
+    const Token& open_tok = toks_[n.cond_open];
+    const Token& close_tok = toks_[n.cond_close];
+    if (close_tok.begin <= open_tok.end) return {};
+    const std::string var =
+        "hoisted_l" + std::to_string(intro_tok.line);
+    const std::string cond = file_.source.substr(
+        open_tok.end, close_tok.begin - open_tok.end);
+    std::vector<FixEdit> fixes;
+    fixes.push_back({intro_tok.begin, intro_tok.begin,
+                     "const auto " + var + " = " + cond + ";\n" +
+                         indent_at(intro_tok.begin)});
+    fixes.push_back({open_tok.end, close_tok.begin, var});
+    return fixes;
+  }
+
   // ---- R2: discarded Task -------------------------------------------------
   //
   // Task<T> is lazy: a task that is never co_awaited (or stored and handed
@@ -283,11 +211,11 @@ class Checker {
   void rule_discarded_task() {
     for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
       if (!is_ident(toks_[i])) continue;
-      const auto fn = task_fns_.find(toks_[i].text);
-      if (fn == task_fns_.end()) continue;
+      const auto fn = ctx_.task_fns.find(toks_[i].text);
+      if (fn == ctx_.task_fns.end()) continue;
       if (!is(toks_[i + 1], "(")) continue;
-      const std::size_t close = matching_close_paren(i + 1);
-      if (close == FileShape::npos || close + 1 >= toks_.size()) continue;
+      const std::size_t close = match_paren(toks_, i + 1);
+      if (close == kNpos || close + 1 >= toks_.size()) continue;
       if (!is(toks_[close + 1], ";")) continue;  // result consumed somehow
       // Arity gate: `q.push(x)` is std::queue, not GStack::push(ctx, x).
       if (fn->second.count(call_arity(i + 1, close)) == 0) continue;
@@ -303,8 +231,8 @@ class Checker {
             continue;
           }
           if (is(q, ")")) {
-            const std::size_t op = matching_open_paren(toks_, start - 2);
-            if (op == FileShape::npos || op == 0) break;
+            const std::size_t op = match_paren_back(toks_, start - 2);
+            if (op == kNpos || op == 0) break;
             start = op;  // jump over the call, keep walking the chain
             continue;
           }
@@ -317,11 +245,18 @@ class Checker {
           is(prev, ";") || is(prev, "{") || is(prev, "}") || is(prev, ")") ||
           is(prev, "else") || is(prev, "do");
       if (!statement_context) continue;  // co_await/=/argument/return...
+      // Autofix: awaiting the task is only legal inside a coroutine.
+      std::vector<FixEdit> fixes;
+      if (ast_.in_coroutine(start)) {
+        fixes.push_back(
+            {toks_[start].begin, toks_[start].begin, "co_await "});
+      }
       report(kRuleDiscardedTask, i,
              "result of Task-returning function '" + toks_[i].text +
                  "' is discarded — a dropped Task never runs its body",
              "co_await " + toks_[i].text +
-                 "(...);  or store it and pass it to Machine::spawn");
+                 "(...);  or store it and pass it to Machine::spawn",
+             std::move(fixes));
     }
   }
 
@@ -343,14 +278,31 @@ class Checker {
       }
       const std::string& m = toks_[i + 4].text;
       if (m != "alloc" && m != "alloc_lines") continue;
-      if (!in_coroutine(shape_, i)) continue;
+      if (!ast_.in_coroutine(i)) continue;
+      // Autofix: rewrite `galloc().alloc` to `<ctx>.alloc_local` when the
+      // enclosing function takes a GuestCtx (alloc_lines has no per-core
+      // equivalent, so only the plain form is fixable).
+      std::vector<FixEdit> fixes;
+      if (m == "alloc") {
+        if (const FunctionDecl* f = ast_.function_at(i)) {
+          for (const ParamDecl& p : f->params) {
+            if (p.type_text.find("GuestCtx") != std::string::npos &&
+                !p.name.empty()) {
+              fixes.push_back({toks_[i].begin, toks_[i + 4].end,
+                               p.name + ".alloc_local"});
+              break;
+            }
+          }
+        }
+      }
       report(kRuleGlobalAllocInTx, i,
              "guest-thread code allocates via the global bump allocator "
              "(galloc()." +
                  m +
                  ") — concurrent transactions get adjacent nodes in one "
                  "line and fabricate WAW false sharing (DESIGN.md §6.9)",
-             "use the per-core pool:  ctx.alloc_local(size, align)");
+             "use the per-core pool:  ctx.alloc_local(size, align)",
+             std::move(fixes));
     }
   }
 
@@ -378,7 +330,7 @@ class Checker {
       if (i == 0 || !(is(toks_[i - 1], ".") || is(toks_[i - 1], "->"))) {
         continue;
       }
-      if (!in_coroutine(shape_, i)) continue;
+      if (!ast_.in_coroutine(i)) continue;
       report(kRuleRawGuestAccess, i,
              "guest-thread code calls '" + name +
                  "' — host-side backdoor access bypasses the caches, the "
@@ -387,83 +339,233 @@ class Checker {
     }
   }
 
+  // ---- R5: non-deterministic sources in simulator-affecting code ----------
+  //
+  // Every simulation result must be a pure function of (SimConfig, seed):
+  // that is what makes the JobSpec content-hash cache sound and runs
+  // reproducible across machines. Wall-clock reads, C PRNGs, entropy
+  // devices and environment lookups in sim-affecting directories silently
+  // break both. Host-side tooling (runner/, harness/, trace/) is out of
+  // scope; genuinely wall-clock code (watchdog escape hatches) carries an
+  // explicit suppression with its justification.
+  void rule_nondeterministic_source() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!is_ident(toks_[i])) continue;
+      const std::string& name = toks_[i].text;
+      if (kNondetTypes.count(name) != 0) {
+        report(kRuleNondeterministicSource, i,
+               "'" + name +
+                   "' in simulator-affecting code — results must be a pure "
+                   "function of (config, seed); clock/entropy reads poison "
+                   "the JobSpec result cache and reproducibility",
+               "derive randomness from cfg.seed; if this is wall-clock "
+               "guard code, annotate why with  // asfsim-lint: "
+               "allow(nondeterministic-source)");
+        continue;
+      }
+      if (kNondetCalls.count(name) == 0) continue;
+      if (i + 1 >= toks_.size() || !is(toks_[i + 1], "(")) continue;
+      if (i > 0) {
+        const Token& p = toks_[i - 1];
+        if (is(p, ".") || is(p, "->")) continue;  // member call: not libc
+        if (is(p, "::")) {
+          // Qualified: only std::/global-:: spellings are the libc ones.
+          if (i >= 2 && is_ident(toks_[i - 2]) &&
+              toks_[i - 2].text != "std") {
+            continue;
+          }
+        }
+        // `ScopedSimClock clock(...)` declares a variable named `clock`;
+        // a preceding type name or declarator punctuation is not a call
+        // context (but `return time(nullptr)` still is).
+        static const std::unordered_set<std::string> kCallIntro = {
+            "return", "co_return", "co_yield", "else", "do", "case"};
+        if (is_ident(p) && kCallIntro.count(p.text) == 0) continue;
+        if (is(p, ">") || is(p, ">>") || is(p, "&") || is(p, "*")) continue;
+      }
+      report(kRuleNondeterministicSource, i,
+             "call to '" + name +
+                 "' in simulator-affecting code — results must be a pure "
+                 "function of (config, seed); clock/entropy reads poison "
+                 "the JobSpec result cache and reproducibility",
+             "derive randomness from cfg.seed; if this is wall-clock "
+             "guard code, annotate why with  // asfsim-lint: "
+             "allow(nondeterministic-source)");
+    }
+  }
+
+  // ---- R6: range-for over an unordered container --------------------------
+  //
+  // unordered_map/set iteration order is unspecified and differs across
+  // stdlib implementations, hash seeds, and insertion histories. When the
+  // loop body's effect depends on visit order (first-match reporting,
+  // accumulation with rounding, tie-breaking), simulation output stops
+  // being reproducible. Order-insensitive folds (sum/max over disjoint
+  // state) are fine — suppress with a justification.
+  void rule_unordered_iteration() {
+    for (const RangeForStmt& rf : ast_.range_fors) {
+      // Resolve the iterated expression: a name, member chain, or a chain
+      // with subscripts. Calls are opaque; skip them.
+      bool has_call = false;
+      bool indexed = false;
+      std::size_t base = kNpos;
+      int bracket = 0;
+      for (std::size_t k = rf.colon + 1; k < rf.close; ++k) {
+        const Token& t = toks_[k];
+        if (is(t, "(")) has_call = true;
+        if (is(t, "[")) {
+          if (bracket == 0) indexed = true;
+          ++bracket;
+        }
+        if (is(t, "]")) --bracket;
+        if (bracket == 0 && is_ident(t)) base = k;
+      }
+      if (has_call || base == kNpos) continue;
+      const std::string& name = toks_[base].text;
+      const std::vector<std::string>* types = nullptr;
+      std::vector<std::string> local;
+      for (const ContainerDecl& d : ast_.container_decls) {
+        if (d.name == name) local.push_back(d.type_text);
+      }
+      if (!local.empty()) {
+        types = &local;
+      } else {
+        const auto it = ctx_.containers.find(name);
+        if (it == ctx_.containers.end()) continue;
+        types = &it->second;
+      }
+      for (const std::string& ty : *types) {
+        if (!iteration_is_unordered(ty, indexed)) continue;
+        report(kRuleUnorderedIteration, rf.for_tok,
+               "range-for over unordered container '" + name + "' (" + ty +
+                   ") — iteration order is unspecified and varies across "
+                   "stdlib implementations, so any order-sensitive effect "
+                   "breaks reproducibility",
+               "collect keys into a std::vector and sort, use a sorted "
+               "container, or suppress with a justification if the fold is "
+               "order-insensitive");
+        break;
+      }
+    }
+  }
+
+  /// Number of top-level arguments of the call whose parens are
+  /// [open, close].
+  int call_arity(std::size_t open, std::size_t close) const {
+    int depth = 0;
+    int args = 0;
+    bool any = false;
+    for (std::size_t k = open; k <= close; ++k) {
+      const Token& t = toks_[k];
+      if (is(t, "(") || is(t, "[") || is(t, "{")) ++depth;
+      if (is(t, ")") || is(t, "]") || is(t, "}")) --depth;
+      if (depth == 1 && is(t, ",")) ++args;
+      if (depth >= 1 && !is(t, "(")) any = true;
+    }
+    return any ? args + 1 : 0;
+  }
+
   const LexedFile& file_;
   const std::vector<Token>& toks_;
-  FileShape shape_;
-  const TaskFunctionMap& task_fns_;
+  const Ast& ast_;
+  const RuleContext& ctx_;
+  std::vector<Cfg> cfgs_;
   std::vector<Diagnostic> diags_;
 };
 
-}  // namespace
-
-TaskFunctionMap collect_task_functions(const std::vector<LexedFile>& files) {
-  TaskFunctionMap fns;
-  for (const auto& f : files) {
-    const auto& toks = f.tokens;
-    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
-      if (!is_ident(toks[i]) || toks[i].text != "Task") continue;
-      if (!is(toks[i + 1], "<")) continue;
-      // Find the matching `>` (a `>>` closes two levels).
-      int depth = 0;
-      std::size_t k = i + 1;
-      for (; k < toks.size(); ++k) {
-        if (is(toks[k], "<")) ++depth;
-        if (is(toks[k], ">")) --depth;
-        if (is(toks[k], ">>")) depth -= 2;
-        if (depth <= 0) break;
-        if (is(toks[k], ";") || is(toks[k], "{")) {
-          k = toks.size();
-          break;
-        }
+/// Task<...>-returning function declarations, by token walk (the AST only
+/// records definitions with bodies; declarations matter too).
+void collect_task_functions(const LexedFile& f, TaskFunctionMap& fns) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i]) || toks[i].text != "Task") continue;
+    if (!is(toks[i + 1], "<")) continue;
+    // Find the matching `>` (a `>>` closes two levels).
+    int depth = 0;
+    std::size_t k = i + 1;
+    for (; k < toks.size(); ++k) {
+      if (is(toks[k], "<")) ++depth;
+      if (is(toks[k], ">")) --depth;
+      if (is(toks[k], ">>")) depth -= 2;
+      if (depth <= 0) break;
+      if (is(toks[k], ";") || is(toks[k], "{")) {
+        k = toks.size();
+        break;
       }
-      if (k + 2 >= toks.size()) continue;
-      // `Task<...> name (` — a declaration or definition, not a variable.
-      if (!is_ident(toks[k + 1]) || !is(toks[k + 2], "(")) continue;
-      const std::string& name = toks[k + 1].text;
-      if (name == "Task" || name == "operator") continue;
-      // Walk the parameter list: total arity, plus the shorter arities
-      // admitted by trailing defaulted parameters.
-      int pdepth = 0;
-      int params = 0;
-      int min_params = -1;  // first defaulted parameter index, if any
-      bool cur_nonempty = false;
-      bool cur_defaulted = false;
-      std::size_t p = k + 2;
-      for (; p < toks.size(); ++p) {
-        const Token& t = toks[p];
-        if (is(t, "(") || is(t, "[") || is(t, "{")) ++pdepth;
-        if (is(t, ")") || is(t, "]") || is(t, "}")) {
-          if (--pdepth == 0) break;
-          continue;
-        }
-        if (pdepth == 1 && is(t, ",")) {
-          if (cur_defaulted && min_params < 0) min_params = params;
-          ++params;
-          cur_nonempty = false;
-          cur_defaulted = false;
-          continue;
-        }
-        if (pdepth >= 1) {
-          cur_nonempty = true;
-          if (pdepth == 1 && is(t, "=")) cur_defaulted = true;
-        }
+    }
+    if (k + 2 >= toks.size()) continue;
+    // `Task<...> name (` — a declaration or definition, not a variable.
+    if (!is_ident(toks[k + 1]) || !is(toks[k + 2], "(")) continue;
+    const std::string& name = toks[k + 1].text;
+    if (name == "Task" || name == "operator") continue;
+    // Walk the parameter list: total arity, plus the shorter arities
+    // admitted by trailing defaulted parameters.
+    int pdepth = 0;
+    int params = 0;
+    int min_params = -1;  // first defaulted parameter index, if any
+    bool cur_nonempty = false;
+    bool cur_defaulted = false;
+    std::size_t p = k + 2;
+    for (; p < toks.size(); ++p) {
+      const Token& t = toks[p];
+      if (is(t, "(") || is(t, "[") || is(t, "{")) ++pdepth;
+      if (is(t, ")") || is(t, "]") || is(t, "}")) {
+        if (--pdepth == 0) break;
+        continue;
       }
-      if (p >= toks.size()) continue;
-      if (cur_nonempty) {
+      if (pdepth == 1 && is(t, ",")) {
         if (cur_defaulted && min_params < 0) min_params = params;
         ++params;
+        cur_nonempty = false;
+        cur_defaulted = false;
+        continue;
       }
-      if (min_params < 0) min_params = params;
-      auto& arities = fns[name];
-      for (int a = min_params; a <= params; ++a) arities.insert(a);
+      if (pdepth >= 1) {
+        cur_nonempty = true;
+        if (pdepth == 1 && is(t, "=")) cur_defaulted = true;
+      }
     }
+    if (p >= toks.size()) continue;
+    if (cur_nonempty) {
+      if (cur_defaulted && min_params < 0) min_params = params;
+      ++params;
+    }
+    if (min_params < 0) min_params = params;
+    auto& arities = fns[name];
+    for (int a = min_params; a <= params; ++a) arities.insert(a);
   }
-  return fns;
 }
 
-std::vector<Diagnostic> check_file(const LexedFile& file,
-                                   const TaskFunctionMap& task_fns) {
-  return Checker(file, task_fns).run();
+}  // namespace
+
+bool sim_affecting_path(const std::string& path) {
+  static const std::unordered_set<std::string> kScopes = {
+      "sim", "core", "mem", "htm", "guest", "workloads", "fault", "stats"};
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t slash = path.find('/', begin);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    if (kScopes.count(path.substr(begin, end - begin)) != 0) return true;
+    if (slash == std::string::npos) break;
+    begin = slash + 1;
+  }
+  return false;
+}
+
+RuleContext collect_context(const std::vector<ParsedFile>& files) {
+  RuleContext ctx;
+  for (const ParsedFile& pf : files) {
+    collect_task_functions(pf.file, ctx.task_fns);
+    for (const ContainerDecl& d : pf.ast.container_decls) {
+      ctx.containers[d.name].push_back(d.type_text);
+    }
+  }
+  return ctx;
+}
+
+std::vector<Diagnostic> check_file(const ParsedFile& pf,
+                                   const RuleContext& ctx) {
+  return Checker(pf, ctx).run();
 }
 
 }  // namespace asfsim_lint

@@ -1,0 +1,19 @@
+// asfsim_lint SARIF 2.1.0 output (hand-rolled, dependency-free).
+//
+// Emits one run with full rule metadata so GitHub code scanning and other
+// SARIF consumers can render the findings; see docs/static_analysis.md for
+// the schema subset produced.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace asfsim_lint {
+
+/// Serialize diagnostics as a SARIF 2.1.0 document (UTF-8 JSON, trailing
+/// newline). `diags` may span many files.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace asfsim_lint
