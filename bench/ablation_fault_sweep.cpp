@@ -1,0 +1,13 @@
+// Bench harness entry point: regenerates the robustness artifact
+// "ablation_fault_sweep" (commit rate and wasted cycles vs the injected
+// spurious-abort rate, per detector). See docs/robustness.md for the fault
+// injection knobs.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::ablation_fault_sweep(opts, std::cout);
+}

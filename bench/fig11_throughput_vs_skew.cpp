@@ -1,0 +1,13 @@
+// Bench harness entry point: regenerates the extension artifact
+// "fig11_throughput_vs_skew" (OLTP commits/simulated-second and latency
+// percentiles over a zipf-theta x core-count x detector sweep). See
+// docs/workloads.md for the OLTP knobs and metric definitions.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::fig11_throughput_vs_skew(opts, std::cout);
+}

@@ -11,8 +11,9 @@
 #
 # Scope note: host-side subsystems (src/runner/, src/harness/) are covered
 # by clang-format and clang-tidy like everything else, but asfsim_lint's
-# guest rules R3/R4 apply only under a workloads/ path — runner code runs on
-# the host and may allocate/peek/poke freely (tests/lint_fixtures/runner/).
+# guest rules R3/R4 apply only under workloads/ or oltp/ paths — runner code
+# runs on the host and may allocate/peek/poke freely
+# (tests/lint_fixtures/runner/).
 set -u
 cd "$(dirname "$0")/.."
 

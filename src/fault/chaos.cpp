@@ -195,6 +195,7 @@ const std::vector<ProtocolMutation>& all_mutations() {
       ProtocolMutation::kWrongSubblockIndexMath,
       ProtocolMutation::kStalePiggybackMask,
       ProtocolMutation::kBackoffNeverSleeps,
+      ProtocolMutation::kLostUpdateCommit,
   };
   return kAll;
 }
@@ -227,6 +228,10 @@ std::vector<CellShape> shapes_for(ProtocolMutation m) {
       // Detector-independent liveness policy: one sub-block shape plus the
       // baseline proves the oracle does not depend on sub-blocking.
       return {{DetectorKind::kSubBlock, 4}, {DetectorKind::kBaseline, 1}};
+    case ProtocolMutation::kLostUpdateCommit:
+      // The dropped write-back lives in the versioning layer, not the
+      // detector: both shapes prove the replay oracle sees it either way.
+      return {{DetectorKind::kBaseline, 1}, {DetectorKind::kSubBlock, 4}};
     case ProtocolMutation::kNone: break;
   }
   return {};

@@ -50,6 +50,13 @@ enum class ProtocolMutation : std::uint8_t {
   /// stay green (requester-wins + the fallback still serialize), so only
   /// the backoff-progressivity policy oracle can see it.
   kBackoffNeverSleeps,
+  /// The commit write-back silently drops the highest-addressed overlay
+  /// line's data: readers are validated and the transaction reports
+  /// success, but one line's speculative values never reach memory — a
+  /// lost update on multi-line commits (e.g. OLTP read-modify-writes).
+  /// Killed by the strict-serializability replay oracle and by the value
+  /// conservation checks of the workloads themselves.
+  kLostUpdateCommit,
 };
 
 [[nodiscard]] const char* to_string(ProtocolMutation m);

@@ -19,6 +19,8 @@ const char* to_string(ProtocolMutation m) {
       return "stale-piggyback-mask";
     case ProtocolMutation::kBackoffNeverSleeps:
       return "backoff-never-sleeps";
+    case ProtocolMutation::kLostUpdateCommit:
+      return "lost-update-commit";
   }
   return "?";
 }
@@ -35,7 +37,8 @@ bool parse_mutation(std::string_view name, ProtocolMutation& out) {
         ProtocolMutation::kSkipCommitValidation,
         ProtocolMutation::kWrongSubblockIndexMath,
         ProtocolMutation::kStalePiggybackMask,
-        ProtocolMutation::kBackoffNeverSleeps}) {
+        ProtocolMutation::kBackoffNeverSleeps,
+        ProtocolMutation::kLostUpdateCommit}) {
     if (name == to_string(m)) {
       out = m;
       return true;

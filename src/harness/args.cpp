@@ -63,6 +63,36 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
                      argv[0], o.mutate.c_str());
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--oltp-records") == 0) {
+      o.oltp.records =
+          static_cast<std::uint64_t>(std::atoll(need_value("--oltp-records")));
+    } else if (std::strcmp(argv[i], "--oltp-payload") == 0) {
+      o.oltp.payload_bytes =
+          static_cast<std::uint32_t>(std::atoi(need_value("--oltp-payload")));
+    } else if (std::strcmp(argv[i], "--oltp-tx-len") == 0) {
+      o.oltp.tx_len =
+          static_cast<std::uint32_t>(std::atoi(need_value("--oltp-tx-len")));
+    } else if (std::strcmp(argv[i], "--oltp-tx") == 0) {
+      o.oltp.tx_per_thread =
+          static_cast<std::uint64_t>(std::atoll(need_value("--oltp-tx")));
+    } else if (std::strcmp(argv[i], "--oltp-theta") == 0) {
+      o.oltp.theta = std::atof(need_value("--oltp-theta"));
+    } else if (std::strcmp(argv[i], "--oltp-read-ratio") == 0) {
+      o.oltp.read_ratio = std::atof(need_value("--oltp-read-ratio"));
+    } else if (std::strcmp(argv[i], "--oltp-rmw-ratio") == 0) {
+      o.oltp.rmw_ratio = std::atof(need_value("--oltp-rmw-ratio"));
+    } else if (std::strcmp(argv[i], "--oltp-scan-ratio") == 0) {
+      o.oltp.scan_ratio = std::atof(need_value("--oltp-scan-ratio"));
+    } else if (std::strcmp(argv[i], "--oltp-scan-len") == 0) {
+      o.oltp.scan_len =
+          static_cast<std::uint32_t>(std::atoi(need_value("--oltp-scan-len")));
+    } else if (std::strcmp(argv[i], "--oltp-mix") == 0) {
+      const char* name = need_value("--oltp-mix");
+      if (!parse_oltp_mix(name, o.oltp.mix)) {
+        std::fprintf(stderr, "%s: unknown --oltp-mix %s (try a..f or custom)\n",
+                     argv[0], name);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--watchdog") == 0) {
       o.watchdog = static_cast<std::uint64_t>(std::atoll(need_value("--watchdog")));
     } else if (std::strcmp(argv[i], "--job-timeout") == 0) {
@@ -75,7 +105,11 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
           "  robustness: [--fault-spurious p] [--fault-commit p] "
           "[--fault-evict p] [--fault-probe-jitter n] "
           "[--fault-sched-jitter n] [--mutate name] [--watchdog n] "
-          "[--job-timeout s]\n",
+          "[--job-timeout s]\n"
+          "  oltp: [--oltp-records n] [--oltp-payload n] [--oltp-tx-len n] "
+          "[--oltp-tx n] [--oltp-theta f] [--oltp-read-ratio f] "
+          "[--oltp-rmw-ratio f] [--oltp-scan-ratio f] [--oltp-scan-len n] "
+          "[--oltp-mix a..f|custom]\n",
           argv[0]);
       std::exit(0);
     } else {

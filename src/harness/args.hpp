@@ -23,10 +23,24 @@
 //   --mutate <name>           protocol mutation (chaos harness)
 //   --watchdog <n>            livelock watchdog threshold in cycles (0 = off)
 //   --job-timeout <s>         per-job wall-clock limit in seconds (0 = off)
+//
+// OLTP workload knobs (docs/workloads.md, "The OLTP/KV family"):
+//   --oltp-records <n>     table size in records
+//   --oltp-payload <n>     payload bytes per record (multiple of 8)
+//   --oltp-tx-len <n>      operations per transaction
+//   --oltp-tx <n>          transactions per guest thread (scaled by --scale)
+//   --oltp-theta <f>       zipf skew (0 = uniform; YCSB default 0.99)
+//   --oltp-read-ratio <f>  free-form mix: reads
+//   --oltp-rmw-ratio <f>   free-form mix: read-modify-writes
+//   --oltp-scan-ratio <f>  free-form mix: scans (rest = blind updates)
+//   --oltp-scan-len <n>    records per scan operation
+//   --oltp-mix <a..f>      YCSB preset (overrides the three ratios)
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "oltp/oltp_config.hpp"
 
 namespace asfsim {
 
@@ -50,6 +64,10 @@ struct CliOptions {
   std::string mutate;        // validated by parse_cli (parse_mutation)
   std::uint64_t watchdog = 0;
   double job_timeout = 0.0;  // seconds; env ASFSIM_JOB_TIMEOUT also works
+
+  /// OLTP workload knobs; flow into WorkloadParams::oltp (and therefore the
+  /// JobSpec hash) via base_config/apply_robustness_options.
+  OltpConfig oltp;
 };
 
 /// Parse the common flags; exits with a usage message on errors.

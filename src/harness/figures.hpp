@@ -28,6 +28,9 @@ int fig5_intra_line_access(const CliOptions& opts, std::ostream& os);
 int fig8_subblock_sensitivity(const CliOptions& opts, std::ostream& os);
 int fig9_overall_conflict_reduction(const CliOptions& opts, std::ostream& os);
 int fig10_execution_time(const CliOptions& opts, std::ostream& os);
+/// OLTP extension: commits/simulated-second and latency percentiles over a
+/// zipf-theta x core-count x detector sweep (docs/workloads.md).
+int fig11_throughput_vs_skew(const CliOptions& opts, std::ostream& os);
 
 // ---- ablations / overhead (paper §II and §IV-E) ------------------------------
 int ablation_waronly(const CliOptions& opts, std::ostream& os);
@@ -40,5 +43,8 @@ int ablation_capacity(const CliOptions& opts, std::ostream& os);
 int ablation_l1_geometry(const CliOptions& opts, std::ostream& os);
 int ablation_scale(const CliOptions& opts, std::ostream& os);
 int ablation_timing(const CliOptions& opts, std::ostream& os);
+/// Commit rate and wasted work vs injected spurious-abort rate, per
+/// detector (docs/robustness.md fault-injection knobs).
+int ablation_fault_sweep(const CliOptions& opts, std::ostream& os);
 
 }  // namespace asfsim::figures

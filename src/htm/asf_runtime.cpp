@@ -19,6 +19,8 @@ AsfRuntime::AsfRuntime(Kernel& kernel, MemorySystem& mem,
       backoff_(cfg, cfg.seed ^ 0x9e3779b97f4a7c15ULL),
       backoff_disabled_(cfg.fault.mutation ==
                         ProtocolMutation::kBackoffNeverSleeps),
+      lose_update_commit_(cfg.fault.mutation ==
+                          ProtocolMutation::kLostUpdateCommit),
       cores_(cfg.ncores) {
   if (cfg.enable_ats) {
     scheduler_ = std::make_unique<AdaptiveScheduler>(cfg.ncores, cfg.ats_alpha,
@@ -35,6 +37,7 @@ void AsfRuntime::begin(CoreId core) {
   p.doomed = false;
   p.cause = AbortCause::kConflict;
   p.tx_start = kernel_.now();
+  if (p.retries == 0) p.logical_start = p.tx_start;
   p.abort_fp = TxFootprint{};
   stats_.on_tx_attempt(kernel_.now());
   if (hub_) {
@@ -108,6 +111,11 @@ void AsfRuntime::commit(CoreId core) {
   for (const Addr line : commit_lines) {
     const auto& ov = p.overlay.find(line)->second;
     mem_.validate_readers_at_commit(core, line, ov.mask);
+    // MUTATION kLostUpdateCommit: the gang-commit silently drops the
+    // highest-addressed overlay line's data (readers were still validated,
+    // so only the write-back is lost). Killed by the strict-serializability
+    // replay and by value-conservation workload oracles.
+    if (lose_update_commit_ && line == commit_lines.back()) continue;
     for (std::uint32_t b = 0; b < kLineBytes; ++b) {
       if (ov.mask & (ByteMask{1} << b)) backing_.write(line + b, 1, ov.data[b]);
     }
@@ -119,6 +127,7 @@ void AsfRuntime::commit(CoreId core) {
   const Cycle duration = kernel_.now() - p.tx_start;
   stats_.tx_busy_cycles += duration;
   stats_.on_tx_commit();
+  stats_.on_tx_latency(kernel_.now() - p.logical_start);
   stats_.on_attempt_end(duration, fp.read_lines, fp.write_lines,
                         /*aborted=*/false);
   if (scheduler_) scheduler_->on_tx_end(core, /*aborted=*/false);
@@ -179,6 +188,9 @@ void AsfRuntime::note_fallback(CoreId core) {
     ev.wasted = p.wasted;
     hub_->emit(ev);
   }
+  // Fallback completion ends the logical transaction that began at the
+  // first hardware attempt; its latency includes every failed attempt.
+  stats_.on_tx_latency(kernel_.now() - p.logical_start);
   p.retries = 0;
   p.wasted = 0;
   ++stats_.fallback_runs;

@@ -124,6 +124,9 @@ class AsfRuntime final : public ITxControl {
   };
   struct PerCore {
     Cycle tx_start = 0;
+    /// Begin cycle of the LOGICAL transaction (first hardware attempt);
+    /// survives retries so commit/fallback can report whole-tx latency.
+    Cycle logical_start = 0;
     bool active = false;
     bool doomed = false;
     AbortCause cause = AbortCause::kConflict;
@@ -145,7 +148,8 @@ class AsfRuntime final : public ITxControl {
   BackingStore& backing_;
   Stats& stats_;
   BackoffManager backoff_;
-  const bool backoff_disabled_;  // MUTATION kBackoffNeverSleeps
+  const bool backoff_disabled_;    // MUTATION kBackoffNeverSleeps
+  const bool lose_update_commit_;  // MUTATION kLostUpdateCommit
   std::unique_ptr<AdaptiveScheduler> scheduler_;
   trace::TraceHub* hub_ = nullptr;
   FaultPlan* fault_ = nullptr;

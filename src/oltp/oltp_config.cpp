@@ -1,0 +1,80 @@
+#include "oltp/oltp_config.hpp"
+
+namespace asfsim {
+
+const char* to_string(OltpMix m) {
+  switch (m) {
+    case OltpMix::kCustom: return "custom";
+    case OltpMix::kA: return "a";
+    case OltpMix::kB: return "b";
+    case OltpMix::kC: return "c";
+    case OltpMix::kD: return "d";
+    case OltpMix::kE: return "e";
+    case OltpMix::kF: return "f";
+  }
+  return "?";
+}
+
+bool parse_oltp_mix(std::string_view name, OltpMix& out) {
+  if (name.empty() || name == "custom") {
+    out = OltpMix::kCustom;
+    return true;
+  }
+  for (const OltpMix m : {OltpMix::kA, OltpMix::kB, OltpMix::kC, OltpMix::kD,
+                          OltpMix::kE, OltpMix::kF}) {
+    if (name == to_string(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+OltpConfig OltpConfig::resolved() const {
+  OltpConfig c = *this;
+  switch (mix) {
+    case OltpMix::kCustom:
+      break;
+    case OltpMix::kA:  // 50r / 50u
+      c.read_ratio = 0.5, c.rmw_ratio = 0.0, c.scan_ratio = 0.0;
+      break;
+    case OltpMix::kB:  // 95r / 5u
+      c.read_ratio = 0.95, c.rmw_ratio = 0.0, c.scan_ratio = 0.0;
+      break;
+    case OltpMix::kC:  // read only
+      c.read_ratio = 1.0, c.rmw_ratio = 0.0, c.scan_ratio = 0.0;
+      break;
+    case OltpMix::kD:  // 95r / 5 insert -> update (fixed-size table)
+      c.read_ratio = 0.95, c.rmw_ratio = 0.0, c.scan_ratio = 0.0;
+      break;
+    case OltpMix::kE:  // 95 scan / 5 insert -> update
+      c.read_ratio = 0.0, c.rmw_ratio = 0.0, c.scan_ratio = 0.95;
+      break;
+    case OltpMix::kF:  // 50r / 50rmw
+      c.read_ratio = 0.5, c.rmw_ratio = 0.5, c.scan_ratio = 0.0;
+      break;
+  }
+  return c;
+}
+
+std::string OltpConfig::validate() const {
+  if (records < 2 || records > (std::uint64_t{1} << 20)) {
+    return "records must be in [2, 2^20]";
+  }
+  if (payload_bytes == 0 || payload_bytes % 8 != 0 || payload_bytes > 512) {
+    return "payload_bytes must be a multiple of 8 in [8, 512]";
+  }
+  if (tx_len == 0 || tx_len > 64) return "tx_len must be in [1, 64]";
+  if (tx_per_thread == 0) return "tx_per_thread must be positive";
+  if (theta < 0.0 || theta > 4.0) return "theta must be in [0, 4]";
+  if (read_ratio < 0.0 || rmw_ratio < 0.0 || scan_ratio < 0.0 ||
+      read_ratio + rmw_ratio + scan_ratio > 1.0 + 1e-9) {
+    return "read/rmw/scan ratios must be non-negative and sum to <= 1";
+  }
+  if (scan_len == 0 || scan_len > records) {
+    return "scan_len must be in [1, records]";
+  }
+  return {};
+}
+
+}  // namespace asfsim

@@ -1,0 +1,72 @@
+// OLTP/KV workload family configuration (docs/workloads.md, "The OLTP/KV
+// family").
+//
+// OltpConfig is embedded in WorkloadParams, so every knob reaches the
+// workload through the normal setup() plumbing AND participates in the
+// runner's canonical JobSpec serialization (runner/job_spec.cpp, enforced
+// by asfsim_lint's hash-completeness rule): two OLTP runs differing in any
+// knob can never alias in the result cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace asfsim {
+
+/// YCSB-style operation-mix preset (--oltp-mix a..f). kCustom uses the
+/// free-form ratio knobs verbatim; the letter presets override them.
+/// Adaptation note: the table is fixed-size, so YCSB's inserts (mixes D/E)
+/// are modeled as updates and D's "latest" key distribution as the
+/// configured zipf — documented in docs/workloads.md.
+enum class OltpMix : std::uint8_t {
+  kCustom = 0,
+  kA,  // 50% read / 50% update        (update heavy)
+  kB,  // 95% read /  5% update        (read mostly)
+  kC,  // 100% read                    (read only)
+  kD,  // 95% read /  5% update        (read latest; insert -> update)
+  kE,  // 95% scan /  5% update        (short ranges; insert -> update)
+  kF,  // 50% read / 50% read-modify-write
+};
+
+[[nodiscard]] const char* to_string(OltpMix m);
+
+/// Parse an --oltp-mix value ("a".."f", "custom"). Returns false for
+/// unknown names; "" maps to kCustom.
+[[nodiscard]] bool parse_oltp_mix(std::string_view name, OltpMix& out);
+
+struct OltpConfig {
+  /// Key space: number of fixed-size records in the table.
+  std::uint64_t records = 1024;
+  /// Payload bytes per record (multiple of 8). The record stride is
+  /// 8 + payload_bytes (one version word + payload), deliberately unpadded
+  /// so records share cache lines — the false-sharing traffic the paper's
+  /// sub-blocking exists to disambiguate.
+  std::uint32_t payload_bytes = 16;
+  /// Point operations per transaction.
+  std::uint32_t tx_len = 4;
+  /// Transactions per guest thread (scaled by WorkloadParams::scale).
+  std::uint64_t tx_per_thread = 400;
+  /// Zipf skew of the key-choice distribution; 0 = uniform. YCSB's default
+  /// is 0.99; values > 1 concentrate almost all traffic on a few records.
+  double theta = 0.99;
+  /// Free-form mix ratios (used when mix == kCustom; must sum to <= 1, the
+  /// remainder is the blind-update ratio).
+  double read_ratio = 0.5;
+  double rmw_ratio = 0.0;
+  double scan_ratio = 0.0;
+  /// Consecutive records touched by one scan operation (wraps at the end
+  /// of the table).
+  std::uint32_t scan_len = 8;
+  /// Preset selector; non-custom values override the three ratios above.
+  OltpMix mix = OltpMix::kCustom;
+
+  /// Copy with the mix preset folded into the ratio knobs.
+  [[nodiscard]] OltpConfig resolved() const;
+
+  /// Empty string when consistent; otherwise a human-readable complaint.
+  /// Checked at workload setup, before any guest memory is allocated.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace asfsim

@@ -1,0 +1,45 @@
+#include "oltp/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace asfsim {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be >= 1");
+  if (!(theta >= 0.0)) {
+    throw std::invalid_argument("ZipfGenerator: theta must be >= 0");
+  }
+  cdf_.resize(n);
+  // Fixed left-to-right accumulation order: the table (and therefore every
+  // draw) is a pure function of (n, theta) on a given host.
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += theta == 0.0
+               ? 1.0
+               : std::pow(static_cast<double>(k + 1), -theta);
+    cdf_[k] = acc;
+  }
+  zetan_ = acc;
+  for (double& c : cdf_) c /= zetan_;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) const {
+  const double u = rng.next_double();  // in [0, 1)
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  // u < 1.0 == cdf_.back(), so upper_bound never returns end().
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::pmf(std::uint64_t k) const {
+  if (k >= n_) return 0.0;
+  const double w = theta_ == 0.0
+                       ? 1.0
+                       : std::pow(static_cast<double>(k + 1), -theta_);
+  return w / zetan_;
+}
+
+}  // namespace asfsim

@@ -54,7 +54,7 @@ JobSpec make_job_spec(const std::string& workload,
   const SimConfig& sim = spec.config.sim;
   std::string& s = spec.canonical;
   s.reserve(768);
-  s += "asfsim-jobspec v2\n";
+  s += "asfsim-jobspec v3\n";
   s += "workload " + workload + "\n";
   kv(s, "detector", static_cast<std::uint64_t>(cfg.detector));
   kv(s, "nsub", cfg.nsub);
@@ -91,6 +91,20 @@ JobSpec make_job_spec(const std::string& workload,
   kv(s, "fault_probe_jitter", sim.fault.probe_jitter);
   kv(s, "fault_sched_jitter", sim.fault.sched_jitter);
   kv(s, "mutation", static_cast<std::uint64_t>(sim.fault.mutation));
+  // v3: the OLTP workload family's knobs (oltp/oltp_config.hpp). Serialized
+  // unconditionally — non-oltp workloads ignore them, and constant defaults
+  // cannot cause cache aliasing.
+  const OltpConfig& oltp = cfg.params.oltp;
+  kv(s, "oltp_records", oltp.records);
+  kv(s, "oltp_payload_bytes", oltp.payload_bytes);
+  kv(s, "oltp_tx_len", oltp.tx_len);
+  kv(s, "oltp_tx_per_thread", oltp.tx_per_thread);
+  kv(s, "oltp_theta", oltp.theta);
+  kv(s, "oltp_read_ratio", oltp.read_ratio);
+  kv(s, "oltp_rmw_ratio", oltp.rmw_ratio);
+  kv(s, "oltp_scan_ratio", oltp.scan_ratio);
+  kv(s, "oltp_scan_len", oltp.scan_len);
+  kv(s, "oltp_mix", static_cast<std::uint64_t>(oltp.mix));
 
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",

@@ -58,4 +58,40 @@ void Stats::on_attempt_end(Cycle duration, std::uint32_t read_lines,
 
 void Stats::on_backoff(Cycle wait) { backoff_cycles += wait; }
 
+void Stats::on_tx_latency(Cycle latency) {
+  ++tx_latency_hist[log2_bucket(latency, tx_latency_hist.size())];
+}
+
+double Stats::commits_per_simsec() const {
+  if (total_cycles == 0) return 0.0;
+  return static_cast<double>(tx_commits) * kSimClockHz /
+         static_cast<double>(total_cycles);
+}
+
+double Stats::latency_percentile(double p) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : tx_latency_hist) total += c;
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested percentile, 1-based over the sorted samples.
+  const double rank = p * static_cast<double>(total - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < tx_latency_hist.size(); ++b) {
+    const std::uint64_t count = tx_latency_hist[b];
+    if (count == 0) continue;
+    if (static_cast<double>(seen + count) >= rank) {
+      // Bucket 0 holds exactly the value 0; bucket b holds [2^(b-1), 2^b).
+      if (b == 0) return 0.0;
+      const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double width = lo;  // bucket width equals its lower bound
+      const double frac = (rank - static_cast<double>(seen)) /
+                          static_cast<double>(count);
+      return lo + width * frac;
+    }
+    seen += count;
+  }
+  return static_cast<double>(std::uint64_t{1} << (tx_latency_hist.size() - 1));
+}
+
 }  // namespace asfsim

@@ -84,6 +84,13 @@ class Stats {
   /// Abort-penalty + backoff stall cycles between retry attempts.
   Cycle backoff_cycles = 0;
 
+  // ---- per-transaction latency (OLTP reporting; always collected) --------
+  /// log2-bucketed LOGICAL transaction latencies: first hardware attempt's
+  /// begin to commit (or fallback completion), so retries and backoff count
+  /// toward the latency of the one logical transaction. Same bucketing as
+  /// tx_duration_hist.
+  std::array<std::uint64_t, 32> tx_latency_hist{};
+
   // ---- hooks -------------------------------------------------------------
   void on_tx_attempt(Cycle now);
   void on_tx_commit();
@@ -95,6 +102,9 @@ class Stats {
   void on_attempt_end(Cycle duration, std::uint32_t read_lines,
                       std::uint32_t write_lines, bool aborted);
   void on_backoff(Cycle wait);
+  /// Logical-transaction completion (commit or fallback): whole latency
+  /// including retries and backoff.
+  void on_tx_latency(Cycle latency);
 
   [[nodiscard]] static std::uint32_t log2_bucket(std::uint64_t v,
                                                  std::size_t nbuckets);
@@ -110,6 +120,14 @@ class Stats {
                ? 0.0
                : static_cast<double>(tx_attempts - tx_commits) / tx_commits;
   }
+  /// Simulated clock rate used to convert cycles into wall time for the
+  /// throughput metric (paper's 2.2 GHz Opteron cores).
+  static constexpr double kSimClockHz = 2.2e9;
+  /// Committed transactions per SIMULATED second (commits * hz / cycles).
+  [[nodiscard]] double commits_per_simsec() const;
+  /// Approximate p-th latency percentile (p in [0, 1]) in cycles, from
+  /// tx_latency_hist with linear interpolation within the log2 bucket.
+  [[nodiscard]] double latency_percentile(double p) const;
 };
 
 }  // namespace asfsim

@@ -10,10 +10,12 @@ namespace asfsim {
 
 namespace {
 
-// v2: appended the per-attempt profile fields (trace subsystem). The
-// version bump makes older blobs fail deserialization cleanly; the result
-// cache never serves them anyway (the code stamp changed with the code).
-constexpr const char* kHeader = "asfsim-stats v2";
+// v2: appended the per-attempt profile fields (trace subsystem).
+// v3: appended tx_latency_hist (per-transaction latency, OLTP reporting).
+// The version bump makes older blobs fail deserialization cleanly; the
+// result cache never serves them anyway (the code stamp changed with the
+// code).
+constexpr const char* kHeader = "asfsim-stats v3";
 
 void put(std::string& out, const char* key, std::uint64_t v) {
   char buf[64];
@@ -156,6 +158,7 @@ std::string serialize_stats(const Stats& s) {
   put_seq(out, "tx_write_lines_hist", s.tx_write_lines_hist);
   put(out, "wasted_cycles", s.wasted_cycles);
   put(out, "backoff_cycles", s.backoff_cycles);
+  put_seq(out, "tx_latency_hist", s.tx_latency_hist);
   return out;
 }
 
@@ -200,7 +203,8 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
       r.fixed_seq("tx_read_lines_hist", out.tx_read_lines_hist) &&
       r.fixed_seq("tx_write_lines_hist", out.tx_write_lines_hist) &&
       r.field("wasted_cycles", out.wasted_cycles) &&
-      r.field("backoff_cycles", out.backoff_cycles) && r.done();
+      r.field("backoff_cycles", out.backoff_cycles) &&
+      r.fixed_seq("tx_latency_hist", out.tx_latency_hist) && r.done();
   if (!ok || flag > 1 || by_line_flat.size() % 2 != 0) return false;
   out.record_timeseries = flag == 1;
   for (std::size_t i = 0; i < by_line_flat.size(); i += 2) {

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "stats/counters.hpp"
 #include "stats/report.hpp"
 #include "trace/jsonl.hpp"
 
@@ -47,6 +48,12 @@ void TraceSummary::add(const TraceEvent& ev) {
       ++aborts_by_cause[static_cast<std::size_t>(ev.cause)];
       abort_samples.emplace_back(ev.cycle, ev.cause);
       wasted_cycles += ev.wasted;
+      break;
+    case TraceEventKind::kCommit:
+    case TraceEventKind::kFallback:
+      ++committed_tx;
+      ++commit_latency_hist[Stats::log2_bucket(ev.cycle - ev.span_begin,
+                                               commit_latency_hist.size())];
       break;
     default:
       break;
@@ -163,6 +170,25 @@ void print_summary(const TraceSummary& s, std::ostream& os, int top_n) {
      << "  commits: "
      << s.by_kind[static_cast<std::size_t>(TraceEventKind::kCommit)]
      << "  wasted cycles in aborted attempts: " << s.wasted_cycles << "\n";
+
+  // Throughput & latency (OLTP reporting; docs/workloads.md): completed
+  // transactions per simulated second at the Stats clock rate, plus span
+  // percentiles reusing Stats' histogram interpolation.
+  const Cycle extent = s.last_cycle - s.first_cycle + 1;
+  const double commits_per_s =
+      s.total_events == 0
+          ? 0.0
+          : static_cast<double>(s.committed_tx) * Stats::kSimClockHz /
+                static_cast<double>(extent);
+  Stats lat;
+  lat.tx_latency_hist = s.commit_latency_hist;
+  os << "completed tx: " << s.committed_tx << "  simulated throughput: "
+     << TextTable::num(commits_per_s, 0) << " commits/s (at "
+     << TextTable::num(Stats::kSimClockHz / 1e9, 1) << " GHz)\n";
+  os << "commit-span latency percentiles (cycles): p50 "
+     << TextTable::num(lat.latency_percentile(0.50), 0) << "  p95 "
+     << TextTable::num(lat.latency_percentile(0.95), 0) << "  p99 "
+     << TextTable::num(lat.latency_percentile(0.99), 0) << "\n";
 }
 
 }  // namespace asfsim::trace

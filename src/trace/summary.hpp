@@ -42,6 +42,12 @@ struct TraceSummary {
   std::vector<std::pair<Cycle, AbortCause>> abort_samples;
   Cycle wasted_cycles = 0;  // summed over abort events
 
+  /// Committed transactions (commit + fallback completions) and their span
+  /// durations, log2-bucketed like Stats::tx_latency_hist; feeds the
+  /// throughput/latency lines of print_summary (OLTP reporting).
+  std::uint64_t committed_tx = 0;
+  std::array<std::uint64_t, 32> commit_latency_hist{};
+
   void add(const TraceEvent& ev);
 };
 

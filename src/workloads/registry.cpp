@@ -26,6 +26,8 @@ const std::vector<WorkloadInfo>& workload_registry() {
       {"bank", &make_bank},
       // Adversarial contention storm (watchdog demo, docs/robustness.md).
       {"livelock", &make_livelock},
+      // OLTP/KV family: zipf-skewed YCSB-style transactions (src/oltp/).
+      {"oltp", &make_oltp},
   };
   return reg;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "guest/machine.hpp"
+#include "oltp/oltp_config.hpp"
 
 namespace asfsim {
 
@@ -21,6 +22,7 @@ struct WorkloadParams {
   std::uint32_t threads = 8;  // guest threads (= cores used)
   std::uint64_t seed = 1;
   double scale = 1.0;  // input-size multiplier (1.0 = default bench size)
+  OltpConfig oltp;     // knobs for the oltp workload family (ignored by others)
 
   [[nodiscard]] std::uint64_t scaled(std::uint64_t base) const {
     const auto v = static_cast<std::uint64_t>(static_cast<double>(base) * scale);
@@ -75,5 +77,6 @@ std::unique_ptr<Workload> make_fluidanimate();
 std::unique_ptr<Workload> make_yada();
 std::unique_ptr<Workload> make_bayes();
 std::unique_ptr<Workload> make_livelock();
+std::unique_ptr<Workload> make_oltp();  // oltp/oltp.cpp
 
 }  // namespace asfsim

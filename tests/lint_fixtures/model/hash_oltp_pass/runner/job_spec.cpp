@@ -1,0 +1,54 @@
+// lint fixture: MUST pass hash-completeness — every OltpConfig field from
+// the sibling oltp/oltp_config.hpp reaches the canonical string.
+#include "runner/job_spec.hpp"
+
+#include <cstdio>
+#include <type_traits>
+
+namespace asfsim::runner {
+
+namespace {
+
+template <typename UInt>
+void kv(std::string& out, const char* key, UInt v) {
+  static_assert(std::is_unsigned_v<UInt> || std::is_same_v<UInt, int>);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %llu\n", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// %a is exact (no rounding on round trip) and independent of print
+// precision, so double-valued knobs cannot alias across specs.
+void kv(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %a\n", key, v);
+  out += buf;
+}
+
+}  // namespace
+
+JobSpec make_job_spec(const std::string& workload,
+                      const ExperimentConfig& cfg) {
+  JobSpec spec;
+  spec.workload = workload;
+  spec.config = cfg;
+
+  std::string& s = spec.canonical;
+  s += "asfsim-jobspec v3\n";
+  s += "workload " + workload + "\n";
+  const OltpConfig& oltp = cfg.params.oltp;
+  kv(s, "oltp_records", oltp.records);
+  kv(s, "oltp_payload_bytes", oltp.payload_bytes);
+  kv(s, "oltp_tx_len", oltp.tx_len);
+  kv(s, "oltp_tx_per_thread", oltp.tx_per_thread);
+  kv(s, "oltp_theta", oltp.theta);
+  kv(s, "oltp_read_ratio", oltp.read_ratio);
+  kv(s, "oltp_rmw_ratio", oltp.rmw_ratio);
+  kv(s, "oltp_scan_ratio", oltp.scan_ratio);
+  kv(s, "oltp_scan_len", oltp.scan_len);
+  kv(s, "oltp_mix", static_cast<std::uint64_t>(oltp.mix));
+  return spec;
+}
+
+}  // namespace asfsim::runner

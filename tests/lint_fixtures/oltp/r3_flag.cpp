@@ -1,0 +1,18 @@
+// lint fixture: MUST flag global-alloc-in-tx (two sites).
+// Lives under an `oltp/` path component, so the guest-thread pass is in
+// scope for the OLTP workload family too.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> bad_oltp_worker(GuestCtx& c, Addr table) {
+  // Transactional record allocation from the GLOBAL bump allocator:
+  // adjacent cores get records in the same cache line for the wrong
+  // reason — allocator interleaving, not the studied unpadded layout.
+  const Addr rec = c.galloc().alloc(24, 8);
+  co_await c.store_u64(table, rec);
+  const Addr spill = c.galloc().alloc_lines(1);
+  co_await c.store_u64(spill, 0);
+}
+
+}  // namespace asfsim

@@ -1,0 +1,20 @@
+// lint fixture: MUST pass global-alloc-in-tx.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> good_oltp_worker(GuestCtx& c, Addr table) {
+  // Per-core pool allocation inside guest code: cores never share lines.
+  const Addr scratch = c.alloc_local(24, 8);
+  co_await c.store_u64(table, scratch);
+}
+
+void good_oltp_setup(Machine& m, Addr* out) {
+  // Host-time, single-threaded setup may use the global bump path: the
+  // OLTP table is deliberately an unpadded shared array (record stride
+  // 8 + payload, not line-padded) — exactly the false-sharing substrate
+  // the paper's sub-blocking disambiguates.
+  *out = m.galloc().alloc(4096, 8);
+}
+
+}  // namespace asfsim

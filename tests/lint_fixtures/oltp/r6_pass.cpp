@@ -1,0 +1,30 @@
+// lint fixture: MUST pass — ordered/sequence iteration and non-iterating
+// uses of unordered containers in OLTP bookkeeping.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace asfsim {
+
+struct OltpAudit {
+  std::unordered_map<std::uint64_t, std::uint64_t> version_by_key;
+  std::vector<std::uint64_t> committed_rmws;
+  std::map<std::uint64_t, std::uint64_t> ordered_versions;
+};
+
+std::uint64_t stable_audit(const OltpAudit& audit) {
+  std::uint64_t sum = 0;
+  // A plain vector iterates in index (core) order.
+  for (const std::uint64_t n : audit.committed_rmws) sum += n;
+  // std::map iterates in key order.
+  for (const auto& [key, version] : audit.ordered_versions) {
+    sum += key + version;
+  }
+  // Point lookups into the unordered map never depend on hash order.
+  const auto it = audit.version_by_key.find(7);
+  if (it != audit.version_by_key.end()) sum += it->second;
+  return sum;
+}
+
+}  // namespace asfsim

@@ -85,7 +85,7 @@ TEST(StatsFuzz, HugeCountFieldsNeverAllocate) {
 TEST(StatsFuzz, GarbageInputsAreRejected) {
   Stats out;
   EXPECT_FALSE(deserialize_stats("", out));
-  EXPECT_FALSE(deserialize_stats("asfsim-stats v2", out));  // header only
+  EXPECT_FALSE(deserialize_stats("asfsim-stats v3", out));  // header only
   EXPECT_FALSE(deserialize_stats("asfsim-stats v1\n", out));  // old version
   EXPECT_FALSE(deserialize_stats(std::string(4096, 'x'), out));
   EXPECT_FALSE(deserialize_stats(std::string(4096, '\0'), out));
@@ -93,9 +93,15 @@ TEST(StatsFuzz, GarbageInputsAreRejected) {
 
 // ---- trace JSONL -----------------------------------------------------------
 
-/// Real trace lines of every kind the simulator emits.
+/// Real trace lines of every kind the simulator emits. The capture file is
+/// named after the calling test: ctest runs each TEST as its own process,
+/// and a shared name races under -j (one test's cleanup deletes the file
+/// another is still reading).
 std::vector<std::string> sample_lines() {
-  const std::string path = "parser_fuzz_trace.jsonl";
+  const std::string path =
+      std::string("parser_fuzz_trace_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".jsonl";
   ExperimentConfig cfg;
   cfg.detector = DetectorKind::kSubBlock;
   cfg.params.threads = 4;

@@ -98,7 +98,7 @@ INSTANTIATE_TEST_SUITE_P(PaperBenchmarks, WorkloadDeterminism,
                                            "fluidanimate", "utilitymine"));
 
 TEST(WorkloadRegistry, ListsAllRegistered) {
-  EXPECT_EQ(workload_registry().size(), 15u);
+  EXPECT_EQ(workload_registry().size(), 16u);
   EXPECT_EQ(paper_benchmarks().size(), 10u);
   for (const auto& name : paper_benchmarks()) {
     EXPECT_NO_THROW({ (void)make_workload(name); });

@@ -20,6 +20,11 @@
 //   --mutate <name>     deliberately break one sub-block protocol rule
 //   --watchdog <n>      livelock watchdog: abort + diagnose after n
 //                       cycles without a commit
+//
+// OLTP/KV workload family knobs (docs/workloads.md; only the `oltp`
+// workload reads them): --oltp-records/--oltp-payload/--oltp-tx-len/
+// --oltp-tx/--oltp-theta/--oltp-read-ratio/--oltp-rmw-ratio/
+// --oltp-scan-ratio/--oltp-scan-len/--oltp-mix <a..f|custom>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -105,6 +110,12 @@ void print_report(const ExperimentResult& r, std::uint32_t threads) {
               (unsigned long long)s.upgrades);
   std::printf("\n-- time --\n");
   std::printf("cycles     : %llu\n", (unsigned long long)s.total_cycles);
+  std::printf("throughput : %.3g commits/simulated-second (%.1f GHz clock)\n",
+              s.commits_per_simsec(), Stats::kSimClockHz / 1e9);
+  std::printf("tx latency : p50 %.0f  p95 %.0f  p99 %.0f cycles "
+              "(logical tx, incl. retries+backoff)\n",
+              s.latency_percentile(0.50), s.latency_percentile(0.95),
+              s.latency_percentile(0.99));
   std::printf("tx busy    : %llu cycles (%.1f%% duty over %u cores)\n",
               (unsigned long long)s.tx_busy_cycles,
               s.total_cycles == 0
@@ -171,6 +182,35 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--watchdog")) {
       common.watchdog =
           static_cast<std::uint64_t>(std::atoll(need("--watchdog")));
+    } else if (!std::strcmp(argv[i], "--oltp-records")) {
+      common.oltp.records =
+          static_cast<std::uint64_t>(std::atoll(need("--oltp-records")));
+    } else if (!std::strcmp(argv[i], "--oltp-payload")) {
+      common.oltp.payload_bytes =
+          static_cast<std::uint32_t>(std::atoi(need("--oltp-payload")));
+    } else if (!std::strcmp(argv[i], "--oltp-tx-len")) {
+      common.oltp.tx_len =
+          static_cast<std::uint32_t>(std::atoi(need("--oltp-tx-len")));
+    } else if (!std::strcmp(argv[i], "--oltp-tx")) {
+      common.oltp.tx_per_thread =
+          static_cast<std::uint64_t>(std::atoll(need("--oltp-tx")));
+    } else if (!std::strcmp(argv[i], "--oltp-theta")) {
+      common.oltp.theta = std::atof(need("--oltp-theta"));
+    } else if (!std::strcmp(argv[i], "--oltp-read-ratio")) {
+      common.oltp.read_ratio = std::atof(need("--oltp-read-ratio"));
+    } else if (!std::strcmp(argv[i], "--oltp-rmw-ratio")) {
+      common.oltp.rmw_ratio = std::atof(need("--oltp-rmw-ratio"));
+    } else if (!std::strcmp(argv[i], "--oltp-scan-ratio")) {
+      common.oltp.scan_ratio = std::atof(need("--oltp-scan-ratio"));
+    } else if (!std::strcmp(argv[i], "--oltp-scan-len")) {
+      common.oltp.scan_len =
+          static_cast<std::uint32_t>(std::atoi(need("--oltp-scan-len")));
+    } else if (!std::strcmp(argv[i], "--oltp-mix")) {
+      const char* name = need("--oltp-mix");
+      if (!parse_oltp_mix(name, common.oltp.mix)) {
+        std::fprintf(stderr, "unknown --oltp-mix %s (try --help)\n", name);
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--list")) {
       for (const auto& w : workload_registry()) {
         std::printf("%-14s %s\n", w.name, w.make()->description());

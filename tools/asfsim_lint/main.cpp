@@ -88,21 +88,23 @@ void print_rules() {
       << "       co_awaited nor stored: Task is lazy, a dropped task never\n"
       << "       runs its body. Autofix: prepends co_await inside coroutines.\n"
       << kRuleGlobalAllocInTx
-      << "  (R3) guest-thread (coroutine) code in workloads/ allocating via\n"
+      << "  (R3) guest-thread (coroutine) code in workloads/ or oltp/\n"
+      << "       allocating via\n"
       << "       galloc().alloc/alloc_lines: the global bump path hands\n"
       << "       concurrent transactions adjacent nodes in one cache line\n"
       << "       and fabricates WAW false sharing (DESIGN.md §6.9). Use\n"
       << "       GuestCtx::alloc_local. Autofix: rewrites to the GuestCtx\n"
       << "       parameter when the function has one.\n"
       << kRuleRawGuestAccess
-      << "  (R4) guest-thread code in workloads/ calling poke/peek/backing\n"
+      << "  (R4) guest-thread code in workloads/ or oltp/ calling\n"
+      << "       poke/peek/backing\n"
       << "       or reinterpret_cast: host-side backdoors bypass the caches,\n"
       << "       the conflict detector, and the classifier byte masks. Use\n"
       << "       GuestCtx typed loads/stores.\n"
       << kRuleNondeterministicSource
       << "  (R5) rand()/srand()/time()/clock()/getenv()/system_clock/\n"
       << "       steady_clock/random_device in simulator-affecting code\n"
-      << "       (src/{sim,core,mem,htm,guest,workloads,fault,stats}):\n"
+      << "       (src/{sim,core,mem,htm,guest,oltp,workloads,fault,stats}):\n"
       << "       results must be a pure function of (config, seed), or the\n"
       << "       JobSpec result cache and reproducibility break.\n"
       << kRuleUnorderedIteration

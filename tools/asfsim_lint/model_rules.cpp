@@ -15,6 +15,7 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 // Role suffixes: where each model file lives relative to its tree root.
 constexpr const char* kConfigSuffix = "sim/config.hpp";
 constexpr const char* kFaultConfigSuffix = "fault/fault_config.hpp";
+constexpr const char* kOltpConfigSuffix = "oltp/oltp_config.hpp";
 constexpr const char* kJobSpecSuffix = "runner/job_spec.cpp";
 constexpr const char* kCountersSuffix = "stats/counters.hpp";
 constexpr const char* kSerializeSuffix = "stats/serialize.cpp";
@@ -22,6 +23,7 @@ constexpr const char* kSerializeSuffix = "stats/serialize.cpp";
 struct ModelGroup {
   const ParsedFile* config = nullptr;        // sim/config.hpp
   const ParsedFile* fault_config = nullptr;  // fault/fault_config.hpp
+  const ParsedFile* oltp_config = nullptr;   // oltp/oltp_config.hpp
   const ParsedFile* job_spec = nullptr;      // runner/job_spec.cpp
   const ParsedFile* counters = nullptr;      // stats/counters.hpp
   const ParsedFile* serialize = nullptr;     // stats/serialize.cpp
@@ -121,6 +123,7 @@ std::vector<Diagnostic> check_model(const std::vector<ParsedFile>& files) {
     };
     claim(kConfigSuffix, &ModelGroup::config);
     claim(kFaultConfigSuffix, &ModelGroup::fault_config);
+    claim(kOltpConfigSuffix, &ModelGroup::oltp_config);
     claim(kJobSpecSuffix, &ModelGroup::job_spec);
     claim(kCountersSuffix, &ModelGroup::counters);
     claim(kSerializeSuffix, &ModelGroup::serialize);
@@ -132,6 +135,9 @@ std::vector<Diagnostic> check_model(const std::vector<ParsedFile>& files) {
       if (g.config != nullptr) check_hash_file(*g.config, *g.job_spec, out);
       if (g.fault_config != nullptr) {
         check_hash_file(*g.fault_config, *g.job_spec, out);
+      }
+      if (g.oltp_config != nullptr) {
+        check_hash_file(*g.oltp_config, *g.job_spec, out);
       }
     }
     if (g.counters != nullptr && g.serialize != nullptr) {

@@ -70,7 +70,8 @@ class Checker {
   std::vector<Diagnostic> run() {
     rule_coawait_in_condition();
     rule_discarded_task();
-    if (path_contains(file_.path, "workloads")) {
+    if (path_contains(file_.path, "workloads") ||
+        path_contains(file_.path, "oltp")) {
       rule_global_alloc_in_tx();
       rule_raw_guest_access();
     }
@@ -540,7 +541,8 @@ void collect_task_functions(const LexedFile& f, TaskFunctionMap& fns) {
 
 bool sim_affecting_path(const std::string& path) {
   static const std::unordered_set<std::string> kScopes = {
-      "sim", "core", "mem", "htm", "guest", "workloads", "fault", "stats"};
+      "sim", "core",      "mem",   "htm",  "guest",
+      "oltp", "workloads", "fault", "stats"};
   std::size_t begin = 0;
   while (begin <= path.size()) {
     const std::size_t slash = path.find('/', begin);
