@@ -22,7 +22,8 @@ void BM_TagArrayLookup(benchmark::State& state) {
   Rng rng(7);
   for (int i = 0; i < 512; ++i) {
     const Addr line = rng.below(1 << 22) << kLineShift;
-    if (auto* v = l1.find_victim(line, [](Addr) { return false; })) {
+    if (const auto v = l1.find_victim(line, [](Addr) { return false; });
+        v != TagArray::kNoSlot) {
       l1.fill(v, line, Moesi::kShared);
     }
     lines.push_back(line);

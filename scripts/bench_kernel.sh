@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Kernel-throughput trajectory (docs/performance.md): runs
+# bench/kernel_throughput over its pinned (workload × detector) cells and
+# writes BENCH_kernel.json — simulated cycles per host-second per cell,
+# stamped with git SHA and build flags so trajectories are attributable.
+#
+#   scripts/bench_kernel.sh [out.json] [--quick]
+#
+# The committed file's "baseline" block holds the pre-optimization kernel's
+# rows (captured once, before the hot-path speed program landed) and is
+# preserved verbatim across regenerations; "rows" is the current kernel.
+# scripts/check_bench_ratchet.py compares a fresh measurement against the
+# committed rows and fails on >10% regression.
+#
+# Environment: BUILD_DIR (default build), ASFSIM_BENCH_REPEAT (default 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_kernel.json"
+quick=""
+for a in "$@"; do
+  case "$a" in
+    --quick) quick="--quick";;
+    *) out="$a";;
+  esac
+done
+build="${BUILD_DIR:-build}"
+repeat="${ASFSIM_BENCH_REPEAT:-3}"
+
+rows=$("$build/bench/kernel_throughput" --repeat "$repeat" $quick)
+
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+git_dirty=$(git diff --quiet HEAD 2>/dev/null && echo false || echo true)
+build_type=$(grep -m1 '^CMAKE_BUILD_TYPE:' "$build/CMakeCache.txt" \
+               2>/dev/null | cut -d= -f2)
+cxx_flags=$(grep -m1 '^CMAKE_CXX_FLAGS:' "$build/CMakeCache.txt" \
+              2>/dev/null | cut -d= -f2-)
+
+ROWS="$rows" OUT="$out" GIT_SHA="$git_sha" GIT_DIRTY="$git_dirty" \
+BUILD_TYPE="${build_type:-RelWithDebInfo}" CXX_FLAGS="${cxx_flags:-}" \
+QUICK="${quick:+true}" python3 - <<'PY'
+import json, os
+
+doc = {
+    "schema": "asfsim-bench-kernel-v1",
+    "benchmark": "kernel throughput, simulated cycles per host-second "
+                 "(scripts/bench_kernel.sh)",
+    "git_sha": os.environ["GIT_SHA"],
+    "git_dirty": os.environ["GIT_DIRTY"] == "true",
+    "quick": os.environ.get("QUICK") == "true",
+    "host_cores": os.cpu_count(),
+    "build": {
+        "type": os.environ["BUILD_TYPE"],
+        "cxx_flags": os.environ["CXX_FLAGS"].strip(),
+    },
+    "rows": json.loads(os.environ["ROWS"]),
+}
+
+# Preserve the pre-optimization baseline block across regenerations; seed it
+# from the current rows on first write (i.e. when run on the pre-PR kernel).
+out = os.environ["OUT"]
+try:
+    with open(out) as f:
+        prev = json.load(f)
+    doc["baseline"] = prev["baseline"]
+except (OSError, KeyError, json.JSONDecodeError):
+    doc["baseline"] = {"git_sha": doc["git_sha"], "rows": doc["rows"]}
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+for row in doc["rows"]:
+    base = next((b for b in doc["baseline"]["rows"]
+                 if b["name"] == row["name"]), None)
+    ratio = (row["sim_cycles_per_host_sec"] / base["sim_cycles_per_host_sec"]
+             if base else float("nan"))
+    print(f'{row["name"]:<28} {row["sim_cycles_per_host_sec"]:12.3e} '
+          f'sim-cycles/host-s  ({ratio:.2f}x vs baseline)')
+print(f"bench_kernel: wrote {out}")
+PY

@@ -8,6 +8,12 @@
 #
 #   scripts/bench_snapshot.sh [out.json]
 #
+# The subset covers the conflict-rate figures plus fig11, the OLTP
+# contended-KV sweep (zipf-skewed key-value transactions), so runner
+# regressions on the OLTP path show up here and not just in BENCH_kernel.
+# The report carries per-figure cold rows and is stamped with the git SHA
+# and build flags so trajectories are attributable (docs/performance.md).
+#
 # Environment: BUILD_DIR (default build), ASFSIM_JOBS (default: all cores),
 # ASFSIM_BENCH_SCALE (default 0.25). A committed snapshot from one measured
 # run lives in BENCH_runner.json.
@@ -19,42 +25,77 @@ build="${BUILD_DIR:-build}"
 jobs="${ASFSIM_JOBS:-$(nproc)}"
 scale="${ASFSIM_BENCH_SCALE:-0.25}"
 benches=(fig1_false_conflict_rate fig2_conflict_type_breakdown
-         fig9_overall_conflict_reduction)
+         fig9_overall_conflict_reduction fig11_throughput_vs_skew)
 
 cache="$build/.asfsim-bench-snapshot-cache"
 export ASFSIM_RUN_MANIFEST=-
 export ASFSIM_PROGRESS=0
 
 # now_ms / run_pass: wall time in ms for one full pass over the subset.
+# run_pass writes "name ms" per figure to $2 and echoes the pass total.
 now_ms() { date +%s%3N; }
-run_pass() {  # run_pass <jobs>
-  local t0 t1 b
-  t0=$(now_ms)
+run_pass() {  # run_pass <jobs> <per-figure-file>
+  local t0 t1 b ms total=0
+  : > "$2"
   for b in "${benches[@]}"; do
+    t0=$(now_ms)
     ASFSIM_CACHE_DIR="$cache" \
       "$build/bench/$b" --jobs "$1" --scale "$scale" >/dev/null
+    t1=$(now_ms)
+    ms=$((t1 - t0))
+    total=$((total + ms))
+    echo "$b $ms" >> "$2"
   done
-  t1=$(now_ms)
-  echo $((t1 - t0))
+  echo "$total"
 }
 
+perfig="$(mktemp)"
+trap 'rm -f "$perfig"' EXIT
+
 rm -rf "$cache"
-cold_serial_ms=$(run_pass 1)
+cold_serial_ms=$(run_pass 1 "$perfig")
 rm -rf "$cache"
-cold_parallel_ms=$(run_pass "$jobs")
-warm_ms=$(run_pass "$jobs")
+cold_parallel_ms=$(run_pass "$jobs" "$perfig")  # kept: per-figure cold rows
+warm_ms=$(run_pass "$jobs" /dev/null)
 rm -rf "$cache"
+
+# Attribution stamp: which tree and which compiler flags produced the rows.
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+git_dirty=false
+git diff --quiet HEAD 2>/dev/null || git_dirty=true
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt" |
+             head -1)
+cxx_flags=$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$build/CMakeCache.txt" |
+            head -1)
+
+figures_json=""
+rows_json=""
+while read -r name ms; do
+  [ -n "$figures_json" ] && figures_json+=", " && rows_json+=",
+"
+  figures_json+="\"$name\""
+  rows_json+="    {\"figure\": \"$name\", \"cold_parallel_ms\": $ms}"
+done < "$perfig"
 
 cat > "$out" <<EOF
 {
   "benchmark": "runner-subsystem wall time (scripts/bench_snapshot.sh)",
-  "figures": ["${benches[0]}", "${benches[1]}", "${benches[2]}"],
+  "git_sha": "$git_sha",
+  "git_dirty": $git_dirty,
+  "build": {
+    "type": "$build_type",
+    "cxx_flags": "$cxx_flags"
+  },
+  "figures": [$figures_json],
   "scale": $scale,
   "jobs": $jobs,
   "host_cores": $(nproc),
   "cold_serial_ms": $cold_serial_ms,
   "cold_parallel_ms": $cold_parallel_ms,
-  "warm_ms": $warm_ms
+  "warm_ms": $warm_ms,
+  "rows": [
+$rows_json
+  ]
 }
 EOF
 echo "bench_snapshot: cold_serial=${cold_serial_ms}ms" \

@@ -25,32 +25,31 @@ ProbeCheck SubBlockDetector::check_probe(const SpecState& victim,
                                          bool invalidating) const {
   ProbeCheck pc;
   const SubBlockMask psb = quantize(probe, nsub_);
-  const SubBlockMask swr = victim.bits.spec_written();
-  const SubBlockMask srd = victim.bits.spec_read_only();
 
   if (!invalidating) {
-    if ((psb & swr) != 0) {
+    // Word-wide LUT application: a remote load conflicts exactly with the
+    // probed S-WR sub-blocks (RAW row of kSubBlockLut).
+    if (victim.bits.probe_conflicts(psb, false) != 0) {
       pc.conflict = true;  // true-or-intra-sub-block RAW
     } else if (dirty_handling_) {
       // No conflict: report the victim's S-WR sub-blocks so the requester
       // marks its copies Dirty (paper Fig. 7).
-      pc.piggyback = swr;
+      pc.piggyback = victim.bits.spec_written();
     }
     return pc;
   }
 
-  // Invalidating probe. In the paper-faithful WAW-line mode, any S-WR
-  // sub-block aborts the whole line (§IV-D2: with in-cache versioning,
-  // losing the line in the invalidation loses the speculative data). The
-  // default mode checks writes at sub-block granularity too, which is
-  // sound with overlay-based versioning plus retained metadata and the
-  // commit-time validation net (DESIGN.md §6.5).
-  const SubBlockMask checked =
-      waw_line_ ? static_cast<SubBlockMask>(srd | (swr ? 0xffff : 0))
-                : static_cast<SubBlockMask>(srd | swr);
-  if ((psb & checked) != 0 || (waw_line_ && swr != 0)) {
+  // Invalidating probe: conflicts exactly with the probed speculative
+  // sub-blocks (WAR/WAW rows). In the paper-faithful WAW-line mode, any
+  // S-WR sub-block additionally aborts the whole line (§IV-D2: with
+  // in-cache versioning, losing the line in the invalidation loses the
+  // speculative data). The default mode checks writes at sub-block
+  // granularity too, which is sound with overlay-based versioning plus
+  // retained metadata and the commit-time validation net (DESIGN.md §6.5).
+  if (victim.bits.probe_conflicts(psb, true) != 0 ||
+      (waw_line_ && victim.bits.spec_written() != 0)) {
     pc.conflict = true;
-  } else if ((srd | swr) != 0) {
+  } else if (victim.bits.speculative() != 0) {
     // False WAR/WAW: the transaction survives, but the line is
     // invalidated. Keep the speculative info inside the invalidated line
     // (§IV-B) so later true conflicts are still caught.

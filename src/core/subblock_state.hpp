@@ -45,6 +45,64 @@ enum class SubBlockState : std::uint8_t {
   return static_cast<SubBlockState>((spec ? 0b10 : 0) | (wr ? 0b01 : 0));
 }
 
+/// Events driving the per-sub-block state machine. Tx events come from the
+/// owning transaction's own accesses; probe events from remote accesses that
+/// hit the sub-block (load = non-invalidating, store = invalidating).
+enum class SubBlockEvent : std::uint8_t {
+  kTxRead = 0,
+  kTxWrite,
+  kProbeLoad,
+  kProbeStore,
+};
+
+struct SubBlockTransition {
+  SubBlockState next;
+  bool conflict;
+};
+
+/// The full 16-entry transition table (old state × event → new state +
+/// conflict flag), the formal spec of the lattice the word-wide operations
+/// below implement. Rationale per row:
+///   * own reads make a sub-block S-RD but never demote S-WR (a read of an
+///     S-WR sub-block leaves it S-WR); a Dirty sub-block is refetched by the
+///     forced miss and joins the read set;
+///   * own writes make any sub-block S-WR;
+///   * a remote load conflicts only with S-WR (RAW); S-RD tolerates sharing;
+///   * a remote store conflicts with S-RD (WAR) and S-WR (WAW); a conflict
+///     dooms the transaction, whose sub-blocks revert to Non-speculative;
+///     untouched and Dirty sub-blocks just lose the line.
+/// tests/test_kernel_perf_identity.cpp proves this table equal to the
+/// switch-based reference semantics over all (state × event) pairs.
+inline constexpr SubBlockTransition
+    kSubBlockLut[4][4] = {
+        // state = kNonSpec (0b00)
+        {{SubBlockState::kSpecRead, false},   // kTxRead
+         {SubBlockState::kSpecWrite, false},  // kTxWrite
+         {SubBlockState::kNonSpec, false},    // kProbeLoad
+         {SubBlockState::kNonSpec, false}},   // kProbeStore
+        // state = kDirty (0b01)
+        {{SubBlockState::kSpecRead, false},
+         {SubBlockState::kSpecWrite, false},
+         {SubBlockState::kDirty, false},
+         {SubBlockState::kNonSpec, false}},
+        // state = kSpecRead (0b10)
+        {{SubBlockState::kSpecRead, false},
+         {SubBlockState::kSpecWrite, false},
+         {SubBlockState::kSpecRead, false},
+         {SubBlockState::kNonSpec, true}},  // WAR
+        // state = kSpecWrite (0b11)
+        {{SubBlockState::kSpecWrite, false},
+         {SubBlockState::kSpecWrite, false},
+         {SubBlockState::kNonSpec, true},   // RAW
+         {SubBlockState::kNonSpec, true}},  // WAW
+};
+
+[[nodiscard]] constexpr SubBlockTransition subblock_transition(
+    SubBlockState s, SubBlockEvent e) {
+  return kSubBlockLut[static_cast<std::uint8_t>(s)]
+                     [static_cast<std::uint8_t>(e)];
+}
+
 /// Per-line packed sub-block bits: bit i of `spec`/`wr` belongs to sub-block i.
 struct SubBlockBits {
   SubBlockMask spec = 0;
@@ -72,6 +130,23 @@ struct SubBlockBits {
   /// Sub-blocks in Dirty state.
   [[nodiscard]] constexpr SubBlockMask dirty() const {
     return static_cast<SubBlockMask>(~spec & wr);
+  }
+
+  // ---- word-wide transitions ---------------------------------------------
+  // One bit-op pass over all sub-blocks of the line, equal bit-for-bit to
+  // applying kSubBlockLut per sub-block (proven by the LUT unit test).
+
+  /// Apply kTxRead/kTxWrite to every sub-block in `m`.
+  constexpr void apply_tx(SubBlockMask m, bool is_write) {
+    spec = static_cast<SubBlockMask>(spec | m);
+    if (is_write) wr = static_cast<SubBlockMask>(wr | m);
+  }
+
+  /// Sub-blocks of probe mask `m` whose LUT row flags a conflict: S-WR for
+  /// a remote load (RAW), S-RD and S-WR for a remote store (WAR/WAW).
+  [[nodiscard]] constexpr SubBlockMask probe_conflicts(
+      SubBlockMask m, bool invalidating) const {
+    return static_cast<SubBlockMask>(m & (invalidating ? spec : (spec & wr)));
   }
 };
 

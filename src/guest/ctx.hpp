@@ -9,6 +9,15 @@
 // overflow, or a guest-requested abort) and throws TxAbort, which unwinds
 // the guest call chain to the run_tx retry loop.
 //
+// Abort fast path (docs/performance.md): while an attempt body is running,
+// its retry-loop frame is registered as the core's abort scope, and a
+// remote doom() redirects the victim's pending kernel event straight to
+// that frame — at the same (cycle, seq) the leaf's TxAbort throw would
+// have surfaced — and the abandoned body chain is destroyed instead of
+// unwound one rethrow per nesting level. Self-inflicted aborts (capacity,
+// guest-requested, injected) still travel the classic throw path; both
+// paths converge in BodyAttempt::await_resume.
+//
 // Guest-private scratch data (loop counters, local buffers) lives in plain
 // C++ locals — the analogue of ASF's non-speculative stack accesses, which
 // never conflict. Only *shared* data should live in simulated memory.
@@ -123,6 +132,13 @@ class GuestCtx {
     }
   };
 
+  /// MemOp whose resume never throws: begin_subscribed uses it for the
+  /// lock-subscription load and checks doomed() itself, so the frequent
+  /// "doomed while subscribing" outcome costs no exception.
+  struct MemOpNoThrow : MemOp {
+    std::uint64_t await_resume() const noexcept { return value; }
+  };
+
   /// A compute quantum of `n` cycles (abortable inside a transaction).
   struct WorkOp {
     GuestCtx* ctx;
@@ -138,15 +154,22 @@ class GuestCtx {
     }
   };
 
-  /// A plain wait (backoff); never throws.
+  /// A plain wait (backoff); never throws. A wait never observes dooms, so
+  /// the abort scope is parked for its duration: doom() must not redirect
+  /// to the retry loop mid-wait — the abort keeps surfacing at the next
+  /// observing resume, exactly where the throw path would deliver it.
   struct WaitOp {
     GuestCtx* ctx;
     Cycle n;
+    std::coroutine_handle<> saved_scope_{};
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      saved_scope_ = ctx->rt_.exchange_abort_scope(ctx->core_, {});
       ctx->kernel_.schedule(ctx->core_, h, ctx->kernel_.now() + n);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      if (saved_scope_) ctx->rt_.set_abort_scope(ctx->core_, saved_scope_);
+    }
   };
 
   /// Non-transactional atomic swap (used for the fallback lock). The load
@@ -170,7 +193,10 @@ class GuestCtx {
     std::uint64_t await_resume() const noexcept { return old; }
   };
 
-  /// Commit point of a transaction.
+  /// Commit point of a transaction. Resuming yields true when the commit
+  /// took effect, false when the transaction was doomed at the commit point
+  /// (e.g. an injected commit-time abort) — the retry loops branch on the
+  /// value instead of catching TxAbort.
   struct CommitOp {
     GuestCtx* ctx;
     bool await_ready() const noexcept { return false; }
@@ -180,10 +206,41 @@ class GuestCtx {
       c.kernel_.schedule(c.core_, h,
                          c.kernel_.now() + c.cfg_.commit_latency);
     }
-    void await_resume() const {
-      if (ctx->rt_.doomed(ctx->core_)) {
-        throw TxAbort{ctx->rt_.doom_cause(ctx->core_)};
+    bool await_resume() const noexcept {
+      return !ctx->rt_.doomed(ctx->core_);
+    }
+  };
+
+  /// One hardware attempt of a transaction body. await_suspend registers
+  /// this frame as the core's abort scope and starts the body chain by
+  /// symmetric transfer; resuming yields true when the attempt aborted —
+  /// either doom() redirected the pending event here (the body was
+  /// abandoned mid-flight and its suspended frames are destroyed by the
+  /// Task destructor, never unwound) or a self-inflicted TxAbort unwound
+  /// out of the body the classic way. Non-TxAbort exceptions propagate.
+  /// Holds the attempt Task by pointer: the Task itself lives as a named
+  /// local in the retry loop's frame, keeping this awaiter trivially
+  /// destructible like every other leaf awaitable (awaiter temporaries
+  /// with non-trivial destructors are off-limits with this toolchain — see
+  /// the warning in sim/task.hpp).
+  struct BodyAttempt {
+    GuestCtx* ctx;
+    Task<void>* body;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      ctx->rt_.set_abort_scope(ctx->core_, h);
+      auto aw = body->operator co_await();
+      return aw.await_suspend(h);
+    }
+    bool await_resume() const {
+      ctx->rt_.clear_abort_scope(ctx->core_);
+      if (!body->done()) return true;  // redirected: attempt abandoned
+      try {
+        body->rethrow_if_error();
+      } catch (const TxAbort&) {
+        return true;
       }
+      return false;
     }
   };
 
@@ -245,12 +302,11 @@ class GuestCtx {
       }
       const bool entered = co_await begin_subscribed();
       if (!entered) continue;  // lock was held; waited, try again
-      bool aborted = false;
-      try {
-        co_await body();
-        co_await CommitOp{this};
-      } catch (const TxAbort&) {
-        aborted = true;  // co_await is not allowed in a handler; retry below
+      Task<void> attempt = body();
+      bool aborted = co_await BodyAttempt{this, &attempt};
+      if (!aborted) {
+        const bool committed = co_await CommitOp{this};
+        aborted = !committed;
       }
       if (!aborted) {
         rt_.reset_retries(core_);
@@ -273,12 +329,11 @@ class GuestCtx {
   Task<bool> try_tx(Body body) {
     const bool entered = co_await begin_subscribed();
     if (!entered) co_return false;
-    bool aborted = false;
-    try {
-      co_await body();
-      co_await CommitOp{this};
-    } catch (const TxAbort&) {
-      aborted = true;
+    Task<void> attempt = body();
+    bool aborted = co_await BodyAttempt{this, &attempt};
+    if (!aborted) {
+      const bool committed = co_await CommitOp{this};
+      aborted = !committed;
     }
     if (!aborted) {
       rt_.reset_retries(core_);
@@ -301,16 +356,15 @@ class GuestCtx {
       co_await WaitOp{this, 150};
     }
     rt_.begin(core_);
-    bool aborted = false;
-    try {
-      // Subscribe: the lock word joins the read set, so a fallback acquirer
-      // aborts this transaction via the normal conflict path.
-      const std::uint64_t lk = co_await load_u64(fallback_lock_);
-      if (lk != 0) {
-        rt_.self_doom(core_, AbortCause::kLockWait);
-        throw TxAbort{AbortCause::kLockWait};
-      }
-    } catch (const TxAbort&) {
+    // Subscribe: the lock word joins the read set, so a fallback acquirer
+    // aborts this transaction via the normal conflict path. The load's
+    // resume never throws; the doomed() check covers every abort source
+    // at the same cycle a TxAbort throw would have surfaced.
+    const std::uint64_t lk =
+        co_await MemOpNoThrow{{this, fallback_lock_, 0, 8, false}};
+    bool aborted = rt_.doomed(core_);
+    if (!aborted && lk != 0) {
+      rt_.self_doom(core_, AbortCause::kLockWait);
       aborted = true;
     }
     if (!aborted) co_return true;

@@ -15,9 +15,10 @@
 #pragma once
 
 #include <array>
+#include <coroutine>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "htm/backoff.hpp"
@@ -25,6 +26,7 @@
 #include "htm/tx_control.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/coherence.hpp"
+#include "sim/addr_map.hpp"
 #include "stats/counters.hpp"
 #include "trace/sink.hpp"
 
@@ -91,6 +93,25 @@ class AsfRuntime final : public ITxControl {
     return backoff_.wait_for(cores_[core].retries);
   }
 
+  // ---- abort fast path ----------------------------------------------------
+  /// Register the retry-loop frame of `core`'s current hardware attempt.
+  /// While a scope is registered, doom() redirects the victim's pending
+  /// kernel event straight to this frame (same cycle, same sequence) instead
+  /// of letting the leaf awaitable throw TxAbort through every nesting level
+  /// of the guest call chain; the abandoned attempt's coroutine frames are
+  /// destroyed by their owning Task handles (docs/performance.md). Only
+  /// frames suspended at an abort-observing awaitable may stay registered:
+  /// GuestCtx clears/restores the scope around non-observing waits so a
+  /// redirect never surfaces an abort earlier than a throw would have.
+  void set_abort_scope(CoreId core, std::coroutine_handle<> h) {
+    cores_[core].abort_scope = h;
+  }
+  void clear_abort_scope(CoreId core) { cores_[core].abort_scope = {}; }
+  [[nodiscard]] std::coroutine_handle<> exchange_abort_scope(
+      CoreId core, std::coroutine_handle<> h) {
+    return std::exchange(cores_[core].abort_scope, h);
+  }
+
   /// Optional ATS extension (SimConfig::enable_ats); null when disabled.
   [[nodiscard]] AdaptiveScheduler* scheduler() { return scheduler_.get(); }
   void note_ats_dispatch() { ++stats_.ats_serialized; }
@@ -122,7 +143,9 @@ class AsfRuntime final : public ITxControl {
     ByteMask mask = 0;
     std::array<std::uint8_t, kLineBytes> data{};
   };
-  struct PerCore {
+  // alignas(64): one PerCore per simulated core, updated on every access;
+  // line alignment stops neighbors false-sharing host cache lines.
+  struct alignas(64) PerCore {
     Cycle tx_start = 0;
     /// Begin cycle of the LOGICAL transaction (first hardware attempt);
     /// survives retries so commit/fallback can report whole-tx latency.
@@ -138,7 +161,11 @@ class AsfRuntime final : public ITxControl {
     /// Footprint captured at doom time, before clear_spec discards the
     /// metadata; reported by the kAbort event in finish_abort.
     TxFootprint abort_fp;
-    std::unordered_map<Addr, OverlayLine> overlay;  // keyed by line address
+    /// Retry-loop frame of the current attempt (abort fast path), or null
+    /// when the core is outside an attempt / suspended at a non-observing
+    /// wait / already redirected.
+    std::coroutine_handle<> abort_scope;
+    AddrMap<OverlayLine> overlay;  // keyed by line address
   };
 
   [[nodiscard]] Cycle kernel_now() const;

@@ -8,6 +8,7 @@
 // detector.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 
@@ -40,17 +41,80 @@ using SubBlockMask = std::uint16_t;
   return byte_mask(line_offset(a), size);
 }
 
+namespace detail {
+
+/// Interleave table for 16-sub-block quantization: bit j of the input lands
+/// on bit 2j of the output, leaving the odd bits for the other operand.
+inline constexpr auto kBitSpread = [] {
+  std::array<std::uint16_t, 256> t{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint16_t v = 0;
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      if (b & (1u << j)) v = static_cast<std::uint16_t>(v | (1u << (2 * j)));
+    }
+    t[b] = v;
+  }
+  return t;
+}();
+
+/// Gather bit 0 of each of the eight bytes of `m` into one byte (classic
+/// 0x0102... lattice multiply; collision-free on the 0x0101 mask).
+[[nodiscard]] constexpr std::uint32_t gather_byte_lsbs(ByteMask m) {
+  return static_cast<std::uint32_t>(
+      ((m & 0x0101010101010101ULL) * 0x0102040810204080ULL) >> 56);
+}
+
+/// OR-fold each 8-byte group of `m` into its group LSB, then gather. The
+/// folding shifts (4, 2, 1) are smaller than the group width, so bit 0 of
+/// each byte receives only bits of its own byte.
+[[nodiscard]] constexpr std::uint32_t or_fold_bytes(ByteMask m) {
+  m |= m >> 4;
+  m |= m >> 2;
+  m |= m >> 1;
+  return gather_byte_lsbs(m);
+}
+
+}  // namespace detail
+
 /// Quantize a byte mask to `nsub` sub-blocks (nsub in {1,2,4,8,16}).
 /// A sub-block bit is set iff any byte of that sub-block is set.
+///
+/// Branchless per sub-block (docs/performance.md): each case ORs whole
+/// groups down to one bit and gathers with a multiply instead of looping
+/// nsub times — this runs on every transactional access (up to three
+/// quantizations per access) and in every probe check. tests/test_addr.cpp
+/// proves equivalence with the looped reference for every nsub.
 [[nodiscard]] constexpr SubBlockMask quantize(ByteMask bytes, std::uint32_t nsub) {
   assert(nsub >= 1 && nsub <= kMaxSubBlocks && (nsub & (nsub - 1)) == 0);
-  const std::uint32_t sub_bytes = kLineBytes / nsub;
-  SubBlockMask out = 0;
-  for (std::uint32_t i = 0; i < nsub; ++i) {
-    const ByteMask sub = byte_mask(i * sub_bytes, sub_bytes);
-    if (bytes & sub) out |= static_cast<SubBlockMask>(1u << i);
+  switch (nsub) {
+    case 1:
+      return bytes != 0 ? 1 : 0;
+    case 2:
+      return static_cast<SubBlockMask>(
+          ((bytes & 0xffffffffULL) != 0 ? 1 : 0) |
+          ((bytes >> 32) != 0 ? 2 : 0));
+    case 4:
+      return static_cast<SubBlockMask>(
+          ((bytes & 0xffffULL) != 0 ? 1 : 0) |
+          (((bytes >> 16) & 0xffffULL) != 0 ? 2 : 0) |
+          (((bytes >> 32) & 0xffffULL) != 0 ? 4 : 0) |
+          ((bytes >> 48) != 0 ? 8 : 0));
+    case 8:
+      return static_cast<SubBlockMask>(detail::or_fold_bytes(bytes));
+    default: {  // 16: 4-byte groups = nibble LSBs; gather even/odd separately
+      ByteMask m = bytes;
+      m |= m >> 2;
+      m |= m >> 1;
+      // Bit 0 of each nibble now says "this 4-byte group is touched". Even
+      // nibbles (sub-blocks 0,2,..,14) sit at byte LSBs and gather directly;
+      // odd nibbles after a 4-bit shift. A single gather constant for all 16
+      // nibbles has multiply collisions, hence the split + interleave.
+      const std::uint32_t even = detail::gather_byte_lsbs(m);
+      const std::uint32_t odd = detail::gather_byte_lsbs(m >> 4);
+      return static_cast<SubBlockMask>(detail::kBitSpread[even] |
+                                       (detail::kBitSpread[odd] << 1));
+    }
   }
-  return out;
 }
 
 /// Expand a sub-block mask back to the byte mask it covers.

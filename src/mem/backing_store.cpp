@@ -6,16 +6,25 @@
 namespace asfsim {
 
 const BackingStore::Page* BackingStore::find_page(Addr a) const {
-  auto it = pages_.find(a / kPageBytes);
-  return it == pages_.end() ? nullptr : it->second.get();
+  const Addr no = a / kPageBytes;
+  if (no == memo_page_no_) return memo_page_;
+  const auto it = pages_.find(no);
+  if (it == pages_.end()) return nullptr;  // absence is never memoized
+  memo_page_no_ = no;
+  memo_page_ = it->second.get();
+  return memo_page_;
 }
 
 BackingStore::Page& BackingStore::page_for(Addr a) {
-  auto& slot = pages_[a / kPageBytes];
+  const Addr no = a / kPageBytes;
+  if (no == memo_page_no_) return *memo_page_;
+  auto& slot = pages_[no];
   if (!slot) {
     slot = std::make_unique<Page>();
     slot->fill(0);
   }
+  memo_page_no_ = no;
+  memo_page_ = slot.get();
   return *slot;
 }
 

@@ -10,8 +10,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "sim/addr_map.hpp"
 #include "sim/types.hpp"
 
 namespace asfsim {
@@ -33,7 +33,13 @@ class BackingStore {
   using Page = std::array<std::uint8_t, kPageBytes>;
   const Page* find_page(Addr a) const;
   Page& page_for(Addr a);
-  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  AddrMap<std::unique_ptr<Page>> pages_;
+  // One-entry memo: guest access streams hit the same page repeatedly (the
+  // gang-commit writes a line byte-by-byte), so remembering the last page
+  // short-circuits most map lookups. Pages are never freed and live behind
+  // unique_ptr, so the cached pointer cannot dangle.
+  mutable Addr memo_page_no_ = ~Addr{0};
+  mutable Page* memo_page_ = nullptr;
 };
 
 }  // namespace asfsim

@@ -1,6 +1,5 @@
 #include "mem/cache.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace asfsim {
@@ -17,7 +16,11 @@ const char* to_string(Moesi s) {
 }
 
 TagArray::TagArray(const CacheLevelConfig& cfg)
-    : sets_(cfg.num_sets()), ways_(cfg.ways), entries_(sets_ * ways_) {
+    : sets_(cfg.num_sets()),
+      ways_(cfg.ways),
+      tags_(static_cast<std::size_t>(sets_) * ways_, kEmptyTag),
+      meta_(tags_.size(), 0),
+      lru_(tags_.size(), 0) {
   if (cfg.line_bytes != kLineBytes) {
     throw std::invalid_argument("TagArray: line size must be 64 bytes");
   }
@@ -26,54 +29,14 @@ TagArray::TagArray(const CacheLevelConfig& cfg)
   }
 }
 
-TagArray::Entry* TagArray::set_of(Addr line) {
-  const std::uint32_t idx =
-      static_cast<std::uint32_t>((line >> kLineShift) & (sets_ - 1));
-  return &entries_[idx * ways_];
-}
-
-const TagArray::Entry* TagArray::set_of(Addr line) const {
-  const std::uint32_t idx =
-      static_cast<std::uint32_t>((line >> kLineShift) & (sets_ - 1));
-  return &entries_[idx * ways_];
-}
-
-TagArray::Entry* TagArray::find(Addr line) {
-  Entry* set = set_of(line);
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if ((set[w].state != Moesi::kInvalid || set[w].retained) &&
-        set[w].line == line) {
-      return &set[w];
-    }
-  }
-  return nullptr;
-}
-
-const TagArray::Entry* TagArray::find(Addr line) const {
-  return const_cast<TagArray*>(this)->find(line);
-}
-
-void TagArray::touch(Addr line) {
-  if (Entry* e = find(line)) e->lru = ++tick_;
-}
-
-void TagArray::fill(Entry* victim, Addr line, Moesi state) {
-  assert(victim != nullptr);
-  if (victim->state != Moesi::kInvalid || victim->retained) ++evictions_;
-  victim->line = line;
-  victim->state = state;
-  victim->retained = false;
-  victim->lru = ++tick_;
+void TagArray::fill(Slot victim, Addr line, Moesi state) {
+  assert(victim != kNoSlot);
+  assert(state != Moesi::kInvalid);
+  if (tags_[victim] != kEmptyTag) ++evictions_;
+  tags_[victim] = line;
+  meta_[victim] = static_cast<std::uint8_t>(state);  // retained/spec cleared
+  lru_[victim] = ++tick_;
   ++fills_;
-}
-
-void TagArray::drop(Addr line) {
-  if (Entry* e = find(line)) {
-    e->state = Moesi::kInvalid;
-    e->retained = false;
-    e->line = 0;
-    e->lru = 0;
-  }
 }
 
 }  // namespace asfsim

@@ -5,8 +5,21 @@
 // valid state. Data never lives here — functional data flows through the
 // BackingStore plus per-transaction overlays — so the array is purely a
 // timing/occupancy model, which is all the paper's results depend on.
+//
+// Layout is SoA (docs/performance.md): the set-probe loop walks a dense
+// vector of line tags — one host cache line covers a whole set — and the
+// per-way MOESI/retained/spec-summary metadata lives in a separate packed
+// byte vector that only hit processing touches. An empty way holds the
+// kEmptyTag sentinel (never a legal line-aligned address), so find() is a
+// pure tag compare with no per-way validity test: tag occupancy and the
+// "valid or retained" predicate are the same thing by construction.
+//
+// Ways are addressed by Slot (a stable index into the SoA vectors). drop()
+// clears a slot in place and never shifts its neighbours, so a Slot obtained
+// from find() stays pointing at the same way across drops of other lines.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -29,59 +42,152 @@ enum class Moesi : std::uint8_t {
 
 class TagArray {
  public:
-  struct Entry {
-    Addr line = 0;                 // line-aligned address
-    Moesi state = Moesi::kInvalid;
-    bool retained = false;  // invalid, but still holding speculative info
-    std::uint64_t lru = 0;  // larger = more recently used
-  };
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = ~Slot{0};
+  /// Sentinel tag for an empty way; low line-offset bits set, so it can
+  /// never equal a line-aligned address.
+  static constexpr Addr kEmptyTag = ~Addr{0};
 
   explicit TagArray(const CacheLevelConfig& cfg);
 
   [[nodiscard]] std::uint32_t num_sets() const { return sets_; }
   [[nodiscard]] std::uint32_t ways() const { return ways_; }
+  [[nodiscard]] std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(tags_.size());
+  }
 
-  /// Find the entry for `line` (valid or retained), or nullptr.
-  [[nodiscard]] Entry* find(Addr line);
-  [[nodiscard]] const Entry* find(Addr line) const;
+  /// Find the slot holding `line` (valid or retained), or kNoSlot. The set
+  /// index and tag are computed once; the loop is a pure compare over the
+  /// dense tag vector.
+  [[nodiscard]] Slot find(Addr line) const {
+    const std::uint32_t base = set_base(line);
+    const Addr* tag = tags_.data() + base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tag[w] == line) return base + w;
+    }
+    return kNoSlot;
+  }
 
+  // ---- per-slot accessors -------------------------------------------------
+  [[nodiscard]] Addr line(Slot s) const { return tags_[s]; }
+  [[nodiscard]] Moesi state(Slot s) const {
+    return static_cast<Moesi>(meta_[s] & kStateMask);
+  }
+  [[nodiscard]] bool valid(Slot s) const {
+    return (meta_[s] & kStateMask) != 0;
+  }
+  [[nodiscard]] bool retained(Slot s) const {
+    return (meta_[s] & kRetainedBit) != 0;
+  }
+  /// Per-line speculative summary: the coherence layer keeps this bit equal
+  /// to "this core has live speculative metadata for this line", giving
+  /// probes an early-out before the metadata lookup and sub-block walk.
+  [[nodiscard]] bool spec_flag(Slot s) const {
+    return (meta_[s] & kSpecBit) != 0;
+  }
+
+  /// Re-state a slot (revalidation, MOESI downgrades/upgrades). Clears the
+  /// retained flag — a valid line holds its info in the line itself — and
+  /// keeps the speculative summary. `st` must not be kInvalid: emptying a
+  /// way goes through drop()/drop_slot() so the tag invariant holds.
+  void set_state(Slot s, Moesi st) {
+    assert(st != Moesi::kInvalid);
+    meta_[s] = static_cast<std::uint8_t>(
+        (meta_[s] & kSpecBit) | static_cast<std::uint8_t>(st));
+  }
+
+  /// Invalidate a slot while retaining its speculative info inside the line
+  /// (paper §IV-B): state becomes kInvalid, the retained flag is set, the
+  /// tag and speculative summary stay.
+  void retain_invalid(Slot s) {
+    meta_[s] = static_cast<std::uint8_t>((meta_[s] & kSpecBit) | kRetainedBit);
+  }
+
+  void set_spec_flag(Slot s, bool v) {
+    meta_[s] = static_cast<std::uint8_t>(v ? (meta_[s] | kSpecBit)
+                                           : (meta_[s] & ~kSpecBit));
+  }
+
+  /// Mark a slot most-recently-used.
+  void touch_slot(Slot s) { lru_[s] = ++tick_; }
   /// Mark `line` most-recently-used (no-op if absent).
-  void touch(Addr line);
+  void touch(Addr line) {
+    const Slot s = find(line);
+    if (s != kNoSlot) touch_slot(s);
+  }
 
   /// Pick a victim way in `line`'s set. `pinned(victim_line)` marks ways that
   /// must not be evicted (lines holding speculative info). Preference order:
-  /// empty way, then LRU among unpinned. Returns nullptr when every way is
+  /// empty way, then LRU among unpinned. Returns kNoSlot when every way is
   /// pinned, which the caller turns into an ASF capacity abort.
   template <typename PinnedFn>
-  Entry* find_victim(Addr line, PinnedFn&& pinned) {
-    Entry* set = set_of(line);
+  [[nodiscard]] Slot find_victim(Addr line, PinnedFn&& pinned) const {
+    const std::uint32_t base = set_base(line);
     for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (set[w].state == Moesi::kInvalid && !set[w].retained) return &set[w];
+      if (tags_[base + w] == kEmptyTag) return base + w;
     }
-    Entry* best = nullptr;
+    Slot best = kNoSlot;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (pinned(set[w].line)) continue;
-      if (!best || set[w].lru < best->lru) best = &set[w];
+      const Slot s = base + w;
+      if (pinned(tags_[s])) continue;
+      if (best == kNoSlot || lru_[s] < lru_[best]) best = s;
+    }
+    return best;
+  }
+
+  /// find_victim specialized for the probe-based detectors' pin predicate:
+  /// a way is pinned iff its speculative-summary flag is set (the flag
+  /// mirrors metadata existence exactly — audited in both directions by
+  /// MemorySystem::check_invariants). Reads one packed byte per way instead
+  /// of calling back into a metadata hash lookup per occupied way.
+  [[nodiscard]] Slot find_victim_unflagged(Addr line) const {
+    const std::uint32_t base = set_base(line);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == kEmptyTag) return base + w;
+    }
+    Slot best = kNoSlot;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      const Slot s = base + w;
+      if ((meta_[s] & kSpecBit) != 0) continue;
+      if (best == kNoSlot || lru_[s] < lru_[best]) best = s;
     }
     return best;
   }
 
   /// Install `line` into `victim` (obtained from find_victim) with `state`.
-  void fill(Entry* victim, Addr line, Moesi state);
+  void fill(Slot victim, Addr line, Moesi state);
 
   /// Drop `line` entirely (eviction / plain invalidation without retention).
-  void drop(Addr line);
+  void drop(Addr line) {
+    const Slot s = find(line);
+    if (s != kNoSlot) drop_slot(s);
+  }
+  void drop_slot(Slot s) {
+    tags_[s] = kEmptyTag;
+    meta_[s] = 0;
+    lru_[s] = 0;
+  }
 
   [[nodiscard]] std::uint64_t fills() const { return fills_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
  private:
-  Entry* set_of(Addr line);
-  const Entry* set_of(Addr line) const;
+  // meta_ byte layout: bits 0..2 MOESI state, bit 3 retained, bit 4 spec
+  // summary.
+  static constexpr std::uint8_t kStateMask = 0x07;
+  static constexpr std::uint8_t kRetainedBit = 0x08;
+  static constexpr std::uint8_t kSpecBit = 0x10;
+
+  [[nodiscard]] std::uint32_t set_base(Addr line) const {
+    return static_cast<std::uint32_t>((line >> kLineShift) & (sets_ - 1)) *
+           ways_;
+  }
 
   std::uint32_t sets_;
   std::uint32_t ways_;
-  std::vector<Entry> entries_;  // sets_ * ways_, set-major
+  std::vector<Addr> tags_;          // sets_ * ways_, set-major; kEmptyTag=free
+  std::vector<std::uint8_t> meta_;  // packed state/retained/spec per way
+  std::vector<std::uint64_t> lru_;  // larger = more recently used
   std::uint64_t tick_ = 0;
   std::uint64_t fills_ = 0;
   std::uint64_t evictions_ = 0;

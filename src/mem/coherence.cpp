@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "core/classifier.hpp"
@@ -14,6 +15,10 @@ namespace asfsim {
 
 MemorySystem::MemorySystem(Kernel& kernel, const SimConfig& cfg, Stats& stats)
     : kernel_(kernel), cfg_(cfg), stats_(stats), mutation_(cfg.fault.mutation) {
+  if (cfg_.ncores > 64) {
+    throw std::invalid_argument(
+        "MemorySystem: ncores > 64 (L1 residency directory is a 64-bit mask)");
+  }
   for (std::uint32_t c = 0; c < cfg_.ncores; ++c) {
     l1_.emplace_back(cfg_.l1);
     l2_.emplace_back(cfg_.l2);
@@ -39,8 +44,8 @@ SubBlockMask MemorySystem::dirty_marks(CoreId core, Addr line) const {
 }
 
 Moesi MemorySystem::l1_state(CoreId core, Addr line) const {
-  const TagArray::Entry* e = l1_[core].find(line);
-  return (e && e->state != Moesi::kInvalid) ? e->state : Moesi::kInvalid;
+  const TagArray::Slot s = l1_[core].find(line);
+  return s == TagArray::kNoSlot ? Moesi::kInvalid : l1_[core].state(s);
 }
 
 SubBlockState MemorySystem::subblock_state(CoreId core, Addr line,
@@ -55,16 +60,17 @@ SubBlockState MemorySystem::subblock_state(CoreId core, Addr line,
   return SubBlockState::kNonSpec;
 }
 
-void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
+void MemorySystem::record_spec_access(CoreId core, TagArray::Slot slot,
+                                      Addr line, ByteMask mask,
                                       bool is_write) {
   SpecState& m = spec_meta_[core][line];
-  SubBlockMask q = quantize(mask, detector_->nsub());
+  SubBlockMask q = quantize(mask, nsub_);
   // MUTATION kWrongSubblockIndexMath: commit the architectural bits under a
   // rotated sub-block index (classic off-by-one in index math) while the
   // byte-exact masks stay correct — the mask/bit-agreement invariant in
   // check_invariants() kills it.
   if (mutation_ == ProtocolMutation::kWrongSubblockIndexMath) {
-    const std::uint32_t n = detector_->nsub();
+    const std::uint32_t n = nsub_;
     if (n > 1) {
       q = static_cast<SubBlockMask>(((q << 1) | (q >> (n - 1))) &
                                     ((SubBlockMask{1} << n) - 1));
@@ -76,17 +82,23 @@ void MemorySystem::record_spec_access(CoreId core, Addr line, ByteMask mask,
     if (mutation_ != ProtocolMutation::kSkipWrittenMask) {
       m.write_bytes |= mask;
     }
-    m.bits.spec |= q;
-    m.bits.wr |= q;
   } else {
     m.read_bytes |= mask;
-    m.bits.spec |= q;  // a read of an S-WR sub-block leaves it S-WR
   }
+  // Word-wide kTxRead/kTxWrite over all touched sub-blocks (a read of an
+  // S-WR sub-block leaves it S-WR — LUT row 0b11).
+  m.bits.apply_tx(q, is_write);
+  // Keep the L1 speculative-summary bit in sync with metadata existence so
+  // incoming probes can skip the metadata lookup for untouched lines. The
+  // line is resident at `slot`: access() fills it before recording and
+  // passes the slot it already holds.
+  assert(l1_[core].line(slot) == line);
+  l1_[core].set_spec_flag(slot, true);
 }
 
 TxFootprint MemorySystem::tx_footprint(CoreId core) const {
   TxFootprint fp;
-  const std::uint32_t nsub = detector_->nsub();
+  const std::uint32_t nsub = nsub_;
   // Pure sum over disjoint per-line state; every visit order yields the
   // same totals.
   // asfsim-lint: allow(unordered-iteration)
@@ -121,91 +133,129 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
                                                        SubBlockMask* piggyback) {
   ProbeOutcome out;
   ++stats_.probes_sent;
-  const bool oracle = detector_->global_oracle();
+  const bool oracle = oracle_;
+
+  // Snoop filter: for probe-based detectors, a core without the line in its
+  // L1 tag array can neither conflict (the spec gate below requires a
+  // resident slot) nor react in MOESI terms — visit holders only. The
+  // oracle keeps the full broadcast: its metadata outlives residency.
+  std::uint64_t holders = ~std::uint64_t{0};
+  if (!oracle) {
+    const auto dit = l1_dir_.find(line);
+    holders = dit == l1_dir_.end() ? 0 : dit->second;
+    holders &= ~(std::uint64_t{1} << requester);
+    if (holders == 0) return out;  // no remote copy anywhere
+  }
 
   for (CoreId o = 0; o < cfg_.ncores; ++o) {
     if (o == requester) continue;
+    if ((holders & (std::uint64_t{1} << o)) == 0) continue;
+    TagArray& tl1 = l1_[o];
+    TagArray::Slot slot = tl1.find(line);
 
     // --- conflict detection against o's speculative state -----------------
+    // Early-outs before the metadata hash lookup: a core with no metadata at
+    // all, or (for probe-based detectors) no speculative-summary bit on the
+    // resident line, cannot be a victim — metadata residency guarantees the
+    // bit is authoritative. The global oracle bypasses the gate: its
+    // metadata deliberately survives invalidation and eviction, and the
+    // avoided-false accounting below needs the lookup even when no resident
+    // line exists.
     bool retain = false;
-    auto it = spec_meta_[o].find(line);
-    if (it != spec_meta_[o].end() && txctl_ && txctl_->in_tx(o)) {
-      const SpecState& meta = it->second;
-      const ProbeCheck pc = detector_->check_probe(meta, mask, invalidating);
-      const bool truly = true_conflict(meta, mask, invalidating);
-      if (pc.conflict) {
-        ConflictRecord rec;
-        rec.requester = requester;
-        rec.victim = o;
-        rec.line = line;
-        rec.probe_bytes = mask;
-        rec.victim_bytes = invalidating ? (meta.read_bytes | meta.write_bytes)
-                                        : meta.write_bytes;
-        rec.invalidating = invalidating;
-        const Classification cls = classify_conflict(meta, mask, invalidating);
-        rec.is_false = cls.is_false;
-        rec.type = cls.type;
-        rec.cycle = kernel_.now();
-        stats_.on_conflict(rec);
-        txctl_->doom(o, rec);  // clears o's spec metadata via clear_spec()
-      } else {
-        // This detector declined a conflict baseline ASF would have signaled
-        // (and, for the oracle, that the oracle will not signal either).
-        if (baseline_would_conflict(meta, invalidating) &&
-            !(oracle && truly)) {
-          stats_.on_avoided_false_conflict();
-          if (hub_ != nullptr) {
-            const Classification cls =
-                classify_conflict(meta, mask, invalidating);
-            trace::TraceEvent ev;
-            ev.kind = trace::TraceEventKind::kAvoided;
-            ev.core = o;
-            ev.other = requester;
-            ev.cycle = kernel_.now();
-            ev.line = line;
-            ev.type = cls.type;
-            ev.is_false = cls.is_false;
-            ev.probe_mask = mask;
-            ev.victim_mask = invalidating
+    bool doomed = false;
+    const bool may_hold_spec =
+        !spec_meta_[o].empty() &&
+        (oracle || (slot != TagArray::kNoSlot && tl1.spec_flag(slot)));
+    if (may_hold_spec && txctl_ && txctl_->in_tx(o)) {
+      const auto it = spec_meta_[o].find(line);
+      const SpecState* mp = it == spec_meta_[o].end() ? nullptr : &it->second;
+      if (mp != nullptr) {
+        const SpecState& meta = *mp;
+        const ProbeCheck pc = detector_->check_probe(meta, mask, invalidating);
+        const bool truly = true_conflict(meta, mask, invalidating);
+        if (pc.conflict) {
+          ConflictRecord rec;
+          rec.requester = requester;
+          rec.victim = o;
+          rec.line = line;
+          rec.probe_bytes = mask;
+          rec.victim_bytes = invalidating
                                  ? (meta.read_bytes | meta.write_bytes)
                                  : meta.write_bytes;
-            hub_->emit(ev);
+          rec.invalidating = invalidating;
+          const Classification cls =
+              classify_conflict(meta, mask, invalidating);
+          rec.is_false = cls.is_false;
+          rec.type = cls.type;
+          rec.cycle = kernel_.now();
+          stats_.on_conflict(rec);
+          txctl_->doom(o, rec);  // clears o's spec metadata via clear_spec()
+          doomed = true;
+        } else {
+          // This detector declined a conflict baseline ASF would have
+          // signaled (and, for the oracle, that the oracle will not signal
+          // either).
+          if (baseline_would_conflict(meta, invalidating) &&
+              !(oracle && truly)) {
+            stats_.on_avoided_false_conflict();
+            if (hub_ != nullptr) {
+              const Classification cls =
+                  classify_conflict(meta, mask, invalidating);
+              trace::TraceEvent ev;
+              ev.kind = trace::TraceEventKind::kAvoided;
+              ev.core = o;
+              ev.other = requester;
+              ev.cycle = kernel_.now();
+              ev.line = line;
+              ev.type = cls.type;
+              ev.is_false = cls.is_false;
+              ev.probe_mask = mask;
+              ev.victim_mask = invalidating
+                                   ? (meta.read_bytes | meta.write_bytes)
+                                   : meta.write_bytes;
+              hub_->emit(ev);
+            }
           }
-        }
-        if (pc.piggyback != 0 && piggyback != nullptr) {
-          *piggyback |= pc.piggyback;
-          ++stats_.piggyback_messages;
-        }
-        retain = pc.retain_spec_info;
-        // MUTATION kForgetInvalidatedSpecinfo: drop the victim's speculative
-        // info (and its metadata, so no structural audit can see the hole)
-        // instead of retaining it inside the invalidated line (§IV-B). Only
-        // the serializability replay catches the missed late conflict.
-        if (retain &&
-            mutation_ == ProtocolMutation::kForgetInvalidatedSpecinfo) {
-          retain = false;
-          spec_meta_[o].erase(line);
+          if (pc.piggyback != 0 && piggyback != nullptr) {
+            *piggyback |= pc.piggyback;
+            ++stats_.piggyback_messages;
+          }
+          retain = pc.retain_spec_info;
+          // MUTATION kForgetInvalidatedSpecinfo: drop the victim's
+          // speculative info (and its metadata, so no structural audit can
+          // see the hole) instead of retaining it inside the invalidated
+          // line (§IV-B). Only the serializability replay catches the
+          // missed late conflict.
+          if (retain &&
+              mutation_ == ProtocolMutation::kForgetInvalidatedSpecinfo) {
+            retain = false;
+            spec_meta_[o].erase(line);
+            if (slot != TagArray::kNoSlot) tl1.set_spec_flag(slot, false);
+          }
         }
       }
     }
 
-    // --- MOESI state handling (re-find: doom() may have dropped lines) ----
-    TagArray::Entry* e = l1_[o].find(line);
-    if (e != nullptr && e->state != Moesi::kInvalid) {
+    // --- MOESI state handling ---------------------------------------------
+    // A doom may have dropped o's lines (clear_spec); re-find then. Drops
+    // never move other slots, so the cached slot is otherwise still good.
+    if (doomed) slot = tl1.find(line);
+    if (slot != TagArray::kNoSlot && tl1.valid(slot)) {
       out.remote_owner = true;  // any valid remote copy can supply (c2c)
       if (invalidating) {
         if (retain) {
-          e->state = Moesi::kInvalid;
-          e->retained = true;  // speculative info stays inside the line
+          tl1.retain_invalid(slot);  // speculative info stays inside the line
         } else {
-          l1_[o].drop(line);
+          tl1.drop_slot(slot);
           dirty_marks_[o].erase(line);
+          dir_remove(o, line);
         }
         l2_[o].drop(line);
         l3_[o].drop(line);
       } else {
-        if (e->state == Moesi::kModified) e->state = Moesi::kOwned;
-        if (e->state == Moesi::kExclusive) e->state = Moesi::kShared;
+        const Moesi st = tl1.state(slot);
+        if (st == Moesi::kModified) tl1.set_state(slot, Moesi::kOwned);
+        if (st == Moesi::kExclusive) tl1.set_state(slot, Moesi::kShared);
       }
     }
   }
@@ -224,7 +274,11 @@ bool MemorySystem::evict_speculative_line(CoreId core) {
     if (line < victim) victim = line;
   }
   if (victim == ~Addr{0}) return false;
-  l1_[core].drop(victim);
+  if (const TagArray::Slot s = l1_[core].find(victim);
+      s != TagArray::kNoSlot) {
+    l1_[core].drop_slot(s);
+    dir_remove(core, victim);
+  }
   l2_[core].drop(victim);
   l3_[core].drop(victim);
   dirty_marks_[core].erase(victim);
@@ -234,29 +288,41 @@ bool MemorySystem::evict_speculative_line(CoreId core) {
   return true;
 }
 
-bool MemorySystem::fill_l1(CoreId core, Addr line, Moesi state) {
+TagArray::Slot MemorySystem::fill_l1(CoreId core, Addr line, Moesi state) {
+  TagArray& t = l1_[core];
   // A line can already be present as an invalid-but-retained entry (paper
   // §IV-B); refetching must revalidate that entry, never duplicate the tag.
-  if (TagArray::Entry* e = l1_[core].find(line)) {
-    e->state = state;
-    e->retained = false;
-    l1_[core].touch(line);
-    return true;
+  if (const TagArray::Slot s = t.find(line); s != TagArray::kNoSlot) {
+    t.set_state(s, state);
+    t.touch_slot(s);
+    return s;
   }
-  TagArray::Entry* victim = l1_[core].find_victim(
-      line, [&](Addr vl) { return line_pinned(core, vl); });
-  if (victim == nullptr) return false;  // every way pinned: capacity abort
-  if (victim->state != Moesi::kInvalid || victim->retained) {
-    dirty_marks_[core].erase(victim->line);
+  // Pinned = "holds live speculative metadata". For probe-based detectors
+  // the L1 speculative-summary flag IS that predicate (both directions are
+  // audited in check_invariants), so victim search reads the flag instead of
+  // paying a metadata hash lookup per occupied way. The oracle's metadata
+  // survives eviction/refetch (flag lost on refill), so it keeps the map
+  // lookup.
+  const TagArray::Slot victim =
+      oracle_
+          ? t.find_victim(line, [&](Addr vl) { return line_pinned(core, vl); })
+          : t.find_victim_unflagged(line);
+  if (victim == TagArray::kNoSlot) {
+    return TagArray::kNoSlot;  // every way pinned: capacity abort
   }
-  l1_[core].fill(victim, line, state);
-  return true;
+  if (t.line(victim) != TagArray::kEmptyTag) {
+    dirty_marks_[core].erase(t.line(victim));
+    dir_remove(core, t.line(victim));
+  }
+  t.fill(victim, line, state);
+  dir_add(core, line);
+  return victim;
 }
 
 void MemorySystem::oracle_check(CoreId requester, Addr line, ByteMask mask,
                                 bool is_write) {
   for (CoreId o = 0; o < cfg_.ncores; ++o) {
-    if (o == requester) continue;
+    if (o == requester || spec_meta_[o].empty()) continue;
     auto it = spec_meta_[o].find(line);
     if (it == spec_meta_[o].end() || txctl_ == nullptr || !txctl_->in_tx(o)) {
       continue;
@@ -283,13 +349,17 @@ void MemorySystem::oracle_check(CoreId requester, Addr line, ByteMask mask,
 bool MemorySystem::would_broadcast(CoreId core, Addr addr, std::uint32_t size,
                                    bool is_write, bool is_tx) const {
   const Addr line = line_of(addr);
-  const TagArray::Entry* e = l1_[core].find(line);
-  const bool valid = e != nullptr && e->state != Moesi::kInvalid;
+  const TagArray& t = l1_[core];
+  const TagArray::Slot s = t.find(line);
+  const bool valid = s != TagArray::kNoSlot && t.valid(s);
   if (!valid) return true;  // miss (or retained-invalid): probes
   if (is_write) {
-    return e->state != Moesi::kModified && e->state != Moesi::kExclusive;
+    return t.state(s) != Moesi::kModified && t.state(s) != Moesi::kExclusive;
   }
-  return is_tx &&
+  // dirty_hit is identically false unless the detector does dirty handling,
+  // and trivially false with no marks — both gates checked before the
+  // lookup + virtual call.
+  return is_tx && dirty_handling_ && !dirty_marks_[core].empty() &&
          detector_->dirty_hit(dirty_marks(core, line), byte_mask_of(addr, size));
 }
 
@@ -326,8 +396,8 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
     }
   }
   TagArray& l1 = l1_[core];
-  TagArray::Entry* e = l1.find(line);
-  const bool valid = e != nullptr && e->state != Moesi::kInvalid;
+  TagArray::Slot slot = l1.find(line);
+  const bool valid = slot != TagArray::kNoSlot && l1.valid(slot);
 
   auto source_latency = [&](bool remote_owner) -> Cycle {
     if (remote_owner) {
@@ -335,38 +405,42 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       r.source = DataSource::kRemoteL1;
       return cfg_.cache2cache_latency;
     }
-    if (l2_[core].find(line) != nullptr) {
-      l2_[core].touch(line);
+    const auto unpinned = [](Addr) { return false; };
+    if (const auto s2 = l2_[core].find(line); s2 != TagArray::kNoSlot) {
+      l2_[core].touch_slot(s2);
       ++stats_.l2_hits;
       r.source = DataSource::kL2;
       return cfg_.l2.latency;
     }
-    if (l3_[core].find(line) != nullptr) {
-      l3_[core].touch(line);
+    if (const auto s3 = l3_[core].find(line); s3 != TagArray::kNoSlot) {
+      l3_[core].touch_slot(s3);
       ++stats_.l3_hits;
       r.source = DataSource::kL3;
       // promote into L2 (private, inclusive-ish)
-      if (auto* v = l2_[core].find_victim(line, [](Addr) { return false; })) {
+      if (const auto v = l2_[core].find_victim(line, unpinned);
+          v != TagArray::kNoSlot) {
         l2_[core].fill(v, line, Moesi::kShared);
       }
       return cfg_.l3.latency;
     }
     ++stats_.mem_fetches;
     r.source = DataSource::kMemory;
-    if (auto* v = l3_[core].find_victim(line, [](Addr) { return false; })) {
+    if (const auto v = l3_[core].find_victim(line, unpinned);
+        v != TagArray::kNoSlot) {
       l3_[core].fill(v, line, Moesi::kShared);
     }
-    if (auto* v = l2_[core].find_victim(line, [](Addr) { return false; })) {
+    if (const auto v = l2_[core].find_victim(line, unpinned);
+        v != TagArray::kNoSlot) {
       l2_[core].fill(v, line, Moesi::kShared);
     }
     return cfg_.mem_latency;
   };
 
   if (is_write) {
-    if (valid &&
-        (e->state == Moesi::kModified || e->state == Moesi::kExclusive)) {
-      e->state = Moesi::kModified;
-      l1.touch(line);
+    if (valid && (l1.state(slot) == Moesi::kModified ||
+                  l1.state(slot) == Moesi::kExclusive)) {
+      l1.set_state(slot, Moesi::kModified);
+      l1.touch_slot(slot);
       ++stats_.l1_hits;
       r.latency = cfg_.l1.latency;
     } else {
@@ -374,18 +448,19 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       SubBlockMask pb = 0;
       const ProbeOutcome po = probe_remotes(core, line, mask, true, &pb);
       // (invalidating probes never produce piggyback info)
-      e = l1.find(line);  // doom() handling cannot touch our line, but re-find
+      // doom() handling cannot touch our line; the slot stays good.
       r.latency += bus_wait;
       if (fault_ != nullptr) r.latency += fault_->probe_jitter(core);
       if (valid) {
         // S or O upgrade: data already local, pay the invalidation round trip.
-        e->state = Moesi::kModified;
-        l1.touch(line);
+        l1.set_state(slot, Moesi::kModified);
+        l1.touch_slot(slot);
         ++stats_.upgrades;
         r.latency += cfg_.upgrade_latency;
       } else {
         r.latency += source_latency(po.remote_owner);
-        if (!fill_l1(core, line, Moesi::kModified)) {
+        slot = fill_l1(core, line, Moesi::kModified);
+        if (slot == TagArray::kNoSlot) {
           r.capacity_abort = true;
           return r;
         }
@@ -393,10 +468,13 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       }
     }
   } else {  // load
+    // Same double gate as would_broadcast(): skip the mark lookup and the
+    // virtual call whenever they cannot possibly fire.
     const bool dirty_force =
-        valid && is_tx && detector_->dirty_hit(dirty_marks(core, line), mask);
+        valid && is_tx && dirty_handling_ && !dirty_marks_[core].empty() &&
+        detector_->dirty_hit(dirty_marks(core, line), mask);
     if (valid && !dirty_force) {
-      l1.touch(line);
+      l1.touch_slot(slot);
       ++stats_.l1_hits;
       r.latency = cfg_.l1.latency;
     } else {
@@ -410,10 +488,11 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
         // cleared and fresh piggy-back info (if any) re-applied below.
         ++stats_.dirty_refetches;
         dirty_marks_[core].erase(line);
-        l1.touch(line);
+        l1.touch_slot(slot);
       } else {
         const Moesi st = po.remote_owner ? Moesi::kShared : Moesi::kExclusive;
-        if (!fill_l1(core, line, st)) {
+        slot = fill_l1(core, line, st);
+        if (slot == TagArray::kNoSlot) {
           r.capacity_abort = true;
           return r;
         }
@@ -436,19 +515,27 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
     }
   }
 
-  if (is_tx) record_spec_access(core, line, mask, is_write);
-  if (detector_->global_oracle()) oracle_check(core, line, mask, is_write);
+  if (is_tx) record_spec_access(core, slot, line, mask, is_write);
+  if (oracle_) oracle_check(core, line, mask, is_write);
   return r;
 }
 
 void MemorySystem::validate_readers_at_commit(CoreId committer, Addr line,
                                               ByteMask written) {
-  if (detector_->global_oracle()) return;  // the oracle never misses
+  if (oracle_) return;  // the oracle never misses
   // MUTATION kSkipCommitValidation: reopen the silent-store window that
   // retention creates (DESIGN.md §6.5) — the serializability replay kills it.
   if (mutation_ == ProtocolMutation::kSkipCommitValidation) return;
+  // Only probe-based detectors reach this point (the oracle returned
+  // above), so any reader metadata for `line` implies tag-array residency
+  // (metadata-residency invariant) — holder cores are the only candidates.
+  const auto dit = l1_dir_.find(line);
+  if (dit == l1_dir_.end()) return;
+  const std::uint64_t holders =
+      dit->second & ~(std::uint64_t{1} << committer);
   for (CoreId o = 0; o < cfg_.ncores; ++o) {
-    if (o == committer) continue;
+    if ((holders & (std::uint64_t{1} << o)) == 0) continue;
+    if (o == committer || spec_meta_[o].empty()) continue;
     auto it = spec_meta_[o].find(line);
     if (it == spec_meta_[o].end() || txctl_ == nullptr || !txctl_->in_tx(o)) {
       continue;
@@ -516,10 +603,14 @@ std::string MemorySystem::check_invariants() const {
       const auto it = spec_meta_[c].find(line);
       if (it == spec_meta_[c].end()) continue;
       const SpecState& meta = it->second;
-      const TagArray::Entry* e = l1_[c].find(line);
-      if (e == nullptr && !oracle) {
+      const TagArray::Slot s = l1_[c].find(line);
+      if (s == TagArray::kNoSlot && !oracle) {
         return "core " + std::to_string(c) + " line " + std::to_string(line) +
                ": speculative metadata without a resident line";
+      }
+      if (s != TagArray::kNoSlot && !oracle && !l1_[c].spec_flag(s)) {
+        return "core " + std::to_string(c) + " line " + std::to_string(line) +
+               ": speculative metadata but summary flag clear";
       }
       const std::uint32_t n = detector_->nsub();
       const SubBlockMask expect_spec = static_cast<SubBlockMask>(
@@ -530,9 +621,43 @@ std::string MemorySystem::check_invariants() const {
         return "core " + std::to_string(c) + " line " + std::to_string(line) +
                ": sub-block bits disagree with byte masks";
       }
-      if (e != nullptr && e->retained && e->state != Moesi::kInvalid) {
+      if (s != TagArray::kNoSlot && l1_[c].retained(s) && l1_[c].valid(s)) {
         return "core " + std::to_string(c) + " line " + std::to_string(line) +
                ": retained flag on a valid line";
+      }
+    }
+    // Converse direction of the summary-flag audit: a set flag with no
+    // backing metadata would only cost performance, but it means a clear
+    // path was missed — fail loudly. The same sweep audits the snoop-filter
+    // directory: every occupied slot must have its residency bit (a stale-0
+    // would silently skip a mandatory probe).
+    const TagArray& t = l1_[c];
+    for (TagArray::Slot s = 0; s < t.num_slots(); ++s) {
+      if (t.line(s) == TagArray::kEmptyTag) continue;
+      if (t.spec_flag(s) &&
+          spec_meta_[c].find(t.line(s)) == spec_meta_[c].end()) {
+        return "core " + std::to_string(c) + " line " +
+               std::to_string(t.line(s)) +
+               ": speculative summary flag without metadata";
+      }
+      const auto dit = l1_dir_.find(t.line(s));
+      if (dit == l1_dir_.end() ||
+          (dit->second & (std::uint64_t{1} << c)) == 0) {
+        return "core " + std::to_string(c) + " line " +
+               std::to_string(t.line(s)) +
+               ": resident line missing from the L1 residency directory";
+      }
+    }
+  }
+  // Directory converse: every residency bit must point at a real occupied
+  // slot (a stale-1 only costs a wasted probe, but means a drop path missed
+  // its directory update).
+  for (const auto& [line, mask] : l1_dir_) {
+    for (CoreId c = 0; c < cfg_.ncores; ++c) {
+      if ((mask & (std::uint64_t{1} << c)) != 0 &&
+          l1_[c].find(line) == TagArray::kNoSlot) {
+        return "core " + std::to_string(c) + " line " + std::to_string(line) +
+               ": L1 residency directory bit without an occupied slot";
       }
     }
   }
@@ -573,20 +698,25 @@ void MemorySystem::clear_spec(CoreId core, bool discard_written_lines) {
   // depends on visit order.
   // asfsim-lint: allow(unordered-iteration)
   for (auto& [line, meta] : spec_meta_[core]) {
-    TagArray::Entry* e = l1_[core].find(line);
-    if (e == nullptr) continue;
-    if (e->retained) {
+    const TagArray::Slot s = l1_[core].find(line);
+    if (s == TagArray::kNoSlot) continue;
+    if (l1_[core].retained(s)) {
       // Invalid-but-retained line: its speculative info dies with the tx.
-      l1_[core].drop(line);
+      l1_[core].drop_slot(s);
+      dir_remove(core, line);
     } else if (discard_written_lines && meta.write_bytes != 0) {
       // Abort: discard speculatively-modified lines (ASF §IV-A).
-      l1_[core].drop(line);
+      l1_[core].drop_slot(s);
+      dir_remove(core, line);
       l2_[core].drop(line);
       l3_[core].drop(line);
       dirty_marks_[core].erase(line);
+    } else {
+      // Clean speculatively-read lines stay valid; committed written lines
+      // stay Modified (their data is now the committed data). Their
+      // metadata dies here, so the probe summary flag must die with it.
+      l1_[core].set_spec_flag(s, false);
     }
-    // Clean speculatively-read lines stay valid; committed written lines
-    // stay Modified (their data is now the committed data).
   }
   spec_meta_[core].clear();
 }

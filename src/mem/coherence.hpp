@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "htm/tx_control.hpp"
 #include "mem/cache.hpp"
+#include "sim/addr_map.hpp"
 #include "sim/config.hpp"
 #include "stats/counters.hpp"
 
@@ -69,7 +69,15 @@ class MemorySystem {
   MemorySystem(Kernel& kernel, const SimConfig& cfg, Stats& stats);
 
   void set_tx_control(ITxControl* txctl) { txctl_ = txctl; }
-  void set_detector(ConflictDetector* det) { detector_ = det; }
+  void set_detector(ConflictDetector* det) {
+    detector_ = det;
+    // Cache the detector's policy facts: they are immutable per detector,
+    // and the per-access paths below would otherwise pay a virtual call for
+    // each of them on every single access (docs/performance.md).
+    nsub_ = det != nullptr ? det->nsub() : 1;
+    oracle_ = det != nullptr && det->global_oracle();
+    dirty_handling_ = det != nullptr && det->dirty_handling();
+  }
   /// Attach the trace hub (null while tracing is disabled; the only cost
   /// then is one null check on the avoided-conflict path).
   void set_trace_hub(trace::TraceHub* hub) { hub_ = hub; }
@@ -142,10 +150,15 @@ class MemorySystem {
   ProbeOutcome probe_remotes(CoreId requester, Addr line, ByteMask mask,
                              bool invalidating, SubBlockMask* piggyback);
 
-  /// Fill `line` into `core`'s L1. Returns false on capacity abort.
-  bool fill_l1(CoreId core, Addr line, Moesi state);
+  /// Fill `line` into `core`'s L1. Returns the slot now holding the line,
+  /// or TagArray::kNoSlot on capacity abort (every way pinned).
+  TagArray::Slot fill_l1(CoreId core, Addr line, Moesi state);
 
-  void record_spec_access(CoreId core, Addr line, ByteMask mask, bool is_write);
+  /// `slot` is the requester's resident L1 slot for `line` (access() always
+  /// has it in hand — hit, upgrade, or fresh fill — so re-finding it here
+  /// would be pure waste).
+  void record_spec_access(CoreId core, TagArray::Slot slot, Addr line,
+                          ByteMask mask, bool is_write);
   void oracle_check(CoreId requester, Addr line, ByteMask mask, bool is_write);
   [[nodiscard]] bool line_pinned(CoreId core, Addr line) const;
 
@@ -159,6 +172,10 @@ class MemorySystem {
   Stats& stats_;
   ITxControl* txctl_ = nullptr;
   ConflictDetector* detector_ = nullptr;
+  // Cached detector facts (see set_detector); read on every access.
+  std::uint32_t nsub_ = 1;
+  bool oracle_ = false;
+  bool dirty_handling_ = false;
   trace::TraceHub* hub_ = nullptr;
   FaultPlan* fault_ = nullptr;
   const ProtocolMutation mutation_;  // from cfg_.fault (chaos harness)
@@ -167,12 +184,33 @@ class MemorySystem {
   /// delay (cycles the requester stalls behind earlier broadcasts).
   Cycle bus_acquire();
 
+  /// Set/clear `core`'s bit in the L1 residency directory (below). Every
+  /// L1 occupancy change must go through these to keep the directory exact.
+  void dir_add(CoreId core, Addr line) {
+    l1_dir_[line] |= std::uint64_t{1} << core;
+  }
+  void dir_remove(CoreId core, Addr line) {
+    const auto it = l1_dir_.find(line);
+    if (it == l1_dir_.end()) return;
+    it->second &= ~(std::uint64_t{1} << core);
+    if (it->second == 0) l1_dir_.erase(line);
+  }
+
   std::vector<TagArray> l1_, l2_, l3_;  // one per core (private hierarchy)
+  /// Snoop-filter directory: line -> bitmask of cores whose L1 tag array
+  /// holds the line (valid or invalid-but-retained — i.e. tag occupancy).
+  /// Probe broadcasts and commit-time reader validation visit only holder
+  /// cores: for probe-based detectors both the MOESI effects and the
+  /// speculative-conflict gate require tag occupancy in the probed core
+  /// (the metadata-residency invariant, audited in check_invariants), so
+  /// skipping non-holders is outcome-identical. Oracle detectors bypass
+  /// the filter — their metadata deliberately survives eviction.
+  AddrMap<std::uint64_t> l1_dir_;
   Cycle bus_free_at_ = 0;  // snoop bus busy-until cycle
   // Speculative metadata for the core's current transaction, keyed by line.
-  mutable std::vector<std::unordered_map<Addr, SpecState>> spec_meta_;
+  mutable std::vector<AddrMap<SpecState>> spec_meta_;
   // Persistent Dirty sub-block marks, keyed by line.
-  std::vector<std::unordered_map<Addr, SubBlockMask>> dirty_marks_;
+  std::vector<AddrMap<SubBlockMask>> dirty_marks_;
   // MUTATION kStalePiggybackMask only: per-core one-entry buffer holding the
   // previous fill's piggybacked S-WR set (the "stale response" being reused).
   std::vector<SubBlockMask> stale_pb_;

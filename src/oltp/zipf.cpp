@@ -25,12 +25,34 @@ ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
   zetan_ = acc;
   for (double& c : cdf_) c /= zetan_;
   cdf_.back() = 1.0;  // guard against accumulated rounding
+
+  // Search-hint index: for u in bucket b (u-range [b/B, (b+1)/B)), the
+  // answer upper_bound(cdf_, u) is bracketed by the answers at the bucket
+  // edges, because upper_bound is monotone in u. Precomputing the edge
+  // answers turns each draw into a binary search over (usually) one or two
+  // candidates instead of the whole table.
+  hint_.resize(kHintBuckets + 1);
+  for (std::size_t b = 0; b <= kHintBuckets; ++b) {
+    const double edge =
+        static_cast<double>(b) / static_cast<double>(kHintBuckets);
+    hint_[b] = static_cast<std::uint64_t>(
+        std::upper_bound(cdf_.begin(), cdf_.end(), edge) - cdf_.begin());
+  }
 }
 
 std::uint64_t ZipfGenerator::next(Rng& rng) const {
   const double u = rng.next_double();  // in [0, 1)
-  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
-  // u < 1.0 == cdf_.back(), so upper_bound never returns end().
+  auto b = static_cast<std::size_t>(u * kHintBuckets);
+  if (b >= kHintBuckets) b = kHintBuckets - 1;  // u < 1, but stay safe
+  const std::uint64_t lo = hint_[b];
+  // The bracket is inclusive of hint_[b + 1] (u may equal values just below
+  // the edge whose upper_bound IS the edge answer); clamp to n_ for the
+  // final bucket where the edge answer is end().
+  const std::uint64_t hi = std::min<std::uint64_t>(hint_[b + 1] + 1, n_);
+  const auto it =
+      std::upper_bound(cdf_.begin() + static_cast<std::ptrdiff_t>(lo),
+                       cdf_.begin() + static_cast<std::ptrdiff_t>(hi), u);
+  // u < 1.0 == cdf_.back(), so the bracketed search never returns its end.
   return static_cast<std::uint64_t>(it - cdf_.begin());
 }
 

@@ -35,10 +35,20 @@ class ZipfGenerator {
   [[nodiscard]] double theta() const { return theta_; }
 
  private:
+  /// Number of equal-width u-buckets in the search-hint index. Each draw
+  /// first maps u to a bucket, then binary-searches only between that
+  /// bucket's precomputed CDF bounds — identical result to searching the
+  /// whole table, but the skewed head resolves in O(1) and key draws leave
+  /// the hot path of every OLTP access (docs/performance.md). Must be a
+  /// power of two: then u * kHintBuckets and b / kHintBuckets are exact in
+  /// double arithmetic, so the bucket bracket is exact too.
+  static constexpr std::size_t kHintBuckets = 1024;
+
   std::uint64_t n_ = 1;
   double theta_ = 0.0;
   double zetan_ = 1.0;        // sum over 1/(k+1)^theta, the normalizer
   std::vector<double> cdf_;   // cdf_[k] = P(key <= k); back() == 1.0
+  std::vector<std::uint64_t> hint_;  // hint_[b] = upper_bound(cdf_, b/B)
 };
 
 }  // namespace asfsim

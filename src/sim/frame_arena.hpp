@@ -1,0 +1,133 @@
+// Slab/freelist arena for coroutine frames and per-tx scratch.
+//
+// Every guest function call in a simulated program materializes a Task<>
+// coroutine frame, and every transaction retry re-runs that call chain, so
+// frame allocation sits squarely on the kernel hot path. With the default
+// global allocator each frame costs a malloc/free pair plus the cache misses
+// of whatever arena malloc happens to hand back. FrameArena replaces that
+// with a thread-local, size-bucketed freelist over 64 KiB slabs: after the
+// first simulated call of a given shape, allocation is "pop a pointer" and
+// deallocation is "push a pointer", and frames of the same guest function
+// are recycled hot-in-cache across retries (docs/performance.md).
+//
+// Threading contract: allocate() and deallocate(p, n) must run on the same
+// host thread for any given block. That holds by construction here — a
+// simulation (kernel, guest tasks, detectors) lives and dies on one host
+// thread; the parallel runner gives each worker thread its own simulation
+// and therefore its own arena. Slabs are retained until thread exit so the
+// steady state of a sweep never returns memory just to re-request it.
+//
+// asfsim_lint note: this IS the sanctioned allocation path inside
+// transactions. The R3 global-alloc-in-tx check exempts it via the explicit
+// `frame_arena` allowlist, not a blanket suppression (tools/asfsim_lint).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace asfsim {
+
+class FrameArena {
+ public:
+  /// Bucket granularity; also the alignment every bucketed block gets.
+  static constexpr std::size_t kGranularity = 64;
+  /// Largest bucketed size; bigger requests fall through to ::operator new
+  /// (no coroutine frame in the tree is near this, but stay correct).
+  static constexpr std::size_t kMaxBucketed = 4096;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  [[nodiscard]] static void* allocate(std::size_t n) {
+    return local().do_allocate(n);
+  }
+  /// Sized deallocation only: the size routes the block back to its bucket
+  /// without any per-block header. Coroutine frame deallocation is sized by
+  /// the compiler; other users must remember their request size.
+  static void deallocate(void* p, std::size_t n) noexcept {
+    local().do_deallocate(p, n);
+  }
+
+  /// Counters for tests and the performance doc; per host thread.
+  struct Telemetry {
+    std::uint64_t bucket_allocs = 0;    // requests served from buckets
+    std::uint64_t bucket_reuses = 0;    // ... of which hit a freelist
+    std::uint64_t fallback_allocs = 0;  // > kMaxBucketed, global allocator
+    std::uint64_t slabs = 0;            // slabs carved so far
+  };
+  [[nodiscard]] static Telemetry telemetry() { return local().stats_; }
+
+ private:
+  static constexpr std::size_t kBuckets = kMaxBucketed / kGranularity;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  FrameArena() = default;
+  ~FrameArena() {
+    for (void* s : slabs_) {
+      ::operator delete(s, std::align_val_t{kGranularity});
+    }
+  }
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  static FrameArena& local() {
+    thread_local FrameArena arena;
+    return arena;
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::size_t n) {
+    return (n + kGranularity - 1) / kGranularity - 1;
+  }
+
+  void* do_allocate(std::size_t n) {
+    if (n == 0) n = 1;
+    if (n > kMaxBucketed) {
+      ++stats_.fallback_allocs;
+      return ::operator new(n);
+    }
+    ++stats_.bucket_allocs;
+    const std::size_t b = bucket_of(n);
+    if (FreeNode* f = free_[b]) {
+      free_[b] = f->next;
+      ++stats_.bucket_reuses;
+      return f;
+    }
+    const std::size_t bytes = (b + 1) * kGranularity;
+    if (bump_remaining_ < bytes) {
+      // The slab tail we abandon here is < kMaxBucketed of the 64 KiB slab;
+      // not worth splintering into smaller buckets.
+      auto* slab = static_cast<std::byte*>(
+          ::operator new(kSlabBytes, std::align_val_t{kGranularity}));
+      slabs_.push_back(slab);
+      ++stats_.slabs;
+      bump_ = slab;
+      bump_remaining_ = kSlabBytes;
+    }
+    void* p = bump_;
+    bump_ += bytes;
+    bump_remaining_ -= bytes;
+    return p;
+  }
+
+  void do_deallocate(void* p, std::size_t n) noexcept {
+    if (n == 0) n = 1;
+    if (n > kMaxBucketed) {
+      ::operator delete(p);
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[bucket_of(n)];
+    free_[bucket_of(n)] = node;
+  }
+
+  FreeNode* free_[kBuckets] = {};
+  std::byte* bump_ = nullptr;
+  std::size_t bump_remaining_ = 0;
+  std::vector<void*> slabs_;
+  Telemetry stats_;
+};
+
+}  // namespace asfsim

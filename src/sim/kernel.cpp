@@ -7,7 +7,8 @@
 
 namespace asfsim {
 
-Kernel::Kernel(std::uint32_t ncores) : cores_(ncores) {
+Kernel::Kernel(std::uint32_t ncores)
+    : cores_(ncores), ready_(ncores, kIdle), seq_(ncores, ~std::uint64_t{0}) {
   if (ncores == 0) throw std::invalid_argument("Kernel: ncores must be > 0");
 }
 
@@ -20,26 +21,24 @@ void Kernel::spawn(CoreId core, Task<void> root, Cycle start) {
 }
 
 void Kernel::schedule(CoreId core, std::coroutine_handle<> h, Cycle at) {
-  auto& slot = cores_.at(core);
-  assert(!slot.has_event && "one pending resume per core");
+  assert(core < cores_.size());
+  auto& slot = cores_[core];  // hot path: every leaf await lands here
+  assert(ready_[core] == kIdle && "one pending resume per core");
   if (fault_ != nullptr) at += fault_->sched_jitter(core);
   slot.pending = h;
-  slot.callback = nullptr;
-  slot.ready_at = at < now_ ? now_ : at;
-  slot.seq = seq_counter_++;
-  slot.has_event = true;
+  ready_[core] = at < now_ ? now_ : at;
+  seq_[core] = seq_counter_++;
 }
 
 void Kernel::schedule_callback(CoreId core, std::function<void()> fn,
                                Cycle at) {
   auto& slot = cores_.at(core);
-  assert(!slot.has_event && "one pending event per core");
+  assert(ready_[core] == kIdle && "one pending event per core");
   if (fault_ != nullptr) at += fault_->sched_jitter(core);
   slot.pending = {};
   slot.callback = std::move(fn);
-  slot.ready_at = at < now_ ? now_ : at;
-  slot.seq = seq_counter_++;
-  slot.has_event = true;
+  ready_[core] = at < now_ ? now_ : at;
+  seq_[core] = seq_counter_++;
 }
 
 Cycle Kernel::run(Cycle max_cycles) {
@@ -50,14 +49,18 @@ Cycle Kernel::run(Cycle max_cycles) {
   progress_mark_ = now_;
   audit_mark_ = now_;
   for (;;) {
-    // Pick the earliest pending event; FIFO among equal cycles.
+    // Pick the earliest pending event; FIFO among equal cycles. Idle cores
+    // hold (kIdle, ~0) and can never win the comparison, so the scan is a
+    // branch-light sweep over the two dense arrays.
     CoreId best = kInvalidCore;
-    for (CoreId c = 0; c < cores_.size(); ++c) {
-      const auto& s = cores_[c];
-      if (!s.has_event) continue;
-      if (best == kInvalidCore || s.ready_at < cores_[best].ready_at ||
-          (s.ready_at == cores_[best].ready_at && s.seq < cores_[best].seq)) {
+    Cycle best_at = kIdle;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (CoreId c = 0; c < ready_.size(); ++c) {
+      const Cycle at = ready_[c];
+      if (at < best_at || (at == best_at && seq_[c] < best_seq)) {
         best = c;
+        best_at = at;
+        best_seq = seq_[c];
       }
     }
     if (best == kInvalidCore) {
@@ -73,7 +76,7 @@ Cycle Kernel::run(Cycle max_cycles) {
     }
 
     auto& slot = cores_[best];
-    if (slot.ready_at > now_) now_ = slot.ready_at;
+    if (best_at > now_) now_ = best_at;
     if (now_ > max_cycles) {
       throw CycleLimitError("Kernel::run: cycle limit exceeded (livelock?)");
     }
@@ -104,16 +107,17 @@ Cycle Kernel::run(Cycle max_cycles) {
             std::to_string(now_) + ")");
       }
     }
-    slot.has_event = false;
-    auto h = slot.pending;
-    auto cb = std::move(slot.callback);
-    slot.pending = {};
-    slot.callback = nullptr;
+    ready_[best] = kIdle;
+    seq_[best] = ~std::uint64_t{0};
     ++events_;
-    if (cb) {
-      cb();  // deferred action; it reschedules the guest itself
-    } else {
+    if (slot.pending) {
+      const auto h = slot.pending;
+      slot.pending = {};
       h.resume();  // guest runs until its next leaf suspension or completion
+    } else {
+      const auto cb = std::move(slot.callback);
+      slot.callback = nullptr;
+      cb();  // deferred action; it reschedules the guest itself
     }
 
     if (slot.spawned && !slot.finished && slot.root.done()) {

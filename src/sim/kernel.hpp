@@ -67,6 +67,22 @@ class Kernel {
   /// probe-delivery time and only then schedule the guest's resume).
   void schedule_callback(CoreId core, std::function<void()> fn, Cycle at);
 
+  /// Swap the coroutine that `core`'s already-pending event will resume,
+  /// keeping its (cycle, sequence) slot. This is the abort fast path
+  /// (docs/performance.md): when a remote conflict dooms a suspended
+  /// transaction, the runtime redirects the victim's resume straight to its
+  /// retry-loop frame — the abandoned attempt's coroutine chain is then
+  /// destroyed instead of unwound with one TxAbort throw per nesting level.
+  /// Returns false (and changes nothing) when the core has no plain pending
+  /// resume — e.g. a delayed-probe callback is queued — and the caller must
+  /// fall back to the exception path.
+  [[nodiscard]] bool repoint(CoreId core, std::coroutine_handle<> h) {
+    auto& slot = cores_[core];
+    if (!slot.pending) return false;
+    slot.pending = h;
+    return true;
+  }
+
   /// Run until every spawned guest thread completes. Returns the final cycle.
   /// Throws DeadlockError / CycleLimitError / any exception escaping a root.
   Cycle run(Cycle max_cycles = ~Cycle{0});
@@ -104,19 +120,29 @@ class Kernel {
   void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
 
  private:
-  struct CoreSlot {
+  // alignas(64): per-core event payload, written by one core's schedule()
+  // and consumed by the run loop; line alignment keeps neighboring slots
+  // off each other's host cache lines.
+  struct alignas(64) CoreSlot {
     Task<void> root;
     std::coroutine_handle<> pending;  // continuation to resume, or null
     std::function<void()> callback;   // ... or a deferred action
-    Cycle ready_at = 0;
-    std::uint64_t seq = 0;  // FIFO tie-break among equal cycles
-    bool has_event = false;
     bool spawned = false;
     bool finished = false;
     Cycle finish_cycle = 0;
   };
 
+  /// ready_[c] == kIdle means "no pending event for core c".
+  static constexpr Cycle kIdle = ~Cycle{0};
+
   std::vector<CoreSlot> cores_;
+  // The event-selection scan runs once per simulated event over every core;
+  // keeping (ready cycle, FIFO seq) in dense parallel arrays makes it a
+  // two-stream walk over a handful of cache lines instead of a stride
+  // through the fat CoreSlot structs (docs/performance.md). Idle cores
+  // carry (kIdle, ~0), which can never win the (cycle, seq) comparison.
+  std::vector<Cycle> ready_;
+  std::vector<std::uint64_t> seq_;
   Cycle now_ = 0;
   std::uint64_t seq_counter_ = 0;
   std::uint64_t events_ = 0;

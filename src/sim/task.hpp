@@ -20,8 +20,11 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_arena.hpp"
 
 namespace asfsim {
 
@@ -34,6 +37,16 @@ template <typename T>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;  // resumed when this task finishes
   std::exception_ptr error;
+
+  // Route every coroutine frame through the thread-local FrameArena instead
+  // of the global allocator — frames of the same guest function recycle a
+  // freelist block across transaction retries (docs/performance.md). Only
+  // the sized delete is declared, so the compiler's frame deallocation is
+  // guaranteed to carry the size back to the right bucket.
+  static void* operator new(std::size_t n) { return FrameArena::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FrameArena::deallocate(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -11,8 +11,10 @@
 
 namespace asfsim {
 
-/// Collected over one simulation run.
-class Stats {
+/// Collected over one simulation run. Cache-line aligned: the parallel
+/// runner hammers one Stats per worker, and 64-byte alignment keeps two
+/// workers' hot counters off the same host line (docs/performance.md).
+class alignas(64) Stats {
  public:
   // ---- transactions ----------------------------------------------------
   std::uint64_t tx_attempts = 0;   // transaction launches incl. retries

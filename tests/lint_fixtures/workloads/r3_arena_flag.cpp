@@ -1,0 +1,20 @@
+// lint fixture: MUST flag global-alloc-in-tx (one site).
+//
+// Host-heap allocation under a guest coroutine frame: the pointer value is
+// host-nondeterministic and the node is invisible to the simulator. The
+// per-core FrameArena is exempt ONLY via the rule's explicit allowlist
+// (r3_arena_pass.cpp) — this fixture pins that raw `new` without the arena
+// still fires.
+#include "workloads/workload.hpp"
+
+namespace asfsim {
+
+Task<void> bad_scratch_worker(GuestCtx& c, Addr head) {
+  // Raw host heap allocation mid-coroutine: flagged.
+  int* scratch = new int[16];
+  scratch[0] = 1;
+  co_await c.store_u64(head, static_cast<std::uint64_t>(scratch[0]));
+  delete[] scratch;
+}
+
+}  // namespace asfsim

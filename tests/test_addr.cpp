@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/addr.hpp"
+#include "sim/random.hpp"
 
 namespace asfsim {
 namespace {
@@ -85,6 +86,36 @@ TEST_P(QuantizeTest, QuantizationIsMonotoneInGranularity) {
 
 INSTANTIATE_TEST_SUITE_P(SubBlockCounts, QuantizeTest,
                          ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(Addr, BranchlessQuantizeMatchesLoopedReference) {
+  // The production quantize() is branchless per sub-block (OR-fold +
+  // multiply gather, docs/performance.md); this pins it to the obvious
+  // looped definition over random masks, single-byte masks, and the
+  // all/none extremes, for every sub-block count.
+  const auto reference = [](ByteMask bytes, std::uint32_t nsub) {
+    const std::uint32_t sub_bytes = kLineBytes / nsub;
+    SubBlockMask out = 0;
+    for (std::uint32_t i = 0; i < nsub; ++i) {
+      if (bytes & byte_mask(i * sub_bytes, sub_bytes)) {
+        out |= static_cast<SubBlockMask>(1u << i);
+      }
+    }
+    return out;
+  };
+  Rng rng(99);
+  for (const std::uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
+    EXPECT_EQ(quantize(0, n), reference(0, n));
+    EXPECT_EQ(quantize(~ByteMask{0}, n), reference(~ByteMask{0}, n));
+    for (std::uint32_t off = 0; off < 64; ++off) {
+      const ByteMask one = byte_mask(off, 1);
+      EXPECT_EQ(quantize(one, n), reference(one, n)) << off << "/" << n;
+    }
+    for (int trial = 0; trial < 5000; ++trial) {
+      const ByteMask m = rng.next_u64();
+      ASSERT_EQ(quantize(m, n), reference(m, n)) << m << "/" << n;
+    }
+  }
+}
 
 TEST(Addr, AdjacentWordsShareCoarseSubBlocksOnly) {
   // Two adjacent 4-byte words: same 8-byte sub-block half the time,

@@ -1,10 +1,13 @@
-// Unit tests: TagArray geometry, LRU replacement, pinning, retention.
+// Unit tests: TagArray geometry, LRU replacement, pinning, retention, and
+// the SoA slot API (sentinel tags, packed meta, speculative-summary flag).
 #include <gtest/gtest.h>
 
 #include "mem/cache.hpp"
 
 namespace asfsim {
 namespace {
+
+constexpr auto kNoSlot = TagArray::kNoSlot;
 
 CacheLevelConfig small_l1() {
   CacheLevelConfig c;
@@ -19,6 +22,8 @@ Addr line_in_set(std::uint32_t set, std::uint32_t k, std::uint32_t nsets = 4) {
   return (Addr{k} * nsets + set) << kLineShift;
 }
 
+constexpr auto kAnyVictim = [](Addr) { return false; };
+
 TEST(TagArray, RejectsNon64ByteLines) {
   CacheLevelConfig c = small_l1();
   c.line_bytes = 32;
@@ -29,6 +34,7 @@ TEST(TagArray, GeometryFromConfig) {
   TagArray t(small_l1());
   EXPECT_EQ(t.num_sets(), 4u);
   EXPECT_EQ(t.ways(), 2u);
+  EXPECT_EQ(t.num_slots(), 8u);
   SimConfig def;
   TagArray l1(def.l1);
   EXPECT_EQ(l1.num_sets(), 512u);  // 64KB / 64B / 2 ways (paper Table II)
@@ -37,85 +43,127 @@ TEST(TagArray, GeometryFromConfig) {
 TEST(TagArray, FindMissesOnEmptyAndHitsAfterFill) {
   TagArray t(small_l1());
   const Addr a = line_in_set(1, 0);
-  EXPECT_EQ(t.find(a), nullptr);
-  auto* v = t.find_victim(a, [](Addr) { return false; });
-  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(t.find(a), kNoSlot);
+  const auto v = t.find_victim(a, kAnyVictim);
+  ASSERT_NE(v, kNoSlot);
   t.fill(v, a, Moesi::kExclusive);
-  ASSERT_NE(t.find(a), nullptr);
-  EXPECT_EQ(t.find(a)->state, Moesi::kExclusive);
+  const auto s = t.find(a);
+  ASSERT_NE(s, kNoSlot);
+  EXPECT_EQ(t.state(s), Moesi::kExclusive);
+  EXPECT_EQ(t.line(s), a);
 }
 
 TEST(TagArray, LruEvictsLeastRecentlyTouched) {
   TagArray t(small_l1());
   const Addr a = line_in_set(2, 0), b = line_in_set(2, 1), c = line_in_set(2, 2);
-  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kShared);
-  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kShared);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kShared);
+  t.fill(t.find_victim(b, kAnyVictim), b, Moesi::kShared);
   t.touch(a);  // b is now LRU
-  t.fill(t.find_victim(c, [](Addr) { return false; }), c, Moesi::kShared);
-  EXPECT_NE(t.find(a), nullptr);
-  EXPECT_EQ(t.find(b), nullptr) << "LRU way must have been evicted";
-  EXPECT_NE(t.find(c), nullptr);
+  t.fill(t.find_victim(c, kAnyVictim), c, Moesi::kShared);
+  EXPECT_NE(t.find(a), kNoSlot);
+  EXPECT_EQ(t.find(b), kNoSlot) << "LRU way must have been evicted";
+  EXPECT_NE(t.find(c), kNoSlot);
 }
 
 TEST(TagArray, VictimPrefersEmptyWay) {
   TagArray t(small_l1());
   const Addr a = line_in_set(0, 0), b = line_in_set(0, 1);
-  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kModified);
-  auto* v = t.find_victim(b, [](Addr) { return false; });
-  ASSERT_NE(v, nullptr);
-  EXPECT_EQ(v->state, Moesi::kInvalid) << "must pick the empty way";
-  EXPECT_NE(t.find(a), nullptr);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kModified);
+  const auto v = t.find_victim(b, kAnyVictim);
+  ASSERT_NE(v, kNoSlot);
+  EXPECT_EQ(t.line(v), TagArray::kEmptyTag) << "must pick the empty way";
+  EXPECT_NE(t.find(a), kNoSlot);
 }
 
 TEST(TagArray, PinnedLinesAreNotEvicted) {
   TagArray t(small_l1());
   const Addr a = line_in_set(3, 0), b = line_in_set(3, 1), c = line_in_set(3, 2);
-  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kModified);
-  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kShared);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kModified);
+  t.fill(t.find_victim(b, kAnyVictim), b, Moesi::kShared);
   auto pin_a = [&](Addr line) { return line == a; };
-  auto* v = t.find_victim(c, pin_a);
-  ASSERT_NE(v, nullptr);
-  EXPECT_EQ(v->line, b) << "pinned line a must be skipped";
+  const auto v = t.find_victim(c, pin_a);
+  ASSERT_NE(v, kNoSlot);
+  EXPECT_EQ(t.line(v), b) << "pinned line a must be skipped";
 }
 
-TEST(TagArray, AllWaysPinnedReturnsNull) {
+TEST(TagArray, AllWaysPinnedReturnsNoSlot) {
   TagArray t(small_l1());
   const Addr a = line_in_set(1, 0), b = line_in_set(1, 1), c = line_in_set(1, 2);
-  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kModified);
-  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kModified);
-  EXPECT_EQ(t.find_victim(c, [](Addr) { return true; }), nullptr)
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kModified);
+  t.fill(t.find_victim(b, kAnyVictim), b, Moesi::kModified);
+  EXPECT_EQ(t.find_victim(c, [](Addr) { return true; }), kNoSlot)
       << "capacity abort signal when every way holds speculative state";
 }
 
 TEST(TagArray, RetainedEntriesStayFindable) {
   TagArray t(small_l1());
   const Addr a = line_in_set(0, 0);
-  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kShared);
-  auto* e = t.find(a);
-  e->state = Moesi::kInvalid;
-  e->retained = true;  // invalidated with speculative-info retention
-  ASSERT_NE(t.find(a), nullptr);
-  EXPECT_TRUE(t.find(a)->retained);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kShared);
+  const auto s = t.find(a);
+  t.retain_invalid(s);  // invalidated with speculative-info retention
+  ASSERT_NE(t.find(a), kNoSlot);
+  EXPECT_TRUE(t.retained(s));
+  EXPECT_FALSE(t.valid(s));
+  EXPECT_EQ(t.state(s), Moesi::kInvalid);
   t.drop(a);
-  EXPECT_EQ(t.find(a), nullptr);
+  EXPECT_EQ(t.find(a), kNoSlot);
+}
+
+TEST(TagArray, RevalidationClearsRetained) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(0, 0);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kShared);
+  const auto s = t.find(a);
+  t.retain_invalid(s);
+  t.set_state(s, Moesi::kExclusive);  // owner refetches the line
+  EXPECT_TRUE(t.valid(s));
+  EXPECT_FALSE(t.retained(s));
+}
+
+TEST(TagArray, SpecFlagSurvivesRetentionAndDiesWithDrop) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(2, 0);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kModified);
+  auto s = t.find(a);
+  EXPECT_FALSE(t.spec_flag(s)) << "fresh fill carries no speculative summary";
+  t.set_spec_flag(s, true);
+  t.retain_invalid(s);
+  EXPECT_TRUE(t.spec_flag(s)) << "retention keeps the line's speculative info";
+  t.set_state(s, Moesi::kModified);
+  EXPECT_TRUE(t.spec_flag(s)) << "revalidation keeps live metadata visible";
+  t.drop_slot(s);
+  s = t.find_victim(a, kAnyVictim);
+  t.fill(s, a, Moesi::kShared);
+  EXPECT_FALSE(t.spec_flag(t.find(a))) << "drop+refill must reset the flag";
+}
+
+TEST(TagArray, SlotsAreStableAcrossDropsOfOtherLines) {
+  TagArray t(small_l1());
+  const Addr a = line_in_set(0, 0), b = line_in_set(0, 1);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kShared);
+  t.fill(t.find_victim(b, kAnyVictim), b, Moesi::kShared);
+  const auto sa = t.find(a);
+  t.drop(b);
+  EXPECT_EQ(t.find(a), sa);
+  EXPECT_EQ(t.line(sa), a);
 }
 
 TEST(TagArray, DropIsIdempotentAndAddressSpecific) {
   TagArray t(small_l1());
   const Addr a = line_in_set(0, 0), b = line_in_set(0, 1);
-  t.fill(t.find_victim(a, [](Addr) { return false; }), a, Moesi::kShared);
-  t.fill(t.find_victim(b, [](Addr) { return false; }), b, Moesi::kShared);
+  t.fill(t.find_victim(a, kAnyVictim), a, Moesi::kShared);
+  t.fill(t.find_victim(b, kAnyVictim), b, Moesi::kShared);
   t.drop(a);
   t.drop(a);
-  EXPECT_EQ(t.find(a), nullptr);
-  EXPECT_NE(t.find(b), nullptr);
+  EXPECT_EQ(t.find(a), kNoSlot);
+  EXPECT_NE(t.find(b), kNoSlot);
 }
 
 TEST(TagArray, CountsFillsAndEvictions) {
   TagArray t(small_l1());
   const Addr a = line_in_set(2, 0), b = line_in_set(2, 1), c = line_in_set(2, 2);
   for (const Addr x : {a, b, c}) {
-    t.fill(t.find_victim(x, [](Addr) { return false; }), x, Moesi::kShared);
+    t.fill(t.find_victim(x, kAnyVictim), x, Moesi::kShared);
   }
   EXPECT_EQ(t.fills(), 3u);
   EXPECT_EQ(t.evictions(), 1u);  // only the third fill displaced anything

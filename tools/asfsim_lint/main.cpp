@@ -94,7 +94,9 @@ void print_rules() {
       << "       concurrent transactions adjacent nodes in one cache line\n"
       << "       and fabricates WAW false sharing (DESIGN.md §6.9). Use\n"
       << "       GuestCtx::alloc_local. Autofix: rewrites to the GuestCtx\n"
-      << "       parameter when the function has one.\n"
+      << "       parameter when the function has one. Also flags raw host\n"
+      << "       heap allocation (new/malloc) in coroutines; the per-core\n"
+      << "       FrameArena is exempt via an explicit allowlist only.\n"
       << kRuleRawGuestAccess
       << "  (R4) guest-thread code in workloads/ or oltp/ calling\n"
       << "       poke/peek/backing\n"

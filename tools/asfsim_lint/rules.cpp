@@ -305,6 +305,50 @@ class Checker {
              "use the per-core pool:  ctx.alloc_local(size, align)",
              std::move(fixes));
     }
+    // Raw host allocation in guest-thread code is the same hazard from the
+    // host side: heap nodes allocated mid-coroutine are invisible to the
+    // simulator AND non-deterministic in address. The ONLY sanctioned host
+    // allocation under a guest frame is the per-core coroutine-frame arena
+    // (src/sim/frame_arena.hpp), which Task<> promises route operator new
+    // through; at a call site that machinery appears as placement-new into
+    // arena storage. The exemption is this explicit allowlist of arena
+    // entry-point names — never a file- or rule-level suppression, which
+    // would also hide genuine global allocations
+    // (tests/lint_fixtures/workloads/r3_arena_*.cpp pin both directions).
+    static constexpr const char* kR3ArenaAllowlist[] = {"frame_arena",
+                                                        "FrameArena"};
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (!is_ident(toks_[i])) continue;
+      const std::string& t = toks_[i].text;
+      const bool is_new = t == "new";
+      const bool is_c_alloc =
+          (t == "malloc" || t == "calloc" || t == "realloc") &&
+          is(toks_[i + 1], "(");
+      if (!is_new && !is_c_alloc) continue;
+      if (!ast_.in_coroutine(i)) continue;
+      if (is_new && is(toks_[i + 1], "(")) {
+        // Placement-new: exempt iff the placement argument goes through an
+        // allowlisted arena entry point.
+        bool allowlisted = false;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+          if (is(toks_[j], "(")) ++depth;
+          if (is(toks_[j], ")") && --depth == 0) break;
+          for (const char* name : kR3ArenaAllowlist) {
+            if (is_ident(toks_[j]) && toks_[j].text == name)
+              allowlisted = true;
+          }
+        }
+        if (allowlisted) continue;
+      }
+      report(kRuleGlobalAllocInTx, i,
+             "guest-thread code allocates from the host heap (" + t +
+                 ") — the address is host-nondeterministic and the node "
+                 "is invisible to the simulator (DESIGN.md §6.9); only "
+                 "the per-core frame arena is exempt",
+             "use ctx.alloc_local(size, align) for simulated nodes, or "
+             "the FrameArena for host-side coroutine scratch");
+    }
   }
 
   // ---- R4: host-side backdoor access to guest memory ----------------------
