@@ -1,0 +1,13 @@
+// Bench harness entry point: regenerates the extension artifact
+// "fig_conflict_attribution" (share of false conflicts by allocation site
+// per detector, over a contended OLTP run plus vacation and genome). See
+// docs/observability.md, "Conflict provenance".
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::fig_conflict_attribution(opts, std::cout);
+}

@@ -56,9 +56,12 @@ class GuestCtx {
   [[nodiscard]] AsfRuntime& runtime() { return rt_; }
   [[nodiscard]] MemorySystem& mem() { return mem_; }
   [[nodiscard]] GAllocator& galloc() { return galloc_; }
-  /// Core-local pool allocation (STAMP-style per-thread allocator).
-  [[nodiscard]] Addr alloc_local(std::uint64_t size, std::uint64_t align = 8) {
-    return galloc_.alloc_local(core_, size, align);
+  /// Core-local pool allocation (STAMP-style per-thread allocator). Pass a
+  /// site id (GAllocator::register_site) to tag the block for conflict
+  /// provenance; untagged blocks attribute to "(untagged)".
+  [[nodiscard]] Addr alloc_local(std::uint64_t size, std::uint64_t align = 8,
+                                 prov::SiteId site = prov::kUntaggedSite) {
+    return galloc_.alloc_local(core_, size, align, site);
   }
 
   // ---- leaf awaitables ----------------------------------------------------

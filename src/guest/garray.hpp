@@ -26,6 +26,13 @@ class GArray {
     return GArray(ga.alloc(count * W, align));
   }
 
+  /// Allocate tagged with a provenance site named `site` (element-sized
+  /// objects, so per-object attribution reports array indices).
+  static GArray alloc(GAllocator& ga, std::uint64_t count, std::uint64_t align,
+                      const char* site) {
+    return GArray(ga.alloc(count * W, align, ga.register_site(site, W)));
+  }
+
   [[nodiscard]] Addr base() const { return base_; }
   [[nodiscard]] Addr addr(std::uint64_t i) const { return base_ + i * W; }
   [[nodiscard]] bool valid() const { return base_ != 0; }

@@ -3,7 +3,9 @@
 namespace asfsim {
 
 GHashMap GHashMap::create(Machine& m, std::uint64_t nbuckets) {
-  const Addr buckets = m.galloc().alloc(nbuckets * 8, kLineBytes);
+  GAllocator& ga = m.galloc();
+  const Addr buckets = ga.alloc(nbuckets * 8, kLineBytes,
+                                ga.register_site("ghashmap.bucket", 8));
   for (std::uint64_t i = 0; i < nbuckets; ++i) m.poke(buckets + i * 8, 8, 0);
   return GHashMap(buckets, nbuckets);
 }

@@ -5,8 +5,11 @@
 namespace asfsim {
 
 GHeap GHeap::create(Machine& m, std::uint64_t capacity) {
-  const Addr ctrl = m.galloc().alloc(kLineBytes, kLineBytes);
-  const Addr slots = m.galloc().alloc(capacity * 8, kLineBytes);
+  GAllocator& ga = m.galloc();
+  const Addr ctrl = ga.alloc(kLineBytes, kLineBytes,
+                             ga.register_site("gheap.ctrl", kLineBytes));
+  const Addr slots =
+      ga.alloc(capacity * 8, kLineBytes, ga.register_site("gheap.slot", 8));
   m.poke(ctrl, 8, 0);
   return GHeap(ctrl, slots, capacity);
 }

@@ -2,12 +2,17 @@
 
 namespace asfsim {
 
-Addr galloc_node(GuestCtx& c) { return c.alloc_local(gnode::kSize, 8); }
+Addr galloc_node(GuestCtx& c) {
+  return c.alloc_local(gnode::kSize, 8,
+                       c.galloc().register_site("gnode", gnode::kSize));
+}
 
 GList GList::create(Machine& m) {
   // Container control blocks are fat structs in real code; give each its
   // own line so unrelated containers do not false-share their headers.
-  const Addr head = m.galloc().alloc(kLineBytes, kLineBytes);
+  GAllocator& ga = m.galloc();
+  const Addr head =
+      ga.alloc(kLineBytes, kLineBytes, ga.register_site("glist.head", kLineBytes));
   m.poke(head, 8, 0);
   return GList(head);
 }
@@ -75,7 +80,9 @@ Task<std::uint64_t> GList::size(GuestCtx& c) {
 }
 
 GQueue GQueue::create(Machine& m) {
-  const Addr base = m.galloc().alloc(kLineBytes, kLineBytes);
+  GAllocator& ga = m.galloc();
+  const Addr base = ga.alloc(kLineBytes, kLineBytes,
+                             ga.register_site("gqueue.ctrl", kLineBytes));
   m.poke(base, 8, 0);
   m.poke(base + 8, 8, 0);
   return GQueue(base);
@@ -107,7 +114,9 @@ Task<bool> GQueue::pop(GuestCtx& c, std::uint64_t* key, std::uint64_t* value) {
 }
 
 void GQueue::host_push(Machine& m, std::uint64_t key, std::uint64_t value) {
-  const Addr node = m.galloc().alloc(gnode::kSize, 8);
+  GAllocator& ga = m.galloc();
+  const Addr node =
+      ga.alloc(gnode::kSize, 8, ga.register_site("gnode", gnode::kSize));
   m.poke(node + gnode::kKey, 8, key);
   m.poke(node + gnode::kValue, 8, value);
   m.poke(node + gnode::kNext, 8, 0);
@@ -136,8 +145,11 @@ Task<bool> GQueue::empty(GuestCtx& c) {
 }
 
 GRing GRing::create(Machine& m, std::uint64_t capacity) {
-  const Addr ctrl = m.galloc().alloc(kLineBytes, kLineBytes);
-  const Addr slots = m.galloc().alloc(capacity * 8, kLineBytes);
+  GAllocator& ga = m.galloc();
+  const Addr ctrl = ga.alloc(kLineBytes, kLineBytes,
+                             ga.register_site("gring.ctrl", kLineBytes));
+  const Addr slots =
+      ga.alloc(capacity * 8, kLineBytes, ga.register_site("gring.slot", 8));
   m.poke(ctrl, 8, 0);       // head index
   m.poke(ctrl + 16, 8, 0);  // tail index
   for (std::uint64_t i = 0; i < capacity; ++i) m.poke(slots + i * 8, 8, 0);

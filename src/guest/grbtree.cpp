@@ -11,7 +11,9 @@ namespace asfsim {
 
 GRBTree GRBTree::create(Machine& m) {
   // Fat container header: own cache line (see GList::create).
-  const Addr root = m.galloc().alloc(kLineBytes, kLineBytes);
+  GAllocator& ga = m.galloc();
+  const Addr root = ga.alloc(kLineBytes, kLineBytes,
+                             ga.register_site("grbtree.root", kLineBytes));
   m.poke(root, 8, 0);
   return GRBTree(root);
 }
@@ -184,7 +186,8 @@ Task<bool> GRBTree::insert(GuestCtx& c, std::uint64_t key,
     went_left = key < k;
     cur = co_await c.load_u64(cur + (went_left ? kLeft : kRight));
   }
-  const Addr z = c.alloc_local(kNodeSize, 8);
+  const Addr z = c.alloc_local(
+      kNodeSize, 8, c.galloc().register_site("grbtree.node", kNodeSize));
   co_await c.store_u64(z + kKey, key);
   co_await c.store_u64(z + kVal, value);
   co_await c.store_u64(z + kLeft, 0);
@@ -364,7 +367,8 @@ void GRBTree::host_insert(Machine& m, std::uint64_t key, std::uint64_t value) {
     went_left = key < k;
     cur = rd(cur + (went_left ? kLeft : kRight));
   }
-  const Addr z = m.galloc().alloc(kNodeSize, 8);
+  const Addr z = m.galloc().alloc(
+      kNodeSize, 8, m.galloc().register_site("grbtree.node", kNodeSize));
   wr(z + kKey, key);
   wr(z + kVal, value);
   wr(z + kLeft, 0);

@@ -35,8 +35,18 @@ Machine::Machine(const SimConfig& cfg, DetectorKind detector,
     kernel_.set_watchdog(cfg_.watchdog_cycles,
                          [this] { return livelock_report(*this); });
   }
+  if (cfg_.provenance) {
+    prov_sites_ = std::make_unique<prov::SiteRegistry>();
+    prov_ = std::make_unique<prov::ProvCollector>(*prov_sites_,
+                                                 detector_->nsub());
+    galloc_.set_site_registry(prov_sites_.get());
+    runtime_.set_provenance(prov_.get());
+    mem_.set_provenance(prov_.get());
+  }
   // The software-fallback lock word gets a cache line of its own.
-  fallback_lock_ = galloc_.alloc(kLineBytes, kLineBytes);
+  fallback_lock_ = galloc_.alloc(kLineBytes, kLineBytes,
+                                 galloc_.register_site("fallback.lock",
+                                                       kLineBytes));
   backing_.write(fallback_lock_, 8, 0);
   ctxs_.reserve(cfg_.ncores);
   for (CoreId c = 0; c < cfg_.ncores; ++c) {
@@ -51,6 +61,24 @@ Cycle Machine::run(Cycle max_cycles) {
   const trace::ScopedSimClock clock(&kernel_clock_thunk, &kernel_);
   const Cycle end = kernel_.run(max_cycles);
   stats_.total_cycles = end;
+  if (prov_) {
+    // Declare every allocation site at the end of the stream (ids are only
+    // referenced by earlier conflict events, and final object counts are
+    // known here), then fold the aggregates into the stats blob.
+    const std::vector<prov::SiteInfo>& sites = prov_sites_->sites();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      trace::TraceEvent ev;
+      ev.kind = trace::TraceEventKind::kSite;
+      ev.cycle = end;
+      ev.site_id = static_cast<std::uint32_t>(i);
+      ev.site_name = sites[i].name;
+      ev.site_obj_size = sites[i].obj_size;
+      ev.site_objects = sites[i].objects;
+      ev.site_bytes = sites[i].bytes;
+      hub_.emit(ev);
+    }
+    prov_->flush(stats_);
+  }
   hub_.finish(end);
   return end;
 }

@@ -18,6 +18,8 @@
 #include "mem/backing_store.hpp"
 #include "mem/coherence.hpp"
 #include "mem/gallocator.hpp"
+#include "prov/collector.hpp"
+#include "prov/site_registry.hpp"
 #include "sim/config.hpp"
 #include "sim/kernel.hpp"
 #include "stats/counters.hpp"
@@ -65,6 +67,12 @@ class Machine {
   /// (SimConfig::fault — tools read the counters after a run).
   [[nodiscard]] FaultPlan* fault_plan() { return fault_.get(); }
 
+  /// Conflict-provenance site registry, or null unless SimConfig::provenance
+  /// (docs/observability.md, "Conflict provenance").
+  [[nodiscard]] const prov::SiteRegistry* site_registry() const {
+    return prov_sites_.get();
+  }
+
   /// Enable the bounded in-memory event ring (of `depth` events).
   TxTrace& enable_trace(std::size_t depth = 4096) {
     trace_ = std::make_unique<TxTrace>(depth);
@@ -91,6 +99,8 @@ class Machine {
   MemorySystem mem_;
   AsfRuntime runtime_;
   GAllocator galloc_;
+  std::unique_ptr<prov::SiteRegistry> prov_sites_;
+  std::unique_ptr<prov::ProvCollector> prov_;
   Addr fallback_lock_ = 0;
   std::unique_ptr<TxTrace> trace_;
   std::unique_ptr<FaultPlan> fault_;

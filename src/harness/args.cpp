@@ -86,6 +86,11 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
     } else if (std::strcmp(argv[i], "--oltp-scan-len") == 0) {
       o.oltp.scan_len =
           static_cast<std::uint32_t>(std::atoi(need_value("--oltp-scan-len")));
+    } else if (std::strcmp(argv[i], "--oltp-hot-window") == 0) {
+      o.oltp.hot_window = static_cast<std::uint64_t>(
+          std::atoll(need_value("--oltp-hot-window")));
+    } else if (std::strcmp(argv[i], "--prov") == 0) {
+      o.prov = true;
     } else if (std::strcmp(argv[i], "--oltp-mix") == 0) {
       const char* name = need_value("--oltp-mix");
       if (!parse_oltp_mix(name, o.oltp.mix)) {
@@ -109,7 +114,8 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
           "  oltp: [--oltp-records n] [--oltp-payload n] [--oltp-tx-len n] "
           "[--oltp-tx n] [--oltp-theta f] [--oltp-read-ratio f] "
           "[--oltp-rmw-ratio f] [--oltp-scan-ratio f] [--oltp-scan-len n] "
-          "[--oltp-mix a..f|custom]\n",
+          "[--oltp-hot-window n] [--oltp-mix a..f|custom]\n"
+          "  observability: [--prov] (conflict provenance attribution)\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -34,7 +34,14 @@
 //   --oltp-rmw-ratio <f>   free-form mix: read-modify-writes
 //   --oltp-scan-ratio <f>  free-form mix: scans (rest = blind updates)
 //   --oltp-scan-len <n>    records per scan operation
+//   --oltp-hot-window <n>  YCSB-D "latest" sliding hot window (0 = whole
+//                          table; see docs/workloads.md)
 //   --oltp-mix <a..f>      YCSB preset (overrides the three ratios)
+//
+// Observability (docs/observability.md):
+//   --prov                 conflict provenance: attribute every conflict to
+//                          its allocation site (adds the stats v4 section
+//                          and provenance-tagged trace events)
 #pragma once
 
 #include <cstdint>
@@ -68,6 +75,9 @@ struct CliOptions {
   /// OLTP workload knobs; flow into WorkloadParams::oltp (and therefore the
   /// JobSpec hash) via base_config/apply_robustness_options.
   OltpConfig oltp;
+
+  /// Conflict provenance (--prov): flows into SimConfig::provenance.
+  bool prov = false;
 };
 
 /// Parse the common flags; exits with a usage message on errors.

@@ -78,6 +78,7 @@ void apply_robustness_options(const CliOptions& opts, ExperimentConfig& cfg) {
   cfg.sim.watchdog_cycles = opts.watchdog;
   cfg.wall_limit_s = opts.job_timeout;
   cfg.params.oltp = opts.oltp;
+  cfg.sim.provenance = opts.prov;
 }
 
 const char* trace_file_extension(TraceFormat fmt) {

@@ -31,6 +31,10 @@ int fig10_execution_time(const CliOptions& opts, std::ostream& os);
 /// OLTP extension: commits/simulated-second and latency percentiles over a
 /// zipf-theta x core-count x detector sweep (docs/workloads.md).
 int fig11_throughput_vs_skew(const CliOptions& opts, std::ostream& os);
+/// Provenance extension: share of false conflicts by allocation site per
+/// detector, over a contended OLTP run plus two STAMP-style programs
+/// (docs/observability.md, "Conflict provenance").
+int fig_conflict_attribution(const CliOptions& opts, std::ostream& os);
 
 // ---- ablations / overhead (paper §II and §IV-E) ------------------------------
 int ablation_waronly(const CliOptions& opts, std::ostream& os);

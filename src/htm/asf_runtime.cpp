@@ -55,6 +55,8 @@ void AsfRuntime::doom(CoreId victim, const ConflictRecord& rec) {
   // Footprint must be read before the architectural abort below discards
   // the speculative metadata; finish_abort reports it.
   p.abort_fp = mem_.tx_footprint(victim);
+  prov::ProvCollector::Attribution at;
+  if (prov_) at = prov_->on_conflict(rec, kernel_.now() - p.tx_start);
   if (hub_) {
     trace::TraceEvent ev;
     ev.kind = trace::TraceEventKind::kConflict;
@@ -66,6 +68,14 @@ void AsfRuntime::doom(CoreId victim, const ConflictRecord& rec) {
     ev.is_false = rec.is_false;
     ev.probe_mask = rec.probe_bytes;
     ev.victim_mask = rec.victim_bytes;
+    if (prov_) {
+      ev.has_prov = true;
+      ev.victim_site = at.victim_site;
+      ev.victim_obj = at.victim_obj;
+      ev.victim_sub = at.victim_sub;
+      ev.req_site = at.req_site;
+      ev.req_obj = at.req_obj;
+    }
     hub_->emit(ev);
   }
   p.doomed = true;

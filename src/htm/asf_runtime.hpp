@@ -26,6 +26,7 @@
 #include "htm/tx_control.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/coherence.hpp"
+#include "prov/collector.hpp"
 #include "sim/addr_map.hpp"
 #include "stats/counters.hpp"
 #include "trace/sink.hpp"
@@ -124,6 +125,10 @@ class AsfRuntime final : public ITxControl {
   /// the transaction instead; callers observe it via doomed(core) exactly
   /// like a remote conflict that raced the commit point.
   void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+  /// Optional conflict-provenance collector (null unless
+  /// SimConfig::provenance): doom() attributes every conflict record to its
+  /// allocation sites. One null check on the conflict path when disabled.
+  void set_provenance(prov::ProvCollector* prov) { prov_ = prov; }
 
   // ---- value path ---------------------------------------------------------
   /// Read `size` bytes at `a` as seen by `core`: its own overlay bytes win,
@@ -180,6 +185,7 @@ class AsfRuntime final : public ITxControl {
   std::unique_ptr<AdaptiveScheduler> scheduler_;
   trace::TraceHub* hub_ = nullptr;
   FaultPlan* fault_ = nullptr;
+  prov::ProvCollector* prov_ = nullptr;
   std::vector<PerCore> cores_;
 };
 

@@ -198,6 +198,13 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
           if (baseline_would_conflict(meta, invalidating) &&
               !(oracle && truly)) {
             stats_.on_avoided_false_conflict();
+            const ByteMask victim_bytes =
+                invalidating ? (meta.read_bytes | meta.write_bytes)
+                             : meta.write_bytes;
+            prov::ProvCollector::Attribution at;
+            if (prov_ != nullptr) {
+              at = prov_->on_avoided(line, mask, victim_bytes);
+            }
             if (hub_ != nullptr) {
               const Classification cls =
                   classify_conflict(meta, mask, invalidating);
@@ -210,9 +217,15 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
               ev.type = cls.type;
               ev.is_false = cls.is_false;
               ev.probe_mask = mask;
-              ev.victim_mask = invalidating
-                                   ? (meta.read_bytes | meta.write_bytes)
-                                   : meta.write_bytes;
+              ev.victim_mask = victim_bytes;
+              if (prov_ != nullptr) {
+                ev.has_prov = true;
+                ev.victim_site = at.victim_site;
+                ev.victim_obj = at.victim_obj;
+                ev.victim_sub = at.victim_sub;
+                ev.req_site = at.req_site;
+                ev.req_obj = at.req_obj;
+              }
               hub_->emit(ev);
             }
           }

@@ -24,6 +24,7 @@
 #include "core/detector.hpp"
 #include "htm/tx_control.hpp"
 #include "mem/cache.hpp"
+#include "prov/collector.hpp"
 #include "sim/addr_map.hpp"
 #include "sim/config.hpp"
 #include "stats/counters.hpp"
@@ -84,6 +85,10 @@ class MemorySystem {
   /// Attach the fault plan (null while injection is disabled; the only cost
   /// then is one null check per transactional access / probe broadcast).
   void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+  /// Attach the conflict-provenance collector (null unless
+  /// SimConfig::provenance). Only consulted on the avoided-false-conflict
+  /// path — detected conflicts are attributed at the doom() hook.
+  void set_provenance(prov::ProvCollector* prov) { prov_ = prov; }
   [[nodiscard]] ConflictDetector& detector() const { return *detector_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
@@ -178,6 +183,7 @@ class MemorySystem {
   bool dirty_handling_ = false;
   trace::TraceHub* hub_ = nullptr;
   FaultPlan* fault_ = nullptr;
+  prov::ProvCollector* prov_ = nullptr;
   const ProtocolMutation mutation_;  // from cfg_.fault (chaos harness)
 
   /// Serialize a probe broadcast on the snoop bus: returns the queuing

@@ -20,6 +20,7 @@
 //      record with one uniquely tagged value, so every record must read
 //      back either its initial pattern or a single valid tag (a torn or
 //      non-serializable write breaks this).
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -57,9 +58,11 @@ class OltpWorkload final : public Workload {
     const std::uint64_t stride = 8 + cfg_.payload_bytes;
 
     record_addr_.resize(cfg_.records);
+    const prov::SiteId rec_site =
+        m.galloc().register_site("oltp.record", stride);
     for (std::uint64_t i = 0; i < cfg_.records; ++i) {
       const CoreId pool = static_cast<CoreId>(i % threads_);
-      record_addr_[i] = m.galloc().alloc_local(pool, stride, 8);
+      record_addr_[i] = m.galloc().alloc_local(pool, stride, 8, rec_site);
       m.poke(record_addr_[i], 8, 0);  // version
       for (std::uint32_t j = 0; j < words_; ++j) {
         m.poke(record_addr_[i] + 8 + 8 * std::uint64_t{j}, 8, init_word(i, j));
@@ -67,6 +70,12 @@ class OltpWorkload final : public Workload {
     }
 
     zipf_ = std::make_unique<ZipfGenerator>(cfg_.records, cfg_.theta);
+    if (cfg_.hot_window > 0) {
+      // YCSB-D "latest": skew is over recency (distance behind a sliding
+      // per-run insert frontier), not over absolute rank.
+      window_zipf_ = std::make_unique<ZipfGenerator>(
+          std::min(cfg_.hot_window, cfg_.records), cfg_.theta);
+    }
     committed_rmws_.assign(threads_, 0);
     for (CoreId t = 0; t < threads_; ++t) {
       m.spawn(t, worker(m.ctx(t), this, ntx_per_thread_));
@@ -121,6 +130,24 @@ class OltpWorkload final : public Workload {
     return {};
   }
 
+  /// One key draw; consumes exactly one next_double either way, so the
+  /// per-core rng streams stay in lockstep across hot-window settings.
+  ///
+  /// hot_window == 0: plain zipf over absolute rank (YCSB-C shape).
+  /// hot_window  > 0: YCSB-D "latest" — each thread advances a virtual
+  /// insert frontier as it issues transactions (global position
+  /// tx * threads + core, wrapped onto the fixed table), and keys are drawn
+  /// a zipf-distributed *distance* behind that frontier, bounded by the
+  /// window. The hot set is therefore a sliding window of recently
+  /// "inserted" records rather than a fixed head.
+  std::uint64_t draw_key(GuestCtx& c, std::uint64_t tx) const {
+    if (!window_zipf_) return zipf_->next(c.rng());
+    const std::uint64_t head =
+        (tx * threads_ + c.core()) % cfg_.records;
+    const std::uint64_t offset = window_zipf_->next(c.rng());
+    return (head + cfg_.records - offset) % cfg_.records;
+  }
+
   static Task<void> worker(GuestCtx& c, OltpWorkload* w, std::uint64_t ntx) {
     const OltpConfig& cfg = w->cfg_;
     std::vector<Op> ops;
@@ -140,7 +167,7 @@ class OltpWorkload final : public Workload {
         } else if (u < cfg.read_ratio + cfg.rmw_ratio + cfg.scan_ratio) {
           kind = OpKind::kScan;
         }
-        ops.push_back({kind, w->zipf_->next(c.rng())});
+        ops.push_back({kind, w->draw_key(c, tx)});
       }
       const std::uint64_t tag = tag_value(c.core(), tx);
       std::uint64_t rmws_in_tx = 0;
@@ -190,6 +217,7 @@ class OltpWorkload final : public Workload {
 
   OltpConfig cfg_;
   std::unique_ptr<ZipfGenerator> zipf_;
+  std::unique_ptr<ZipfGenerator> window_zipf_;  // hot_window > 0 only
   std::vector<Addr> record_addr_;
   std::vector<std::uint64_t> committed_rmws_;  // per core
   std::uint64_t ntx_per_thread_ = 0;

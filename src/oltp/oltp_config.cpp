@@ -74,6 +74,7 @@ std::string OltpConfig::validate() const {
   if (scan_len == 0 || scan_len > records) {
     return "scan_len must be in [1, records]";
   }
+  if (hot_window > records) return "hot_window must be in [0, records]";
   return {};
 }
 

@@ -17,8 +17,9 @@ namespace asfsim {
 /// YCSB-style operation-mix preset (--oltp-mix a..f). kCustom uses the
 /// free-form ratio knobs verbatim; the letter presets override them.
 /// Adaptation note: the table is fixed-size, so YCSB's inserts (mixes D/E)
-/// are modeled as updates and D's "latest" key distribution as the
-/// configured zipf — documented in docs/workloads.md.
+/// are modeled as updates; D's "latest" key distribution is available via
+/// the hot_window knob (--oltp-hot-window) — documented in
+/// docs/workloads.md.
 enum class OltpMix : std::uint8_t {
   kCustom = 0,
   kA,  // 50% read / 50% update        (update heavy)
@@ -58,6 +59,12 @@ struct OltpConfig {
   /// Consecutive records touched by one scan operation (wraps at the end
   /// of the table).
   std::uint32_t scan_len = 8;
+  /// YCSB-D "latest" sliding hot window (--oltp-hot-window): when nonzero,
+  /// keys are drawn zipf-skewed over the `hot_window` most recently
+  /// "inserted" records behind a per-thread virtual insertion head that
+  /// advances every transaction, instead of zipf over the whole table.
+  /// 0 keeps the whole-table zipf (the pre-window behavior).
+  std::uint64_t hot_window = 0;
   /// Preset selector; non-custom values override the three ratios above.
   OltpMix mix = OltpMix::kCustom;
 

@@ -1,0 +1,77 @@
+#include "prov/site_registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asfsim::prov {
+
+namespace {
+
+bool site_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+         c == '(' || c == ')' || c == '-';
+}
+
+// Site names land in the stats blob (whitespace-delimited tokens) and in
+// trace JSONL strings; clamp them to a charset both parsers accept verbatim.
+std::string sanitize(std::string_view name) {
+  std::string out(name.empty() ? std::string_view{"(unnamed)"} : name);
+  for (char& c : out) {
+    if (!site_char_ok(c)) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+SiteRegistry::SiteRegistry() {
+  sites_.push_back(SiteInfo{"(untagged)", 0, 0, 0});
+  by_name_.emplace(sites_.back().name, kUntaggedSite);
+}
+
+SiteId SiteRegistry::register_site(std::string_view name,
+                                   std::uint64_t obj_size) {
+  std::string key = sanitize(name);
+  const auto it = by_name_.find(key);
+  if (it != by_name_.end()) return it->second;
+  const SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(SiteInfo{key, obj_size, 0, 0});
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+void SiteRegistry::on_alloc(Addr base, std::uint64_t size, SiteId site) {
+  assert(site < sites_.size());
+  SiteInfo& info = sites_[site];
+  const std::uint64_t first = info.objects;
+  info.objects += info.obj_size != 0 ? (size + info.obj_size - 1) / info.obj_size
+                                     : 1;
+  info.bytes += size;
+  if (!extents_.empty() && base < extents_.back().base) sorted_ = false;
+  extents_.push_back(Extent{base, size, site, first});
+}
+
+SiteRegistry::Location SiteRegistry::resolve(Addr addr) const {
+  if (extents_.empty()) return {};
+  if (!sorted_) {
+    std::sort(extents_.begin(), extents_.end(),
+              [](const Extent& a, const Extent& b) { return a.base < b.base; });
+    sorted_ = true;
+  }
+  // First extent with base > addr; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      extents_.begin(), extents_.end(), addr,
+      [](Addr a, const Extent& e) { return a < e.base; });
+  if (it == extents_.begin()) return {};
+  --it;
+  if (addr >= it->base + it->size) return {};
+  Location loc;
+  loc.site = it->site;
+  const std::uint64_t obj_size = sites_[it->site].obj_size;
+  loc.object =
+      it->first_object + (obj_size != 0 ? (addr - it->base) / obj_size : 0);
+  return loc;
+}
+
+}  // namespace asfsim::prov

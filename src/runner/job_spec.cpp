@@ -54,7 +54,7 @@ JobSpec make_job_spec(const std::string& workload,
   const SimConfig& sim = spec.config.sim;
   std::string& s = spec.canonical;
   s.reserve(768);
-  s += "asfsim-jobspec v3\n";
+  s += "asfsim-jobspec v4\n";
   s += "workload " + workload + "\n";
   kv(s, "detector", static_cast<std::uint64_t>(cfg.detector));
   kv(s, "nsub", cfg.nsub);
@@ -105,6 +105,11 @@ JobSpec make_job_spec(const std::string& workload,
   kv(s, "oltp_scan_ratio", oltp.scan_ratio);
   kv(s, "oltp_scan_len", oltp.scan_len);
   kv(s, "oltp_mix", static_cast<std::uint64_t>(oltp.mix));
+  // v4: YCSB-D "latest" sliding hot window, and conflict provenance (which
+  // changes the cached stats blob — it gains the opt-in v4 section — even
+  // though simulated outcomes are identical).
+  kv(s, "oltp_hot_window", oltp.hot_window);
+  kv(s, "provenance", sim.provenance ? 1 : 0);
 
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",

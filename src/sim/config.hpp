@@ -84,6 +84,13 @@ struct SimConfig {
   double ats_alpha = 0.3;
   double ats_threshold = 0.5;
 
+  // Conflict provenance (docs/observability.md): tag guest allocations with
+  // site labels and attribute every conflict back to (site, object, line,
+  // sub-block). Off by default; the disabled cost is one null check on the
+  // conflict path. Does not change simulated outcomes, but it is folded into
+  // the jobspec hash because it adds the opt-in stats-blob v4 section.
+  bool provenance = false;
+
   std::uint64_t seed = 1;
 
   SimConfig() {

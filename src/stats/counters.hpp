@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -92,6 +93,24 @@ class alignas(64) Stats {
   /// toward the latency of the one logical transaction. Same bucketing as
   /// tx_duration_hist.
   std::array<std::uint64_t, 32> tx_latency_hist{};
+
+  // ---- conflict provenance (opt-in; docs/observability.md) ---------------
+  /// Set when the run executed with SimConfig::provenance. The vectors
+  /// below are filled by prov::ProvCollector::flush and serialize as the
+  /// stats blob's v4 section; when false they stay empty and the blob
+  /// keeps the v3 header byte-for-byte (kernel-identity goldens).
+  bool prov_enabled = false;
+  /// Site names, indexed by prov::SiteId (row index into prov_site_table).
+  std::vector<std::string> prov_site_names;
+  /// Per-site rows, 11 values each: obj_size, objects, bytes,
+  /// false WAR/RAW/WAW, true WAR/RAW/WAW, avoided, wasted cycles.
+  std::vector<std::uint64_t> prov_site_table;
+  /// Ranked hot lines, 4 values each: line, victim site, false, true
+  /// (top 32 by total conflicts; deterministic tie-break on line, site).
+  std::vector<std::uint64_t> prov_hot_lines;
+  /// Site-pair matrix, 4 values each: requester site, victim site,
+  /// false, true (every observed pair, key-sorted).
+  std::vector<std::uint64_t> prov_pairs;
 
   // ---- hooks -------------------------------------------------------------
   void on_tx_attempt(Cycle now);

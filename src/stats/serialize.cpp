@@ -12,10 +12,23 @@ namespace {
 
 // v2: appended the per-attempt profile fields (trace subsystem).
 // v3: appended tx_latency_hist (per-transaction latency, OLTP reporting).
-// The version bump makes older blobs fail deserialization cleanly; the
+// v4: appended the opt-in conflict-provenance section. The v4 header is
+// only written when the section is present (prov_enabled), so provenance-
+// off blobs stay byte-identical to v3 — the kernel-identity goldens hash
+// them — while on/off blobs differ only in the version digit and the
+// appended section. Older blobs still fail deserialization cleanly; the
 // result cache never serves them anyway (the code stamp changed with the
 // code).
-constexpr const char* kHeader = "asfsim-stats v3";
+constexpr const char* kHeaderV3 = "asfsim-stats v3";
+constexpr const char* kHeaderV4 = "asfsim-stats v4";
+
+// Charset of serialized site-name tokens; matches the sanitizer in
+// prov/site_registry.cpp so round-trips are exact.
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+         c == '(' || c == ')' || c == '-';
+}
 
 void put(std::string& out, const char* key, std::uint64_t v) {
   char buf[64];
@@ -98,6 +111,24 @@ class Reader {
     return literal("\n");
   }
 
+  /// Whitespace-delimited name tokens (site names; restricted charset).
+  bool name_seq(std::string_view key, std::vector<std::string>& values) {
+    std::uint64_t n = 0;
+    if (!literal(key) || !u64(n)) return false;
+    if (n > rest_.size() / 2) return false;  // same bound as var_seq
+    values.clear();
+    values.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!literal(" ")) return false;
+      std::size_t len = 0;
+      while (len < rest_.size() && name_char_ok(rest_[len])) ++len;
+      if (len == 0) return false;
+      values.emplace_back(rest_.substr(0, len));
+      rest_.remove_prefix(len);
+    }
+    return literal("\n");
+  }
+
   [[nodiscard]] bool done() const { return rest_.empty(); }
 
  private:
@@ -109,7 +140,7 @@ class Reader {
 std::string serialize_stats(const Stats& s) {
   std::string out;
   out.reserve(2048);
-  out += kHeader;
+  out += s.prov_enabled ? kHeaderV4 : kHeaderV3;
   out += '\n';
   put(out, "tx_attempts", s.tx_attempts);
   put(out, "tx_commits", s.tx_commits);
@@ -159,6 +190,21 @@ std::string serialize_stats(const Stats& s) {
   put(out, "wasted_cycles", s.wasted_cycles);
   put(out, "backoff_cycles", s.backoff_cycles);
   put_seq(out, "tx_latency_hist", s.tx_latency_hist);
+  if (s.prov_enabled) {
+    put(out, "prov_enabled", 1);
+    out += "prov_site_names";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %zu", s.prov_site_names.size());
+    out += buf;
+    for (const std::string& name : s.prov_site_names) {
+      out += ' ';
+      out += name;
+    }
+    out += '\n';
+    put_seq(out, "prov_site_table", s.prov_site_table);
+    put_seq(out, "prov_hot_lines", s.prov_hot_lines);
+    put_seq(out, "prov_pairs", s.prov_pairs);
+  }
   return out;
 }
 
@@ -167,8 +213,16 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
   Reader r(blob);
   std::uint64_t flag = 0;
   std::vector<Cycle> by_line_flat;
-  const bool ok =
-      r.literal(kHeader) && r.literal("\n") &&
+  bool v4 = false;
+  bool header_ok = false;
+  if (r.literal(kHeaderV3)) {
+    header_ok = true;
+  } else if (r.literal(kHeaderV4)) {
+    header_ok = true;
+    v4 = true;
+  }
+  bool ok =
+      header_ok && r.literal("\n") &&
       r.field("tx_attempts", out.tx_attempts) &&
       r.field("tx_commits", out.tx_commits) &&
       r.field("tx_aborts", out.tx_aborts) &&
@@ -204,7 +258,23 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
       r.fixed_seq("tx_write_lines_hist", out.tx_write_lines_hist) &&
       r.field("wasted_cycles", out.wasted_cycles) &&
       r.field("backoff_cycles", out.backoff_cycles) &&
-      r.fixed_seq("tx_latency_hist", out.tx_latency_hist) && r.done();
+      r.fixed_seq("tx_latency_hist", out.tx_latency_hist);
+  if (ok && v4) {
+    // Opt-in provenance section: only v4 blobs carry it, and a v4 blob
+    // must carry it (the header is only written when the section is).
+    std::uint64_t pflag = 0;
+    ok = r.field("prov_enabled", pflag) && pflag == 1 &&
+         r.name_seq("prov_site_names", out.prov_site_names) &&
+         r.var_seq("prov_site_table", out.prov_site_table) &&
+         r.var_seq("prov_hot_lines", out.prov_hot_lines) &&
+         r.var_seq("prov_pairs", out.prov_pairs) &&
+         // Stride/shape checks (prov/collector.hpp layout constants).
+         out.prov_site_table.size() == out.prov_site_names.size() * 11 &&
+         out.prov_hot_lines.size() % 4 == 0 &&
+         out.prov_pairs.size() % 4 == 0;
+    out.prov_enabled = ok;
+  }
+  ok = ok && r.done();
   if (!ok || flag > 1 || by_line_flat.size() % 2 != 0) return false;
   out.record_timeseries = flag == 1;
   for (std::size_t i = 0; i < by_line_flat.size(); i += 2) {

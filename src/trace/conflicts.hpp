@@ -1,0 +1,90 @@
+// Conflict forensics: fold a provenance-enabled JSONL trace into the
+// per-site / per-line / per-site-pair attribution report the
+// `asfsim_trace conflicts` command renders (docs/observability.md,
+// "Conflict provenance"). Kept in the library so tests can assert the
+// report against the Stats of the run that produced the trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace asfsim::trace {
+
+struct ConflictForensics {
+  /// Allocation-site directory, indexed by site id (kSite declarations).
+  struct Site {
+    std::string name;
+    std::uint64_t obj_size = 0;
+    std::uint64_t objects = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Site> sites;
+
+  /// Per victim-site conflict aggregates, split by ConflictType.
+  struct SiteAgg {
+    std::array<std::uint64_t, 3> false_by_type{};  // WAR, RAW, WAW
+    std::array<std::uint64_t, 3> true_by_type{};
+    std::uint64_t avoided = 0;  // baseline-would-conflict, sub-block declined
+    [[nodiscard]] std::uint64_t false_total() const {
+      return false_by_type[0] + false_by_type[1] + false_by_type[2];
+    }
+    [[nodiscard]] std::uint64_t true_total() const {
+      return true_by_type[0] + true_by_type[1] + true_by_type[2];
+    }
+  };
+  std::map<std::uint32_t, SiteAgg> by_site;
+
+  /// Per-line aggregates with a victim sub-block occupancy histogram
+  /// (which 1/nsub slices of the line the conflicts actually landed on —
+  /// a spread-out histogram under a high false share is the false-sharing
+  /// signature).
+  struct LineAgg {
+    std::uint32_t victim_site = 0;
+    std::uint64_t false_conflicts = 0;
+    std::uint64_t true_conflicts = 0;
+    std::array<std::uint64_t, kLineBytes> sub_hits{};  // by victim_sub
+    [[nodiscard]] std::uint64_t total() const {
+      return false_conflicts + true_conflicts;
+    }
+  };
+  std::map<Addr, LineAgg> by_line;
+
+  /// (requester site, victim site) -> (false, true) conflict counts.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      by_pair;
+
+  std::uint64_t conflicts = 0;        // all kConflict events
+  std::uint64_t false_conflicts = 0;  // ... with is_false
+  std::uint64_t avoided = 0;          // all kAvoided events
+  std::uint64_t prov_events = 0;      // conflict/avoided events carrying
+                                      // provenance, plus site declarations
+
+  void add(const TraceEvent& ev);
+
+  [[nodiscard]] const std::string& site_name(std::uint32_t id) const;
+};
+
+/// Fold a JSONL stream into `out`. On a malformed line, fills `err` and
+/// returns false. A well-formed stream with no provenance payload (the run
+/// was not executed with --prov) also fails, with a hint in `err`.
+[[nodiscard]] bool collect_conflicts_jsonl(std::istream& in,
+                                           ConflictForensics& out,
+                                           std::string& err);
+
+/// Render the text report: totals, ranked offender sites, hottest lines
+/// with the sub-block occupancy heatmap, and the site-pair matrix.
+void print_conflicts(const ConflictForensics& f, std::ostream& os, int top_n);
+
+/// Machine-readable dump: three CSV tables (sites, lines, pairs) separated
+/// by blank lines, unranked and untruncated.
+void print_conflicts_csv(const ConflictForensics& f, std::ostream& os);
+
+}  // namespace asfsim::trace

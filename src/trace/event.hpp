@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/conflict.hpp"
 #include "mem/addr.hpp"
@@ -28,9 +29,12 @@ enum class TraceEventKind : std::uint8_t {
   kBackoff,     // abort-penalty + backoff stall (span; emitted at start,
                 // timestamped at its END: span_begin..cycle)
   kCounter,     // periodic counter sample (live tx, commits, aborts, bus)
+  kSite,        // allocation-site declaration (provenance runs only): id,
+                // name, object size/count/bytes — emitted once per site at
+                // run end so conflict events' site ids are decodable
 };
 
-inline constexpr std::size_t kTraceEventKinds = 8;
+inline constexpr std::size_t kTraceEventKinds = 9;
 
 [[nodiscard]] const char* to_string(TraceEventKind k);
 
@@ -69,6 +73,24 @@ struct TraceEvent {
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
   Cycle bus_wait = 0;
+
+  // kConflict / kAvoided provenance (docs/observability.md, "Conflict
+  // provenance"). Only present — and only serialized — when the run was
+  // executed with SimConfig::provenance; site ids are declared by the
+  // kSite events at the end of the stream.
+  bool has_prov = false;
+  std::uint32_t victim_site = 0;
+  std::uint64_t victim_obj = 0;
+  std::uint32_t victim_sub = 0;  // sub-block index of the victim byte
+  std::uint32_t req_site = 0;
+  std::uint64_t req_obj = 0;
+
+  // kSite: allocation-site declaration.
+  std::uint32_t site_id = 0;
+  std::uint64_t site_obj_size = 0;
+  std::uint64_t site_objects = 0;
+  std::uint64_t site_bytes = 0;
+  std::string site_name;
 };
 
 }  // namespace asfsim::trace

@@ -30,6 +30,15 @@ void put_bool(std::string& out, const char* key, bool v) {
   out += v ? "true" : "false";
 }
 
+void put_prov(std::string& out, const TraceEvent& ev) {
+  if (!ev.has_prov) return;
+  put_u64(out, "victim_site", ev.victim_site);
+  put_u64(out, "victim_obj", ev.victim_obj);
+  put_u64(out, "victim_sub", ev.victim_sub);
+  put_u64(out, "req_site", ev.req_site);
+  put_u64(out, "req_obj", ev.req_obj);
+}
+
 void put_footprint(std::string& out, const TraceEvent& ev) {
   put_u64(out, "read_lines", ev.read_lines);
   put_u64(out, "write_lines", ev.write_lines);
@@ -188,6 +197,7 @@ void to_jsonl(const TraceEvent& ev, std::string& out) {
       put_bool(out, "false", ev.is_false);
       put_u64(out, "probe_mask", ev.probe_mask);
       put_u64(out, "victim_mask", ev.victim_mask);
+      put_prov(out, ev);
       break;
     case TraceEventKind::kAvoided:
       put_u64(out, "core", ev.core);
@@ -196,6 +206,7 @@ void to_jsonl(const TraceEvent& ev, std::string& out) {
       put_u64(out, "line", ev.line);
       put_u64(out, "probe_mask", ev.probe_mask);
       put_u64(out, "victim_mask", ev.victim_mask);
+      put_prov(out, ev);
       break;
     case TraceEventKind::kFallback:
       put_u64(out, "core", ev.core);
@@ -215,6 +226,13 @@ void to_jsonl(const TraceEvent& ev, std::string& out) {
       put_u64(out, "commits", ev.commits);
       put_u64(out, "aborts", ev.aborts);
       put_u64(out, "bus_wait", ev.bus_wait);
+      break;
+    case TraceEventKind::kSite:
+      put_u64(out, "site", ev.site_id);
+      put_str(out, "name", ev.site_name.c_str());
+      put_u64(out, "obj_size", ev.site_obj_size);
+      put_u64(out, "objects", ev.site_objects);
+      put_u64(out, "bytes", ev.site_bytes);
       break;
   }
   out += "}\n";
@@ -241,6 +259,9 @@ bool from_jsonl(std::string_view line, TraceEvent& out) {
       if (!p.str(sval) || !parse_type(sval, out.type)) return false;
     } else if (key == "false") {
       if (!p.boolean(out.is_false)) return false;
+    } else if (key == "name") {
+      if (!p.str(sval)) return false;
+      out.site_name = std::string(sval);
     } else {
       std::uint64_t v = 0;
       if (!p.u64(v)) return false;
@@ -278,6 +299,29 @@ bool from_jsonl(std::string_view line, TraceEvent& out) {
         out.aborts = v;
       } else if (key == "bus_wait") {
         out.bus_wait = v;
+      } else if (key == "victim_site") {
+        out.victim_site = static_cast<std::uint32_t>(v);
+        out.has_prov = true;
+      } else if (key == "victim_obj") {
+        out.victim_obj = v;
+        out.has_prov = true;
+      } else if (key == "victim_sub") {
+        out.victim_sub = static_cast<std::uint32_t>(v);
+        out.has_prov = true;
+      } else if (key == "req_site") {
+        out.req_site = static_cast<std::uint32_t>(v);
+        out.has_prov = true;
+      } else if (key == "req_obj") {
+        out.req_obj = v;
+        out.has_prov = true;
+      } else if (key == "site") {
+        out.site_id = static_cast<std::uint32_t>(v);
+      } else if (key == "obj_size") {
+        out.site_obj_size = v;
+      } else if (key == "objects") {
+        out.site_objects = v;
+      } else if (key == "bytes") {
+        out.site_bytes = v;
       } else {
         return false;  // unknown key: not something to_jsonl wrote
       }

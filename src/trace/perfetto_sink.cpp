@@ -130,7 +130,15 @@ void PerfettoSink::on_event(const TraceEvent& ev) {
                       ",\"requester\":" + u64s(ev.other) + ",\"line\":\"" +
                       hex64s(ev.line) + "\",\"probe_mask\":\"" +
                       hex64s(ev.probe_mask) + "\",\"victim_mask\":\"" +
-                      hex64s(ev.victim_mask) + "\"}}";
+                      hex64s(ev.victim_mask) + "\"";
+      if (ev.has_prov) {
+        r += ",\"victim_site\":" + u64s(ev.victim_site);
+        r += ",\"victim_obj\":" + u64s(ev.victim_obj);
+        r += ",\"victim_sub\":" + u64s(ev.victim_sub);
+        r += ",\"req_site\":" + u64s(ev.req_site);
+        r += ",\"req_obj\":" + u64s(ev.req_obj);
+      }
+      r += "}}";
       write_record(r);
       break;
     }
@@ -155,6 +163,20 @@ void PerfettoSink::on_event(const TraceEvent& ev) {
           counter("abort_rate", ev.cycle, ev.aborts - prev_aborts_));
       write_record(counter("bus_wait_cycles", ev.cycle, ev.bus_wait));
       prev_aborts_ = ev.aborts;
+      break;
+    }
+    case TraceEventKind::kSite: {
+      // Site declarations become metadata-style instants on the process
+      // track so the conflict args' site ids stay decodable in the UI.
+      std::string r = "{\"name\":\"site " + u64s(ev.site_id) + ": " +
+                      ev.site_name +
+                      "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"ts\":" +
+                      u64s(ev.cycle) + ",\"args\":{\"site\":" +
+                      u64s(ev.site_id) + ",\"name\":\"" + ev.site_name +
+                      "\",\"obj_size\":" + u64s(ev.site_obj_size) +
+                      ",\"objects\":" + u64s(ev.site_objects) +
+                      ",\"bytes\":" + u64s(ev.site_bytes) + "}}";
+      write_record(r);
       break;
     }
   }

@@ -12,6 +12,7 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::kFallback: return "fallback";
     case TraceEventKind::kBackoff: return "backoff";
     case TraceEventKind::kCounter: return "counter";
+    case TraceEventKind::kSite: return "site";
   }
   return "?";
 }

@@ -33,9 +33,9 @@ class AprioriWorkload final : public Workload {
     // scans read the weight (second 16B sub-block). Two objects per line,
     // so nearly every collision is cross-object or cross-field false
     // sharing that four 16B sub-blocks fully separate (paper Figs 1, 8).
-    index_ = GArray64::alloc(m.galloc(), kItems * 2);
-    support_ = GArray64::alloc(m.galloc(), kItems * 4, 32);
-    tree_nodes_ = GArray64::alloc(m.galloc(), kItems);
+    index_ = GArray64::alloc(m.galloc(), kItems * 2, 8, "apriori.index");
+    support_ = GArray64::alloc(m.galloc(), kItems * 4, 32, "apriori.support");
+    tree_nodes_ = GArray64::alloc(m.galloc(), kItems, 8, "apriori.tree_nodes");
     for (std::uint64_t i = 0; i < kItems; ++i) {
       index_.poke(m, i * 2, i);                        // candidate (i, i+1)
       index_.poke(m, i * 2 + 1, (i + kItems - 1) % kItems);  // cand (i-1, i)
@@ -61,7 +61,8 @@ class AprioriWorkload final : public Workload {
       }
     }
 
-    nscanned_ = m.galloc().alloc(64, 64);
+    nscanned_ = m.galloc().alloc(
+        64, 64, m.galloc().register_site("apriori.nscanned", 64));
     m.poke(nscanned_, 8, 0);
 
     const std::uint64_t per = nbaskets_ / threads_;

@@ -17,7 +17,7 @@ class BankWorkload final : public Workload {
   void setup(Machine& m, const WorkloadParams& p) override {
     naccounts_ = 128;
     ntx_per_thread_ = p.scaled(300);
-    accounts_ = GArray64::alloc(m.galloc(), naccounts_);
+    accounts_ = GArray64::alloc(m.galloc(), naccounts_, 8, "bank.account");
     for (std::uint64_t i = 0; i < naccounts_; ++i) {
       accounts_.poke(m, i, kInitialBalance);
     }

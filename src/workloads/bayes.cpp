@@ -32,11 +32,13 @@ class BayesWorkload final : public Workload {
     ncandidates_ -= ncandidates_ % threads_;
 
     // adjacency[u * kVars + v] in {0,1}; 4-byte cells, unpadded.
-    adjacency_ = GArray32::alloc(m.galloc(), kVars * kVars);
-    parents_ = GArray32::alloc(m.galloc(), kVars);
+    adjacency_ = GArray32::alloc(m.galloc(), kVars * kVars, 4,
+                                 "bayes.adjacency");
+    parents_ = GArray32::alloc(m.galloc(), kVars, 4, "bayes.parents");
     for (std::uint64_t i = 0; i < kVars * kVars; ++i) adjacency_.poke(m, i, 0);
     for (std::uint64_t i = 0; i < kVars; ++i) parents_.poke(m, i, 0);
-    loglik_ = m.galloc().alloc(64, 64);
+    loglik_ = m.galloc().alloc(64, 64,
+                               m.galloc().register_site("bayes.loglik", 64));
     m.poke(loglik_, 8, 0);
 
     Rng rng(p.seed * 271 + 13);

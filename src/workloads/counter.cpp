@@ -19,7 +19,7 @@ class CounterWorkload final : public Workload {
   void setup(Machine& m, const WorkloadParams& p) override {
     ncounters_ = 256;  // 16 lines of unpadded 4-byte cells
     ntx_per_thread_ = p.scaled(300);
-    counters_ = GArray32::alloc(m.galloc(), ncounters_);
+    counters_ = GArray32::alloc(m.galloc(), ncounters_, 4, "counter.cell");
     for (std::uint64_t i = 0; i < ncounters_; ++i) counters_.poke(m, i, 0);
     threads_ = p.threads;
     for (CoreId t = 0; t < threads_; ++t) {

@@ -26,9 +26,11 @@ class FluidanimateWorkload final : public Workload {
     nparticles_ -= nparticles_ % threads_;
 
     // cells[c] = {count, mass, vx, vy} as four 8-byte fields (32B objects).
-    cells_ = GArray64::alloc(m.galloc(), kCells * 4, 32);
+    cells_ = GArray64::alloc(m.galloc(), kCells * 4, 32,
+                             "fluidanimate.cells");
     for (std::uint64_t i = 0; i < kCells * 4; ++i) cells_.poke(m, i, 0);
-    energy_ = m.galloc().alloc(64, 64);
+    energy_ = m.galloc().alloc(
+        64, 64, m.galloc().register_site("fluidanimate.energy", 64));
     m.poke(energy_, 8, 0);
 
     Rng rng(p.seed * 191 + 37);

@@ -47,9 +47,10 @@ class GenomeWorkload final : public Workload {
     }
 
     segments_ = GHashMap::create(m, 768);
-    nunique_ = m.galloc().alloc(64, 64);
+    nunique_ = m.galloc().alloc(
+        64, 64, m.galloc().register_site("genome.nunique", 64));
     m.poke(nunique_, 8, 0);
-    successor_ = GArray64::alloc(m.galloc(), glen_ + 1);
+    successor_ = GArray64::alloc(m.galloc(), glen_ + 1, 8, "genome.successor");
     for (std::uint64_t i = 0; i <= glen_; ++i) successor_.poke(m, i, kNoLink);
 
     // Host-side expectations for validation.

@@ -32,13 +32,15 @@ class IntruderWorkload final : public Workload {
     fragments_ = GRing::create(m, nflows_ * kFragsPerFlow + 8);
     completed_ = GRing::create(m, nflows_ + 8);
     flows_ = GRBTree::create(m);
-    natt_detected_ = m.galloc().alloc(64, 64);
+    natt_detected_ = m.galloc().alloc(
+        64, 64, m.galloc().register_site("intruder.natt_detected", 64));
     m.poke(natt_detected_, 8, 0);
     // Per-flow reassembly records are 16-byte objects {fragment count,
     // byte/checksum word} — four per cache line, so only bursts straddling
     // neighboring flows can falsely collide; intruder stays the lowest-
     // false-rate benchmark while its queue keeps retries high (Fig 1/10).
-    flow_rec_ = GArray64::alloc(m.galloc(), nflows_ * 2, 16);
+    flow_rec_ = GArray64::alloc(m.galloc(), nflows_ * 2, 16,
+                                "intruder.flow_rec");
     for (std::uint64_t i = 0; i < nflows_ * 2; ++i) flow_rec_.poke(m, i, 0);
     // The flow/session index is pre-sized at capture start (the detector
     // knows the session table), so mining-time tree writes are rare.

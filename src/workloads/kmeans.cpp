@@ -27,11 +27,16 @@ class KmeansWorkload final : public Workload {
     threads_ = p.threads;
     npoints_ -= npoints_ % threads_;  // even partition
 
-    points_ = GArray32::alloc(m.galloc(), npoints_ * kDims);
-    centers_ = GArray32::alloc(m.galloc(), kClusters * kDims);
-    new_centers_ = GArray32::alloc(m.galloc(), kClusters * kDims);
-    new_counts_ = GArray32::alloc(m.galloc(), kClusters);
-    memberships_ = GArray32::alloc(m.galloc(), npoints_);
+    points_ = GArray32::alloc(m.galloc(), npoints_ * kDims, 4,
+                              "kmeans.points");
+    centers_ = GArray32::alloc(m.galloc(), kClusters * kDims, 4,
+                               "kmeans.centers");
+    new_centers_ = GArray32::alloc(m.galloc(), kClusters * kDims, 4,
+                                   "kmeans.new_centers");
+    new_counts_ = GArray32::alloc(m.galloc(), kClusters, 4,
+                                  "kmeans.new_counts");
+    memberships_ = GArray32::alloc(m.galloc(), npoints_, 4,
+                                   "kmeans.memberships");
 
     Rng rng(p.seed * 77 + 5);
     // Points drawn around kClusters fuzzy blobs.

@@ -27,9 +27,10 @@ class LabyrinthWorkload final : public Workload {
     threads_ = p.threads;
     nroutes_ -= nroutes_ % threads_;
 
-    grid_ = GArray32::alloc(m.galloc(), side_ * side_);
+    grid_ = GArray32::alloc(m.galloc(), side_ * side_, 4, "labyrinth.grid");
     for (std::uint64_t i = 0; i < side_ * side_; ++i) grid_.poke(m, i, 0);
-    routed_ = m.galloc().alloc(64, 64);
+    routed_ = m.galloc().alloc(
+        64, 64, m.galloc().register_site("labyrinth.routed", 64));
     m.poke(routed_, 8, 0);
 
     // Endpoints: distinct random cells, reserved up front so routes only

@@ -20,7 +20,7 @@ class LivelockWorkload final : public Workload {
 
   void setup(Machine& m, const WorkloadParams& p) override {
     ntx_per_thread_ = p.scaled(40);
-    cell_ = GArray64::alloc(m.galloc(), 1);
+    cell_ = GArray64::alloc(m.galloc(), 1, 8, "livelock.cell");
     cell_.poke(m, 0, 0);
     threads_ = p.threads;
     for (CoreId t = 0; t < threads_; ++t) {

@@ -31,7 +31,8 @@ class ScalparcWorkload final : public Workload {
     // fat 32-byte objects, two per line. Both live fields sit in one 16-byte
     // sub-block, so four sub-blocks separate distinct objects completely
     // (paper Fig 8: near-perfect reduction for ScalParC).
-    stats_ = GArray64::alloc(m.galloc(), kAttrs * kValues * 4, 32);
+    stats_ = GArray64::alloc(m.galloc(), kAttrs * kValues * 4, 32,
+                             "scalparc.stats");
     for (std::uint64_t i = 0; i < kAttrs * kValues * 4; ++i) {
       stats_.poke(m, i, 0);
     }

@@ -25,12 +25,12 @@ class Ssca2Workload final : public Workload {
     threads_ = p.threads;
     nedges_ -= nedges_ % threads_;
 
-    degree_ = GArray32::alloc(m.galloc(), nnodes_);
-    offsets_ = GArray32::alloc(m.galloc(), nnodes_ + 1);
-    cursor_ = GArray32::alloc(m.galloc(), nnodes_);
-    adjacency_ = GArray32::alloc(m.galloc(), 2 * nedges_);
-    edges_u_ = GArray32::alloc(m.galloc(), nedges_);
-    edges_v_ = GArray32::alloc(m.galloc(), nedges_);
+    degree_ = GArray32::alloc(m.galloc(), nnodes_, 4, "ssca2.degree");
+    offsets_ = GArray32::alloc(m.galloc(), nnodes_ + 1, 4, "ssca2.offsets");
+    cursor_ = GArray32::alloc(m.galloc(), nnodes_, 4, "ssca2.cursor");
+    adjacency_ = GArray32::alloc(m.galloc(), 2 * nedges_, 4, "ssca2.adjacency");
+    edges_u_ = GArray32::alloc(m.galloc(), nedges_, 4, "ssca2.edges_u");
+    edges_v_ = GArray32::alloc(m.galloc(), nedges_, 4, "ssca2.edges_v");
 
     Rng rng(p.seed * 31 + 7);
     edge_list_.clear();

@@ -26,8 +26,8 @@ class UtilityMineWorkload final : public Workload {
     threads_ = p.threads;
     nrecords_ -= nrecords_ % threads_;
 
-    util_ = GArray32::alloc(m.galloc(), kItems);
-    twu_ = GArray32::alloc(m.galloc(), kItems);
+    util_ = GArray32::alloc(m.galloc(), kItems, 4, "utilitymine.util");
+    twu_ = GArray32::alloc(m.galloc(), kItems, 4, "utilitymine.twu");
     for (std::uint64_t i = 0; i < kItems; ++i) {
       util_.poke(m, i, 0);
       twu_.poke(m, i, 0);

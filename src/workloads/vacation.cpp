@@ -28,7 +28,8 @@ class VacationWorkload final : public Workload {
 
     for (auto& table : tables_) table = GRBTree::create(m);
     customers_ = GRBTree::create(m);
-    log_seq_ = m.galloc().alloc(64, 64);
+    log_seq_ = m.galloc().alloc(
+        64, 64, m.galloc().register_site("vacation.log_seq", 64));
     m.poke(log_seq_, 8, 0);
 
     Rng rng(p.seed * 57 + 11);

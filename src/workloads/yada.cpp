@@ -38,9 +38,11 @@ class YadaWorkload final : public Workload {
 
     // One 8-byte quality stamp per triangle, placed so that consecutive
     // cavity members alias the same 2-way L1 set (set stride = 32KB).
-    quality_ = GArray64::alloc(m.galloc(), ntriangles_, kLineBytes);
+    quality_ = GArray64::alloc(m.galloc(), ntriangles_, kLineBytes,
+                               "yada.quality");
     for (std::uint64_t i = 0; i < ntriangles_; ++i) quality_.poke(m, i, 1);
-    refined_ = m.galloc().alloc(64, 64);
+    refined_ = m.galloc().alloc(64, 64,
+                                m.galloc().register_site("yada.refined", 64));
     m.poke(refined_, 8, 0);
 
     // Priority work queue (the STAMP yada work heap): seeds ordered by

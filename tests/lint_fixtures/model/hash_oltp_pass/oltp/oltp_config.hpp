@@ -58,6 +58,10 @@ struct OltpConfig {
   /// Consecutive records touched by one scan operation (wraps at the end
   /// of the table).
   std::uint32_t scan_len = 8;
+  /// YCSB-D "latest" sliding hot window: keys are drawn a zipf-distributed
+  /// recency distance behind a per-thread virtual insert frontier, bounded
+  /// by this window. 0 disables (plain zipf over absolute rank).
+  std::uint64_t hot_window = 0;
   /// Preset selector; non-custom values override the three ratios above.
   OltpMix mix = OltpMix::kCustom;
 

@@ -47,6 +47,7 @@ JobSpec make_job_spec(const std::string& workload,
   kv(s, "oltp_rmw_ratio", oltp.rmw_ratio);
   kv(s, "oltp_scan_ratio", oltp.scan_ratio);
   kv(s, "oltp_scan_len", oltp.scan_len);
+  kv(s, "oltp_hot_window", oltp.hot_window);
   kv(s, "oltp_mix", static_cast<std::uint64_t>(oltp.mix));
   return spec;
 }

@@ -262,6 +262,75 @@ TEST(Classifier, MixedReadWriteVictimPrefersWawOnOverlap) {
   EXPECT_EQ(c.type, ConflictType::kWAR);
 }
 
+TEST(Classifier, EmptyProbeMaskNeverTrueConflicts) {
+  // A degenerate probe touching no bytes cannot overlap anything: always
+  // classified false, for any victim state and probe polarity.
+  for (const bool invalidating : {false, true}) {
+    for (const SpecState& s :
+         {read_state(byte_mask(0, 64), 1), write_state(byte_mask(0, 64), 1),
+          SpecState{}}) {
+      EXPECT_FALSE(true_conflict(s, 0, invalidating));
+      EXPECT_TRUE(classify_conflict(s, 0, invalidating).is_false);
+    }
+  }
+}
+
+TEST(Classifier, FullLineProbeTrueAgainstAnyNonEmptyState) {
+  const ByteMask full = byte_mask(0, 64);
+  auto c = classify_conflict(read_state(byte_mask(60, 4), 16), full, true);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAR);
+  c = classify_conflict(write_state(byte_mask(0, 1), 64), full, true);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kWAW);
+  c = classify_conflict(write_state(byte_mask(63, 1), 64), full, false);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kRAW);
+  // ... but a full-line load against a read-only victim is still false:
+  // loads only conflict with speculatively-written data.
+  c = classify_conflict(read_state(full, 1), full, false);
+  EXPECT_TRUE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kRAW);
+}
+
+TEST(Classifier, NonInvalidatingReadAgainstWriteOnlyState) {
+  // Write-only victim: a remote load is RAW — true exactly on byte overlap.
+  const SpecState wr = write_state(byte_mask(16, 8), 8);
+  auto c = classify_conflict(wr, byte_mask(16, 8), false);
+  EXPECT_FALSE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kRAW);
+  c = classify_conflict(wr, byte_mask(24, 8), false);  // adjacent, disjoint
+  EXPECT_TRUE(c.is_false);
+  EXPECT_EQ(c.type, ConflictType::kRAW);
+  // One-byte overlap at the boundary is enough to be true.
+  c = classify_conflict(wr, byte_mask(23, 8), false);
+  EXPECT_FALSE(c.is_false);
+}
+
+TEST(Classifier, IsFalseAgreesWithTrueConflictOverRandomMasks) {
+  // classify_conflict().is_false must be the exact negation of
+  // true_conflict() for any (victim, probe, polarity) — the two entry
+  // points share the overlap rule and must never drift apart.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    SpecState s;
+    s.read_bytes = static_cast<ByteMask>(next());
+    s.write_bytes = static_cast<ByteMask>(next());
+    const ByteMask probe = static_cast<ByteMask>(next());
+    const bool invalidating = (next() & 1) != 0;
+    const Classification c = classify_conflict(s, probe, invalidating);
+    EXPECT_EQ(c.is_false, !true_conflict(s, probe, invalidating))
+        << "rd=" << s.read_bytes << " wr=" << s.write_bytes
+        << " probe=" << probe << " inv=" << invalidating;
+  }
+}
+
 TEST(DetectorFactory, ProducesEveryKind) {
   for (const auto kind :
        {DetectorKind::kBaseline, DetectorKind::kSubBlock,

@@ -78,7 +78,13 @@ bool events_equal(const trace::TraceEvent& a, const trace::TraceEvent& b) {
          a.write_lines == b.write_lines && a.read_subs == b.read_subs &&
          a.write_subs == b.write_subs && a.live_tx == b.live_tx &&
          a.commits == b.commits && a.aborts == b.aborts &&
-         a.bus_wait == b.bus_wait;
+         a.bus_wait == b.bus_wait && a.has_prov == b.has_prov &&
+         a.victim_site == b.victim_site && a.victim_obj == b.victim_obj &&
+         a.victim_sub == b.victim_sub && a.req_site == b.req_site &&
+         a.req_obj == b.req_obj && a.site_id == b.site_id &&
+         a.site_obj_size == b.site_obj_size &&
+         a.site_objects == b.site_objects && a.site_bytes == b.site_bytes &&
+         a.site_name == b.site_name;
 }
 
 TEST(TraceJsonl, RoundTripsEveryKind) {
@@ -126,6 +132,12 @@ TEST(TraceJsonl, RoundTripsEveryKind) {
     ev.is_false = true;
     ev.probe_mask = 0xff;
     ev.victim_mask = 0xff00;
+    ev.has_prov = true;
+    ev.victim_site = 3;
+    ev.victim_obj = 17;
+    ev.victim_sub = 2;
+    ev.req_site = 1;
+    ev.req_obj = 4;
     events.push_back(ev);
   }
   {
@@ -165,6 +177,17 @@ TEST(TraceJsonl, RoundTripsEveryKind) {
     ev.commits = 100;
     ev.aborts = 20;
     ev.bus_wait = 999;
+    events.push_back(ev);
+  }
+  {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kSite;
+    // kSite is run metadata, not a timeline point: no core/cycle keys.
+    ev.site_id = 2;
+    ev.site_name = "oltp.record";
+    ev.site_obj_size = 24;
+    ev.site_objects = 512;
+    ev.site_bytes = 12288;
     events.push_back(ev);
   }
   ASSERT_EQ(events.size(), trace::kTraceEventKinds);

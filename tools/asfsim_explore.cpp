@@ -24,15 +24,23 @@
 // OLTP/KV workload family knobs (docs/workloads.md; only the `oltp`
 // workload reads them): --oltp-records/--oltp-payload/--oltp-tx-len/
 // --oltp-tx/--oltp-theta/--oltp-read-ratio/--oltp-rmw-ratio/
-// --oltp-scan-ratio/--oltp-scan-len/--oltp-mix <a..f|custom>
+// --oltp-scan-ratio/--oltp-scan-len/--oltp-hot-window/
+// --oltp-mix <a..f|custom>
+//
+// Observability (docs/observability.md):
+//   --prov              conflict provenance: per-site conflict attribution
+//                       in the printed report
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/args.hpp"
 #include "guest/machine.hpp"
 #include "harness/experiment.hpp"
+#include "prov/collector.hpp"
 #include "stats/report.hpp"
 #include "workloads/workload.hpp"
 
@@ -123,6 +131,35 @@ void print_report(const ExperimentResult& r, std::uint32_t threads) {
                   : 100.0 * double(s.tx_busy_cycles) /
                         (double(threads) * double(s.total_cycles)),
               threads);
+  if (s.prov_enabled && !s.prov_site_names.empty()) {
+    // Top offender sites by false conflicts (full forensics: run with
+    // --trace-dir and feed the capture to `asfsim_trace conflicts`).
+    std::vector<std::size_t> order(s.prov_site_names.size());
+    std::vector<std::uint64_t> nfalse(order.size()), ntrue(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+      const std::uint64_t* row = &s.prov_site_table[i * prov::kSiteStride];
+      nfalse[i] = row[3] + row[4] + row[5];
+      ntrue[i] = row[6] + row[7] + row[8];
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (nfalse[a] != nfalse[b]) return nfalse[a] > nfalse[b];
+      if (ntrue[a] != ntrue[b]) return ntrue[a] > ntrue[b];
+      return a < b;
+    });
+    std::printf("\n-- conflict provenance (top sites by false conflicts) --\n");
+    std::size_t shown = 0;
+    for (const std::size_t i : order) {
+      const std::uint64_t* row = &s.prov_site_table[i * prov::kSiteStride];
+      if (nfalse[i] + ntrue[i] + row[9] == 0) continue;
+      std::printf("%-20s objects %-8llu false %-8llu true %-8llu "
+                  "avoided %-8llu wasted %llu\n",
+                  s.prov_site_names[i].c_str(), (unsigned long long)row[1],
+                  (unsigned long long)nfalse[i], (unsigned long long)ntrue[i],
+                  (unsigned long long)row[9], (unsigned long long)row[10]);
+      if (++shown == 8) break;
+    }
+  }
 }
 
 }  // namespace
@@ -205,6 +242,11 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--oltp-scan-len")) {
       common.oltp.scan_len =
           static_cast<std::uint32_t>(std::atoi(need("--oltp-scan-len")));
+    } else if (!std::strcmp(argv[i], "--oltp-hot-window")) {
+      common.oltp.hot_window =
+          static_cast<std::uint64_t>(std::atoll(need("--oltp-hot-window")));
+    } else if (!std::strcmp(argv[i], "--prov")) {
+      common.prov = true;
     } else if (!std::strcmp(argv[i], "--oltp-mix")) {
       const char* name = need("--oltp-mix");
       if (!parse_oltp_mix(name, common.oltp.mix)) {

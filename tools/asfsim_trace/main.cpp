@@ -8,6 +8,17 @@
 //   asfsim_trace convert <trace.jsonl> <out.perfetto.json>
 //       Re-emit a JSONL trace as a Chrome/Perfetto trace-event file
 //       (load it at https://ui.perfetto.dev or chrome://tracing).
+//
+//   asfsim_trace conflicts <trace.jsonl> [--top N] [--csv <out.csv>]
+//       Conflict-provenance forensics over a --prov trace: ranked offender
+//       sites, hottest lines with a sub-block occupancy heatmap, and the
+//       requester->victim site-pair matrix. --csv additionally dumps the
+//       untruncated tables.
+//
+// Every command exits non-zero with a one-line diagnostic on a missing,
+// unreadable, empty, or truncated/malformed trace.
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "trace/conflicts.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/perfetto_sink.hpp"
 #include "trace/summary.hpp"
@@ -24,9 +36,37 @@ namespace {
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s summarize <trace.jsonl> [--top N]\n"
-               "       %s convert <trace.jsonl> <out.perfetto.json>\n",
-               argv0, argv0);
+               "       %s convert <trace.jsonl> <out.perfetto.json>\n"
+               "       %s conflicts <trace.jsonl> [--top N] [--csv <out>]\n",
+               argv0, argv0, argv0);
   return code;
+}
+
+/// Open a trace file for reading, rejecting directories and empty files up
+/// front with a one-line diagnostic (a directory "opens" fine on POSIX and
+/// would otherwise surface as a confusing read error; an empty trace means
+/// the producing run never started or the file was truncated to nothing).
+bool open_trace(const char* argv0, const char* path, std::ifstream& in) {
+  struct stat st {};
+  if (::stat(path, &st) != 0) {
+    std::fprintf(stderr, "%s: cannot open %s: no such file\n", argv0, path);
+    return false;
+  }
+  if ((st.st_mode & S_IFMT) == S_IFDIR) {
+    std::fprintf(stderr, "%s: %s is a directory, expected a trace file\n",
+                 argv0, path);
+    return false;
+  }
+  if (st.st_size == 0) {
+    std::fprintf(stderr, "%s: %s: empty trace (no events)\n", argv0, path);
+    return false;
+  }
+  in.open(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", argv0, path);
+    return false;
+  }
+  return true;
 }
 
 int cmd_summarize(const char* argv0, int argc, char** argv) {
@@ -40,15 +80,16 @@ int cmd_summarize(const char* argv0, int argc, char** argv) {
       return usage(argv0, 2);
     }
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "%s: cannot open %s\n", argv0, path);
-    return 1;
-  }
+  std::ifstream in;
+  if (!open_trace(argv0, path, in)) return 1;
   asfsim::trace::TraceSummary summary;
   std::string err;
   if (!asfsim::trace::summarize_jsonl(in, summary, err)) {
     std::fprintf(stderr, "%s: %s: %s\n", argv0, path, err.c_str());
+    return 1;
+  }
+  if (summary.total_events == 0) {
+    std::fprintf(stderr, "%s: %s: empty trace (no events)\n", argv0, path);
     return 1;
   }
   std::cout << "trace: " << path << "\n";
@@ -58,11 +99,8 @@ int cmd_summarize(const char* argv0, int argc, char** argv) {
 
 int cmd_convert(const char* argv0, int argc, char** argv) {
   if (argc != 2) return usage(argv0, 2);
-  std::ifstream in(argv[0], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "%s: cannot open %s\n", argv0, argv[0]);
-    return 1;
-  }
+  std::ifstream in;
+  if (!open_trace(argv0, argv[0], in)) return 1;
   std::ofstream out(argv[1], std::ios::binary | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "%s: cannot open %s for writing\n", argv0, argv[1]);
@@ -71,6 +109,7 @@ int cmd_convert(const char* argv0, int argc, char** argv) {
   asfsim::trace::PerfettoSink sink(out);
   std::string line;
   std::size_t lineno = 0;
+  std::size_t events = 0;
   asfsim::Cycle last_cycle = 0;
   while (std::getline(in, line)) {
     ++lineno;
@@ -81,11 +120,53 @@ int cmd_convert(const char* argv0, int argc, char** argv) {
                    argv[0], lineno);
       return 1;
     }
+    ++events;
     if (ev.cycle > last_cycle) last_cycle = ev.cycle;
     sink.on_event(ev);
   }
+  if (events == 0) {
+    std::fprintf(stderr, "%s: %s: empty trace (no events)\n", argv0, argv[0]);
+    return 1;
+  }
   sink.finish(last_cycle);
-  std::fprintf(stderr, "wrote %s (%zu events)\n", argv[1], lineno);
+  std::fprintf(stderr, "wrote %s (%zu events)\n", argv[1], events);
+  return 0;
+}
+
+int cmd_conflicts(const char* argv0, int argc, char** argv) {
+  if (argc < 1) return usage(argv0, 2);
+  const char* path = argv[0];
+  const char* csv_path = nullptr;
+  int top_n = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      return usage(argv0, 2);
+    }
+  }
+  std::ifstream in;
+  if (!open_trace(argv0, path, in)) return 1;
+  asfsim::trace::ConflictForensics f;
+  std::string err;
+  if (!asfsim::trace::collect_conflicts_jsonl(in, f, err)) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv0, path, err.c_str());
+    return 1;
+  }
+  std::cout << "trace: " << path << "\n";
+  asfsim::trace::print_conflicts(f, std::cout, top_n);
+  if (csv_path != nullptr) {
+    std::ofstream csv(csv_path, std::ios::binary | std::ios::trunc);
+    if (!csv) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n", argv0,
+                   csv_path);
+      return 1;
+    }
+    asfsim::trace::print_conflicts_csv(f, csv);
+    std::fprintf(stderr, "wrote %s\n", csv_path);
+  }
   return 0;
 }
 
@@ -98,6 +179,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "convert") == 0) {
     return cmd_convert(argv[0], argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "conflicts") == 0) {
+    return cmd_conflicts(argv[0], argc - 2, argv + 2);
   }
   if (std::strcmp(argv[1], "--help") == 0) return usage(argv[0], 0);
   return usage(argv[0], 2);
