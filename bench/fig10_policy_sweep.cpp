@@ -1,0 +1,12 @@
+// Bench harness entry point: regenerates the contention-management
+// extension artifact "fig10_policy_sweep" (execution time and fairness by
+// policy x detector x cores). See docs/contention.md and DESIGN.md §4.
+#include <iostream>
+
+#include "harness/args.hpp"
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const asfsim::CliOptions opts = asfsim::parse_cli(argc, argv);
+  return asfsim::figures::fig10_policy_sweep(opts, std::cout);
+}

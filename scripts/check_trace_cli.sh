@@ -67,6 +67,22 @@ printf '{"kind":"begin","core":0,"cycle":1}\n' > "$work/noprov.jsonl"
 expect_fail "conflicts/no-provenance" "no provenance" \
   "$trace_bin" conflicts "$work/noprov.jsonl"
 
+# Same hardening for the starvation view: a policy-free trace (no policy
+# or fallback-acquisition events) must be diagnosed under --starvation,
+# not reported as an all-zero forward-progress table...
+expect_fail "summarize/no-policy-events" "no contention-policy events" \
+  "$trace_bin" summarize "$work/noprov.jsonl" --starvation
+# ...while a trace WITH a policy event passes the strict flag.
+printf '{"kind":"begin","core":0,"cycle":1}\n{"kind":"policy","core":0,"other":1,"loser":1,"cycle":2,"line":64}\n' \
+  > "$work/policy.jsonl"
+if "$trace_bin" summarize "$work/policy.jsonl" --starvation \
+    > /dev/null 2>&1; then
+  echo "ok   summarize/policy-events"
+else
+  echo "FAIL summarize --starvation rejected a policy-bearing trace"
+  fail=1
+fi
+
 # Good path: a tiny real run with provenance on; the report must rank the
 # OLTP record table as an offender site and the CSV dump must materialize.
 export ASFSIM_PROGRESS=0

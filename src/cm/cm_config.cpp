@@ -1,0 +1,34 @@
+#include "cm/cm_config.hpp"
+
+namespace asfsim {
+
+const char* to_string(CmPolicyKind k) {
+  switch (k) {
+    case CmPolicyKind::kRequesterWins:
+      return "requester-wins";
+    case CmPolicyKind::kPolite:
+      return "polite";
+    case CmPolicyKind::kTimestamp:
+      return "timestamp";
+    case CmPolicyKind::kSerialize:
+      return "serialize";
+  }
+  return "?";
+}
+
+bool parse_cm_policy(std::string_view name, CmPolicyKind& out) {
+  if (name == "requester-wins") {
+    out = CmPolicyKind::kRequesterWins;
+  } else if (name == "polite" || name == "requester-loses") {
+    out = CmPolicyKind::kPolite;
+  } else if (name == "timestamp") {
+    out = CmPolicyKind::kTimestamp;
+  } else if (name == "serialize") {
+    out = CmPolicyKind::kSerialize;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace asfsim

@@ -1,0 +1,65 @@
+// ContentionPolicy — pluggable conflict *resolution*, orthogonal to the
+// conflict *detectors* under core/ (docs/contention.md).
+//
+// The runtime (htm/asf_runtime) owns one policy object per Machine and
+// consults it from ITxControl::resolve_conflict() whenever the memory
+// system reports a conflict between a requesting access and a running
+// transaction. The policy only ranks the two sides; all bookkeeping
+// (karma, starvation accounting, dooming the loser) stays in the runtime
+// so the decision itself is a pure function — trivially deterministic and
+// unit-testable without a Machine.
+//
+// Forward-progress contract (audited by the chaos starvation oracle):
+// a policy whose stated_abort_bound() is non-zero promises that no core
+// ever suffers more than that many *consecutive* non-lock-wait aborts;
+// ChaosVerdict::kStarvation flags any run that breaks the promise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cm/cm_config.hpp"
+#include "sim/types.hpp"
+
+namespace asfsim {
+
+/// One side of a conflict as the policy sees it. `priority` is a
+/// policy-defined age in cycles — lower is older is stronger. `in_tx`
+/// marks whether this side can abort at all (a non-transactional
+/// requester can never lose: there is no transaction to retry).
+struct CmSide {
+  CoreId core = 0;
+  bool in_tx = false;
+  Cycle priority = 0;
+};
+
+enum class CmLoser : std::uint8_t { kVictim = 0, kRequester };
+
+class ContentionPolicy {
+ public:
+  virtual ~ContentionPolicy() = default;
+
+  [[nodiscard]] virtual CmPolicyKind kind() const = 0;
+
+  /// Decide who aborts. Called only when the victim is a live (active,
+  /// not-yet-doomed) transaction; the requester may or may not be in a
+  /// transaction. Must be a pure function of the two sides.
+  [[nodiscard]] virtual CmLoser resolve(const CmSide& requester,
+                                        const CmSide& victim) const = 0;
+
+  /// Stated forward-progress bound: the maximum consecutive non-lock-wait
+  /// aborts any core should ever suffer under this policy, or 0 when the
+  /// policy makes no such promise (requester-wins, polite). The chaos
+  /// starvation oracle audits this bound on every run.
+  [[nodiscard]] virtual std::uint64_t stated_abort_bound(
+      std::uint32_t ncores) const = 0;
+
+  /// Retry count after which run_tx must escalate to the fallback lock
+  /// and run irrevocably (0 = this policy never forces serialization).
+  [[nodiscard]] virtual std::uint32_t serialize_after() const = 0;
+};
+
+/// Factory keyed by CmConfig::policy. Never returns null.
+[[nodiscard]] std::unique_ptr<ContentionPolicy> make_policy(const CmConfig& cfg);
+
+}  // namespace asfsim

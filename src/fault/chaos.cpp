@@ -18,6 +18,7 @@ const char* to_string(ChaosVerdict v) {
     case ChaosVerdict::kReplayViolation: return "replay-violation";
     case ChaosVerdict::kRunFailed: return "run-failed";
     case ChaosVerdict::kPolicyViolation: return "policy-violation";
+    case ChaosVerdict::kStarvation: return "starvation";
   }
   return "?";
 }
@@ -77,10 +78,14 @@ ChaosCellResult run_chaos_cell(const ChaosCell& cell) {
   SimConfig sim;
   sim.seed = cell.seed;
   sim.fault = cell.fault;
+  sim.cm = cell.cm;
+  if (cell.max_tx_retries >= 0) {
+    sim.max_tx_retries = static_cast<std::uint32_t>(cell.max_tx_retries);
+  }
   Machine m(sim, cell.detector, cell.nsub);
 
   Ledger lg;
-  lg.ncells = 96;
+  lg.ncells = cell.ncells;
   lg.cells = GArray64::alloc(m.galloc(), lg.ncells);
   std::vector<std::uint64_t> model(lg.ncells);
   for (std::uint64_t i = 0; i < lg.ncells; ++i) {
@@ -114,6 +119,30 @@ ChaosCellResult run_chaos_cell(const ChaosCell& cell) {
   }
   res.commits = lg.log.size();
   res.cycles = m.stats().total_cycles;
+  char buf[160];
+
+  // Starvation oracle (docs/contention.md §5): a policy with a non-zero
+  // stated_abort_bound() promises no core ever suffers more consecutive
+  // non-lock-wait aborts than the bound. Audited before the replay and the
+  // completion check so a starved, cycle-truncated run reports the policy
+  // breach rather than a generic run failure.
+  const std::uint64_t bound =
+      m.runtime().policy().stated_abort_bound(m.config().ncores);
+  for (CoreId c = 0; c < m.config().ncores; ++c) {
+    res.max_streak = std::max(res.max_streak, m.runtime().max_consec_aborts(c));
+    if (bound != 0 && m.runtime().max_consec_aborts(c) > bound) {
+      std::snprintf(buf, sizeof(buf),
+                    "core %u suffered %u consecutive aborts; policy '%s' "
+                    "states a bound of %llu",
+                    static_cast<unsigned>(c),
+                    m.runtime().max_consec_aborts(c),
+                    to_string(m.runtime().policy().kind()),
+                    static_cast<unsigned long long>(bound));
+      res.verdict = ChaosVerdict::kStarvation;
+      res.detail = buf;
+      return res;
+    }
+  }
 
   // Strict-serializability replay of the committed history.
   std::stable_sort(lg.log.begin(), lg.log.end(),
@@ -123,7 +152,6 @@ ChaosCellResult run_chaos_cell(const ChaosCell& cell) {
                      }
                      return x.seq < y.seq;
                    });
-  char buf[160];
   for (std::size_t i = 0; i < lg.log.size(); ++i) {
     const LedgerOp& op = lg.log[i];
     if (op.va != model[op.a] || op.vb != model[op.b] ||
@@ -196,6 +224,9 @@ const std::vector<ProtocolMutation>& all_mutations() {
       ProtocolMutation::kStalePiggybackMask,
       ProtocolMutation::kBackoffNeverSleeps,
       ProtocolMutation::kLostUpdateCommit,
+      ProtocolMutation::kUnfairKarmaReset,
+      ProtocolMutation::kFallbackLockLeak,
+      ProtocolMutation::kSerializeSkipsValidation,
   };
   return kAll;
 }
@@ -205,7 +236,18 @@ namespace {
 struct CellShape {
   DetectorKind detector;
   std::uint32_t nsub;
+  CmConfig cm{};  // requester-wins default: historical shapes unchanged
+  std::int32_t max_tx_retries = -1;
+  std::uint64_t ncells = 96;  // ChaosCell::ncells
+  int ntx = -1;               // -1 = KillMatrixOptions::ntx
 };
+
+CmConfig cm_of(CmPolicyKind policy, std::uint32_t max_retries) {
+  CmConfig cm;
+  cm.policy = policy;
+  cm.max_retries = max_retries;
+  return cm;
+}
 
 /// Detectors on which each mutation's broken mechanism is actually
 /// exercised (e.g. dropping piggybacks is a no-op for the baseline, which
@@ -232,14 +274,56 @@ std::vector<CellShape> shapes_for(ProtocolMutation m) {
       // The dropped write-back lives in the versioning layer, not the
       // detector: both shapes prove the replay oracle sees it either way.
       return {{DetectorKind::kBaseline, 1}, {DetectorKind::kSubBlock, 4}};
+    case ProtocolMutation::kUnfairKarmaReset:
+      // Only the timestamp policy consumes karma, and the classic
+      // retry-count fallback must be off (max_tx_retries = 0) or it would
+      // cap every streak below the stated bound. The 4-cell total-conflict
+      // ledger concentrates the contention so the starving core's streak
+      // actually exceeds the bound instead of diffusing over 96 cells.
+      // Detector-independent — the bug lives in AsfRuntime::cm_priority.
+      return {{DetectorKind::kSubBlock, 4,
+               cm_of(CmPolicyKind::kTimestamp, 8), 0, 4, 120},
+              {DetectorKind::kBaseline, 1,
+               cm_of(CmPolicyKind::kTimestamp, 8), 0, 4, 120}};
+    case ProtocolMutation::kFallbackLockLeak:
+    case ProtocolMutation::kSerializeSkipsValidation:
+      // Both bugs live on the serialize escalation path: a low retry
+      // threshold makes the fallback engage often under ledger contention.
+      return {{DetectorKind::kSubBlock, 4,
+               cm_of(CmPolicyKind::kSerialize, 4)},
+              {DetectorKind::kBaseline, 1,
+               cm_of(CmPolicyKind::kSerialize, 4)}};
     case ProtocolMutation::kNone: break;
   }
   return {};
 }
 
+/// Which verdicts count as a kill for `m`. Correctness, liveness-policy,
+/// and starvation oracles kill anything; a run failure is only accepted
+/// for the fallback-lock leak, where global deadlock (every core parked on
+/// a lock nobody releases) IS the observable symptom.
+bool verdict_kills(ProtocolMutation m, ChaosVerdict v) {
+  switch (v) {
+    case ChaosVerdict::kInvariantViolation:
+    case ChaosVerdict::kReplayViolation:
+    case ChaosVerdict::kPolicyViolation:
+    case ChaosVerdict::kStarvation:
+      return true;
+    case ChaosVerdict::kRunFailed:
+      return m == ProtocolMutation::kFallbackLockLeak;
+    case ChaosVerdict::kClean:
+      break;
+  }
+  return false;
+}
+
 std::string cell_label(const CellShape& s, std::uint64_t seed) {
   std::string n = to_string(s.detector);
   if (s.detector == DetectorKind::kSubBlock) n += std::to_string(s.nsub);
+  if (s.cm.policy != CmPolicyKind::kRequesterWins) {
+    n += std::string("/") + to_string(s.cm.policy);
+  }
+  if (s.max_tx_retries == 0) n += "/nofb";
   return n + "/seed" + std::to_string(seed);
 }
 
@@ -282,6 +366,24 @@ KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt) {
       {DetectorKind::kBaseline, 1},
       {DetectorKind::kSubBlock, 4},
       {DetectorKind::kSubBlock, 16},
+      // Policy-aware controls (detector × policy): every non-default
+      // contention policy must stay invisible to the correctness oracles
+      // AND honour its own stated forward-progress bound on the same
+      // ledger traffic the mutations run under.
+      {DetectorKind::kSubBlock, 4, cm_of(CmPolicyKind::kPolite, 8)},
+      {DetectorKind::kBaseline, 1, cm_of(CmPolicyKind::kPolite, 8)},
+      {DetectorKind::kSubBlock, 4, cm_of(CmPolicyKind::kTimestamp, 8)},
+      {DetectorKind::kBaseline, 1, cm_of(CmPolicyKind::kTimestamp, 8)},
+      {DetectorKind::kSubBlock, 4, cm_of(CmPolicyKind::kSerialize, 4)},
+      {DetectorKind::kBaseline, 1, cm_of(CmPolicyKind::kSerialize, 4)},
+      // The bound-audit controls: timestamp with the classic fallback off
+      // on the total-conflict ledger are exactly the kUnfairKarmaReset
+      // shapes minus the mutation — they prove the starvation oracle's
+      // bound is not trivially trippable.
+      {DetectorKind::kSubBlock, 4, cm_of(CmPolicyKind::kTimestamp, 8), 0, 4,
+       120},
+      {DetectorKind::kBaseline, 1, cm_of(CmPolicyKind::kTimestamp, 8), 0, 4,
+       120},
   };
   FaultConfig faulty;
   faulty.spurious_abort_rate = 0.002;
@@ -296,7 +398,10 @@ KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt) {
       cell.nsub = s.nsub;
       cell.seed = opt.seeds.empty() ? 1 : opt.seeds.front();
       cell.fault = fc;
-      cell.ntx = opt.ntx;
+      cell.cm = s.cm;
+      cell.max_tx_retries = s.max_tx_retries;
+      cell.ncells = s.ncells;
+      cell.ntx = s.ntx > 0 ? s.ntx : opt.ntx;
       cell.audit_interval = opt.audit_interval;
       const ChaosCellResult r = run_chaos_cell(cell);
       if (opt.verbose) {
@@ -324,7 +429,10 @@ KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt) {
         cell.nsub = s.nsub;
         cell.seed = seed;
         cell.fault.mutation = mut;
-        cell.ntx = opt.ntx;
+        cell.cm = s.cm;
+        cell.max_tx_retries = s.max_tx_retries;
+        cell.ncells = s.ncells;
+        cell.ntx = s.ntx > 0 ? s.ntx : opt.ntx;
         cell.audit_interval = opt.audit_interval;
         const ChaosCellResult r = run_chaos_cell(cell);
         if (opt.verbose) {
@@ -332,9 +440,7 @@ KillMatrixReport run_kill_matrix(const KillMatrixOptions& opt) {
                       cell_label(s, seed).c_str(), to_string(r.verdict),
                       r.detail.empty() ? "" : " — ", r.detail.c_str());
         }
-        if (r.verdict == ChaosVerdict::kInvariantViolation ||
-            r.verdict == ChaosVerdict::kReplayViolation ||
-            r.verdict == ChaosVerdict::kPolicyViolation) {
+        if (verdict_kills(mut, r.verdict)) {
           outcome.killed = true;
           outcome.verdict = r.verdict;
           outcome.cell_label = cell_label(s, seed);

@@ -9,7 +9,10 @@
 //   * a post-run backoff-progressivity policy oracle — every retried abort
 //     must have stalled for the abort penalty PLUS a strictly positive
 //     software backoff (catches liveness bugs the correctness oracles are
-//     blind to, e.g. a backoff that never sleeps).
+//     blind to, e.g. a backoff that never sleeps);
+//   * a post-run starvation oracle — every core's worst consecutive-abort
+//     run is audited against the contention policy's stated forward-progress
+//     bound (ContentionPolicy::stated_abort_bound, docs/contention.md §5).
 // The kill matrix then demands that EVERY protocol mutation is killed by at
 // least one oracle on at least one cell, while clean (mutation-free) cells
 // stay green — including cells with fault injection enabled, because legal
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cm/cm_config.hpp"
 #include "core/detector.hpp"
 #include "fault/fault_config.hpp"
 #include "sim/types.hpp"
@@ -33,6 +37,8 @@ enum class ChaosVerdict : std::uint8_t {
   kRunFailed,           // the run itself died (deadlock, cycle limit, ...)
   kPolicyViolation,     // a liveness/QoS policy oracle fired (e.g. the
                         // backoff-progressivity check)
+  kStarvation,          // a core's consecutive-abort run exceeded the
+                        // contention policy's stated_abort_bound()
 };
 
 [[nodiscard]] const char* to_string(ChaosVerdict v);
@@ -43,6 +49,17 @@ struct ChaosCell {
   std::uint32_t nsub = 4;
   std::uint64_t seed = 1;
   FaultConfig fault;       // injection rates + the mutation under test
+  CmConfig cm;             // contention policy under test (requester-wins
+                           // keeps the historical matrix byte-for-byte)
+  /// Override for SimConfig::max_tx_retries (-1 = keep the default).
+  /// 0 disables the classic retry-count fallback so starvation under a
+  /// broken policy can actually manifest instead of being capped.
+  std::int32_t max_tx_retries = -1;
+  /// Ledger cells. The default 96 (12 lines) gives heavy false sharing for
+  /// the correctness oracles; starvation shapes shrink it to a handful so
+  /// every transaction conflicts and unfair policies actually starve
+  /// someone instead of diffusing the pain.
+  std::uint64_t ncells = 96;
   int ntx = 60;            // ledger transactions per core
   Cycle audit_interval = 500;
   Cycle max_cycles = 30'000'000;  // hard stop for runaway cells
@@ -53,6 +70,9 @@ struct ChaosCellResult {
   std::string detail;          // first violation / failure description
   std::uint64_t commits = 0;   // committed ledger operations observed
   Cycle cycles = 0;            // final simulated cycle
+  /// Worst consecutive-abort run over all cores (starvation-oracle input;
+  /// reported even when the oracle is off so bounds can be tuned).
+  std::uint32_t max_streak = 0;
 };
 
 /// Run one cell: ledger workload + invariant auditor + replay.

@@ -57,6 +57,23 @@ enum class ProtocolMutation : std::uint8_t {
   /// Killed by the strict-serializability replay oracle and by the value
   /// conservation checks of the workloads themselves.
   kLostUpdateCommit,
+  /// The timestamp contention policy's priority input ignores karma and
+  /// uses the ATTEMPT start instead of the logical transaction start, so
+  /// every retry looks newborn and keeps losing to fresher rivals — the
+  /// starvation oracle (consecutive aborts past the policy's stated bound)
+  /// kills it. Both correctness oracles stay green: losing fairly forever
+  /// is still serializable.
+  kUnfairKarmaReset,
+  /// The serialize fallback path never releases the fallback lock after
+  /// the irrevocable body completes, wedging every other core behind the
+  /// subscription spin — the run watchdog fires and the chaos harness
+  /// counts the failed run as a kill.
+  kFallbackLockLeak,
+  /// Acquiring the fallback lock pokes the lock word directly in backing
+  /// store, skipping the coherence probe that dooms subscribed
+  /// transactions — in-flight transactions race the irrevocable body and
+  /// the strict-serializability replay oracle kills it.
+  kSerializeSkipsValidation,
 };
 
 [[nodiscard]] const char* to_string(ProtocolMutation m);

@@ -21,6 +21,12 @@ const char* to_string(ProtocolMutation m) {
       return "backoff-never-sleeps";
     case ProtocolMutation::kLostUpdateCommit:
       return "lost-update-commit";
+    case ProtocolMutation::kUnfairKarmaReset:
+      return "unfair-karma-reset";
+    case ProtocolMutation::kFallbackLockLeak:
+      return "fallback-lock-leak";
+    case ProtocolMutation::kSerializeSkipsValidation:
+      return "serialize-skips-validation";
   }
   return "?";
 }
@@ -38,7 +44,10 @@ bool parse_mutation(std::string_view name, ProtocolMutation& out) {
         ProtocolMutation::kWrongSubblockIndexMath,
         ProtocolMutation::kStalePiggybackMask,
         ProtocolMutation::kBackoffNeverSleeps,
-        ProtocolMutation::kLostUpdateCommit}) {
+        ProtocolMutation::kLostUpdateCommit,
+        ProtocolMutation::kUnfairKarmaReset,
+        ProtocolMutation::kFallbackLockLeak,
+        ProtocolMutation::kSerializeSkipsValidation}) {
     if (name == to_string(m)) {
       out = m;
       return true;

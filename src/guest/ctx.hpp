@@ -103,6 +103,12 @@ class GuestCtx {
           // software must treat it like any transient conflict.
           c.rt_.self_doom(c.core_, AbortCause::kConflict);
           self_abort = true;
+        } else if (r.requester_lost) {
+          // A contention policy ruled against this (requesting) side: the
+          // probe was nacked, no machine state moved, and the requester's
+          // own transaction aborts instead of the victim's.
+          c.rt_.self_doom(c.core_, AbortCause::kConflict);
+          self_abort = true;
         } else if (is_write) {
           c.rt_.write_value(c.core_, addr, size, value);
         } else {
@@ -290,15 +296,26 @@ class GuestCtx {
       rt_.note_ats_dispatch();
     }
     // max_tx_retries = 0 disables the fallback entirely (livelock studies:
-    // progress then rests on backoff alone; pair with watchdog_cycles).
-    const bool fallback_enabled = cfg_.max_tx_retries != 0;
+    // progress then rests on backoff alone; pair with watchdog_cycles) —
+    // unless the serialize contention policy is active, whose bounded-retry
+    // threshold re-enables it as the guaranteed-progress path.
+    const std::uint32_t serialize_after = rt_.serialize_after();
+    const bool fallback_enabled =
+        cfg_.max_tx_retries != 0 || serialize_after != 0;
     for (;;) {
-      if (fallback_enabled && (capacity_aborts >= cfg_.max_capacity_aborts ||
-                               rt_.retries(core_) >= cfg_.max_tx_retries)) {
+      if (fallback_enabled &&
+          (capacity_aborts >= cfg_.max_capacity_aborts ||
+           (cfg_.max_tx_retries != 0 &&
+            rt_.retries(core_) >= cfg_.max_tx_retries) ||
+           (serialize_after != 0 &&
+            rt_.retries(core_) >= serialize_after))) {
         rt_.note_fallback_start(core_);
         co_await acquire_fallback();
+        rt_.note_fallback_acquired(core_);
         co_await body();  // runs non-transactionally under the global lock
-        co_await store_u64(fallback_lock_, 0);
+        if (cfg_.fault.mutation != ProtocolMutation::kFallbackLockLeak) {
+          co_await store_u64(fallback_lock_, 0);
+        }
         rt_.note_fallback(core_);
         if (ats_slot) sched->release(core_);
         co_return;
@@ -378,6 +395,20 @@ class GuestCtx {
 
   /// Spin until the fallback lock is acquired (non-transactional swap).
   Task<void> acquire_fallback() {
+    if (cfg_.fault.mutation == ProtocolMutation::kSerializeSkipsValidation) {
+      // MUTATED path: poke the lock word straight into backing store,
+      // skipping the coherence probe that dooms subscribed transactions —
+      // in-flight transactions race the irrevocable body.
+      for (;;) {
+        const std::uint64_t old = rt_.read_value(core_, fallback_lock_, 8);
+        if (old == 0) {
+          rt_.write_value(core_, fallback_lock_, 8, 1);
+          co_await WaitOp{this, cfg_.l1.latency};
+          co_return;
+        }
+        co_await WaitOp{this, 200};
+      }
+    }
     for (;;) {
       const std::uint64_t old =
           co_await AtomicSwapOp{this, fallback_lock_, 1};

@@ -79,6 +79,11 @@ Cycle Machine::run(Cycle max_cycles) {
     }
     prov_->flush(stats_);
   }
+  if (cfg_.cm.stats) {
+    // Fold the per-core starvation/fairness accounting into the stats blob
+    // (opt-in: the v5 section only exists when --cm-stats asked for it).
+    runtime_.flush_cm_stats();
+  }
   hub_.finish(end);
   return end;
 }

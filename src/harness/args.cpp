@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "cm/cm_config.hpp"
 #include "fault/fault_config.hpp"
 
 namespace asfsim {
@@ -91,6 +92,23 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
           std::atoll(need_value("--oltp-hot-window")));
     } else if (std::strcmp(argv[i], "--prov") == 0) {
       o.prov = true;
+    } else if (std::strcmp(argv[i], "--cm-policy") == 0) {
+      const char* name = need_value("--cm-policy");
+      if (!parse_cm_policy(name, o.cm.policy)) {
+        std::fprintf(stderr,
+                     "%s: unknown --cm-policy %s (try requester-wins, "
+                     "polite, timestamp, serialize)\n",
+                     argv[0], name);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--cm-max-retries") == 0) {
+      o.cm.max_retries =
+          static_cast<std::uint32_t>(std::atoi(need_value("--cm-max-retries")));
+    } else if (std::strcmp(argv[i], "--cm-karma") == 0) {
+      o.cm.karma =
+          static_cast<std::uint32_t>(std::atoi(need_value("--cm-karma")));
+    } else if (std::strcmp(argv[i], "--cm-stats") == 0) {
+      o.cm.stats = true;
     } else if (std::strcmp(argv[i], "--oltp-mix") == 0) {
       const char* name = need_value("--oltp-mix");
       if (!parse_oltp_mix(name, o.oltp.mix)) {
@@ -115,6 +133,8 @@ CliOptions parse_cli(int argc, char** argv, double default_scale) {
           "[--oltp-tx n] [--oltp-theta f] [--oltp-read-ratio f] "
           "[--oltp-rmw-ratio f] [--oltp-scan-ratio f] [--oltp-scan-len n] "
           "[--oltp-hot-window n] [--oltp-mix a..f|custom]\n"
+          "  contention: [--cm-policy requester-wins|polite|timestamp|"
+          "serialize] [--cm-max-retries n] [--cm-karma n] [--cm-stats]\n"
           "  observability: [--prov] (conflict provenance attribution)\n",
           argv[0]);
       std::exit(0);

@@ -38,6 +38,19 @@
 //                          table; see docs/workloads.md)
 //   --oltp-mix <a..f>      YCSB preset (overrides the three ratios)
 //
+// Contention management (docs/contention.md):
+//   --cm-policy <name>     conflict-resolution policy: requester-wins
+//                          (default, the ASF hardware rule), polite
+//                          (requester-loses), timestamp (oldest-wins with
+//                          karma carry-over), serialize (bounded retries,
+//                          then the fallback lock guarantees progress)
+//   --cm-max-retries <n>   serialize policy: aborts before the transaction
+//                          escalates to the fallback lock (default 8)
+//   --cm-karma <n>         timestamp policy: cycles of priority credit per
+//                          prior abort (default 64)
+//   --cm-stats             record per-core starvation/fairness accounting
+//                          (adds the stats v5 section)
+//
 // Observability (docs/observability.md):
 //   --prov                 conflict provenance: attribute every conflict to
 //                          its allocation site (adds the stats v4 section
@@ -47,6 +60,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cm/cm_config.hpp"
 #include "oltp/oltp_config.hpp"
 
 namespace asfsim {
@@ -78,6 +92,9 @@ struct CliOptions {
 
   /// Conflict provenance (--prov): flows into SimConfig::provenance.
   bool prov = false;
+
+  /// Contention management (--cm-*): flows into SimConfig::cm.
+  CmConfig cm;
 };
 
 /// Parse the common flags; exits with a usage message on errors.

@@ -79,6 +79,7 @@ void apply_robustness_options(const CliOptions& opts, ExperimentConfig& cfg) {
   cfg.wall_limit_s = opts.job_timeout;
   cfg.params.oltp = opts.oltp;
   cfg.sim.provenance = opts.prov;
+  cfg.sim.cm = opts.cm;
 }
 
 const char* trace_file_extension(TraceFormat fmt) {

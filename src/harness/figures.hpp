@@ -35,6 +35,11 @@ int fig11_throughput_vs_skew(const CliOptions& opts, std::ostream& os);
 /// detector, over a contended OLTP run plus two STAMP-style programs
 /// (docs/observability.md, "Conflict provenance").
 int fig_conflict_attribution(const CliOptions& opts, std::ostream& os);
+/// Contention-management extension: execution time and fairness
+/// (abort rate, fallback runs, max consecutive aborts, wasted-cycle Gini)
+/// over a policy x detector x core-count grid on the livelock storm,
+/// a contended OLTP mix and intruder (docs/contention.md).
+int fig10_policy_sweep(const CliOptions& opts, std::ostream& os);
 
 // ---- ablations / overhead (paper §II and §IV-E) ------------------------------
 int ablation_waronly(const CliOptions& opts, std::ostream& os);

@@ -21,6 +21,12 @@ AsfRuntime::AsfRuntime(Kernel& kernel, MemorySystem& mem,
                         ProtocolMutation::kBackoffNeverSleeps),
       lose_update_commit_(cfg.fault.mutation ==
                           ProtocolMutation::kLostUpdateCommit),
+      unfair_karma_reset_(cfg.fault.mutation ==
+                          ProtocolMutation::kUnfairKarmaReset),
+      policy_(make_policy(cfg.cm)),
+      cm_active_(cfg.cm.active()),
+      karma_weight_(cfg.cm.karma),
+      serialize_after_(policy_->serialize_after()),
       cores_(cfg.ncores) {
   if (cfg.enable_ats) {
     scheduler_ = std::make_unique<AdaptiveScheduler>(cfg.ncores, cfg.ats_alpha,
@@ -97,6 +103,57 @@ void AsfRuntime::doom(CoreId victim, const ConflictRecord& rec) {
   }
 }
 
+bool AsfRuntime::resolve_conflict(CoreId victim, const ConflictRecord& rec) {
+  if (!cm_active_) {
+    // Default requester-wins with accounting off: exactly the historical
+    // direct doom() call (kernel-identity FNV goldens pin this path).
+    doom(victim, rec);
+    return false;
+  }
+  return resolve_via_policy(victim, rec);
+}
+
+Cycle AsfRuntime::cm_priority(CoreId core) const {
+  const PerCore& p = cores_[core];
+  // MUTATION kUnfairKarmaReset: the policy sees the ATTEMPT start cycle and
+  // no karma credit, so every retry looks newborn — a repeatedly-victimized
+  // transaction never gains priority and can starve without bound. Killed
+  // by the chaos starvation oracle (ChaosVerdict::kStarvation).
+  if (unfair_karma_reset_) return p.tx_start;
+  const Cycle age = Cycle{p.karma} * karma_weight_;
+  const Cycle start = p.logical_start;
+  return start - (age < start ? age : start);  // saturating: floors at 0
+}
+
+bool AsfRuntime::resolve_via_policy(CoreId victim, const ConflictRecord& rec) {
+  CmSide req;
+  req.core = rec.requester;
+  req.in_tx = in_tx(rec.requester);
+  req.priority = req.in_tx ? cm_priority(rec.requester) : 0;
+  CmSide vic;
+  vic.core = victim;
+  vic.in_tx = true;
+  vic.priority = cm_priority(victim);
+  const CmLoser loser = policy_->resolve(req, vic);
+  ++stats_.cm_policy_decisions;
+  if (hub_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kPolicy;
+    ev.core = victim;
+    ev.other = rec.requester;
+    ev.loser = loser == CmLoser::kRequester ? rec.requester : victim;
+    ev.cycle = kernel_.now();
+    ev.line = rec.line;
+    hub_->emit(ev);
+  }
+  if (loser == CmLoser::kRequester) {
+    ++stats_.cm_requester_losses;
+    return true;  // the memory system nacks; the requester self-aborts
+  }
+  doom(victim, rec);
+  return false;
+}
+
 void AsfRuntime::self_doom(CoreId core, AbortCause cause) {
   PerCore& p = cores_[core];
   assert(p.active);
@@ -145,6 +202,10 @@ void AsfRuntime::commit(CoreId core) {
   mem_.clear_spec(core, /*discard_written_lines=*/false);
   p.active = false;
   kernel_.note_progress();  // feeds the livelock watchdog
+  // Completion resets the starvation window and repays the karma debt.
+  p.karma = 0;
+  p.consec_aborts = 0;
+  if (p.first_commit == 0) p.first_commit = kernel_.now();
   const Cycle duration = kernel_.now() - p.tx_start;
   stats_.tx_busy_cycles += duration;
   stats_.on_tx_commit();
@@ -177,6 +238,20 @@ std::uint32_t AsfRuntime::finish_abort(CoreId core) {
   stats_.on_attempt_end(duration, p.abort_fp.read_lines,
                         p.abort_fp.write_lines, /*aborted=*/true);
   p.wasted += duration;
+  p.wasted_total += duration;
+  // Starvation/karma accounting (always on — host-side only). Lock-wait
+  // aborts are excluded: while another core runs irrevocably under the
+  // fallback lock, every waiter "aborts" with kLockWait by design, and
+  // counting those as starvation would make the serialize policy — the one
+  // with the strongest progress guarantee — look the most starved.
+  if (p.cause != AbortCause::kLockWait) {
+    constexpr std::uint32_t kKarmaCap = 1u << 20;  // saturate, never wrap
+    if (p.karma < kKarmaCap) ++p.karma;
+    ++p.consec_aborts;
+    if (p.consec_aborts > p.max_consec_aborts) {
+      p.max_consec_aborts = p.consec_aborts;
+    }
+  }
   p.active = false;
   p.doomed = false;
   if (scheduler_) scheduler_->on_tx_end(core, /*aborted=*/true);
@@ -195,6 +270,19 @@ std::uint32_t AsfRuntime::finish_abort(CoreId core) {
     hub_->emit(ev);
   }
   return ++p.retries;
+}
+
+void AsfRuntime::note_fallback_acquired(CoreId core) {
+  ++stats_.cm_fallback_acquisitions;
+  if (hub_ && cm_active_) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kFallbackAcquired;
+    ev.core = core;
+    ev.cycle = kernel_.now();
+    ev.span_begin = cores_[core].fallback_start;  // spin began here
+    ev.retries = cores_[core].retries;
+    hub_->emit(ev);
+  }
 }
 
 void AsfRuntime::note_fallback(CoreId core) {
@@ -217,6 +305,22 @@ void AsfRuntime::note_fallback(CoreId core) {
   ++stats_.fallback_runs;
   ++stats_.tx_commits;  // the work did complete exactly once
   kernel_.note_progress();  // fallback completions are progress too
+  // A fallback completion ends the starvation window like a commit does.
+  p.karma = 0;
+  p.consec_aborts = 0;
+  if (p.first_commit == 0) p.first_commit = kernel_.now();
+}
+
+void AsfRuntime::flush_cm_stats() {
+  stats_.cm_enabled = true;
+  stats_.cm_max_consec_aborts.clear();
+  stats_.cm_wasted_by_core.clear();
+  stats_.cm_first_commit_cycle.clear();
+  for (const PerCore& p : cores_) {
+    stats_.cm_max_consec_aborts.push_back(p.max_consec_aborts);
+    stats_.cm_wasted_by_core.push_back(p.wasted_total);
+    stats_.cm_first_commit_cycle.push_back(p.first_commit);
+  }
 }
 
 void AsfRuntime::note_backoff(CoreId core, Cycle wait) {

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "cm/policy.hpp"
 #include "htm/backoff.hpp"
 #include "htm/scheduler.hpp"
 #include "htm/tx_control.hpp"
@@ -53,6 +54,12 @@ class AsfRuntime final : public ITxControl {
     return p.active && !p.doomed;
   }
   void doom(CoreId victim, const ConflictRecord& rec) override;
+  /// Conflict resolution through the contention policy (docs/contention.md).
+  /// Under the default requester-wins with accounting off this is exactly
+  /// the historical doom() call (kernel-identity goldens pin it); active
+  /// policies rank the two sides and may rule the requester the loser.
+  [[nodiscard]] bool resolve_conflict(CoreId victim,
+                                      const ConflictRecord& rec) override;
 
   // ---- guest-side transaction lifecycle -----------------------------------
   void begin(CoreId core);
@@ -81,6 +88,10 @@ class AsfRuntime final : public ITxControl {
   void note_fallback_start(CoreId core) {
     cores_[core].fallback_start = kernel_now();
   }
+  /// The fallback lock was acquired: the serialize escalation engaged.
+  /// Counts toward the v5 stats section; emits kFallbackAcquired when the
+  /// cm subsystem is active (so default-config traces stay byte-identical).
+  void note_fallback_acquired(CoreId core);
   /// A transaction completed via the serializing software fallback.
   void note_fallback(CoreId core);
   /// The retry loop is about to stall `wait` cycles (abort penalty +
@@ -112,6 +123,35 @@ class AsfRuntime final : public ITxControl {
       CoreId core, std::coroutine_handle<> h) {
     return std::exchange(cores_[core].abort_scope, h);
   }
+
+  // ---- contention management (docs/contention.md) ------------------------
+  /// The active resolution policy (never null; requester-wins by default).
+  [[nodiscard]] const ContentionPolicy& policy() const { return *policy_; }
+  /// Retry count after which run_tx must escalate to the fallback lock
+  /// (cached from the policy; 0 = the policy never forces serialization).
+  [[nodiscard]] std::uint32_t serialize_after() const {
+    return serialize_after_;
+  }
+  /// Starvation accounting (always maintained — host-side only, so the
+  /// default path stays byte-identical): max run of consecutive
+  /// non-lock-wait aborts, cumulative aborted-attempt cycles, and the first
+  /// commit/fallback completion cycle (0 = never) for `core`. The chaos
+  /// starvation oracle audits these against policy().stated_abort_bound().
+  [[nodiscard]] std::uint32_t max_consec_aborts(CoreId core) const {
+    return cores_[core].max_consec_aborts;
+  }
+  [[nodiscard]] Cycle wasted_total(CoreId core) const {
+    return cores_[core].wasted_total;
+  }
+  [[nodiscard]] Cycle first_commit_cycle(CoreId core) const {
+    return cores_[core].first_commit;
+  }
+  [[nodiscard]] std::uint32_t karma(CoreId core) const {
+    return cores_[core].karma;
+  }
+  /// Flush the per-core starvation accounting into the stats blob's v5
+  /// section (Machine::run calls this at quiescence when cm.stats is set).
+  void flush_cm_stats();
 
   /// Optional ATS extension (SimConfig::enable_ats); null when disabled.
   [[nodiscard]] AdaptiveScheduler* scheduler() { return scheduler_.get(); }
@@ -163,6 +203,19 @@ class AsfRuntime final : public ITxControl {
     /// so far (reset when it finally commits or falls back).
     Cycle wasted = 0;
     Cycle fallback_start = 0;
+    /// Karma (docs/contention.md): aborts suffered since this core's last
+    /// completed transaction, credited as priority age by the timestamp
+    /// policy. Saturating; reset on commit/fallback completion.
+    std::uint32_t karma = 0;
+    /// Consecutive non-lock-wait aborts since the last completion (current
+    /// run / worst run) — the starvation headline the chaos oracle audits.
+    std::uint32_t consec_aborts = 0;
+    std::uint32_t max_consec_aborts = 0;
+    /// Cumulative in-tx cycles burned by aborted attempts (never reset;
+    /// feeds the wasted-cycle Gini in the v5 stats section).
+    Cycle wasted_total = 0;
+    /// Cycle of the first commit/fallback completion (0 = none yet).
+    Cycle first_commit = 0;
     /// Footprint captured at doom time, before clear_spec discards the
     /// metadata; reported by the kAbort event in finish_abort.
     TxFootprint abort_fp;
@@ -174,6 +227,12 @@ class AsfRuntime final : public ITxControl {
   };
 
   [[nodiscard]] Cycle kernel_now() const;
+  /// Slow path of resolve_conflict: consult the policy, account, trace.
+  bool resolve_via_policy(CoreId victim, const ConflictRecord& rec);
+  /// Policy priority of `core` (lower = older = stronger): logical-tx start
+  /// aged by karma; under MUTATION kUnfairKarmaReset, the raw attempt start
+  /// with no karma credit — retries look newborn and starve.
+  [[nodiscard]] Cycle cm_priority(CoreId core) const;
 
   Kernel& kernel_;
   MemorySystem& mem_;
@@ -182,6 +241,14 @@ class AsfRuntime final : public ITxControl {
   BackoffManager backoff_;
   const bool backoff_disabled_;    // MUTATION kBackoffNeverSleeps
   const bool lose_update_commit_;  // MUTATION kLostUpdateCommit
+  const bool unfair_karma_reset_;  // MUTATION kUnfairKarmaReset
+  std::unique_ptr<ContentionPolicy> policy_;
+  /// True when conflicts must route through the policy object (non-default
+  /// policy, or opt-in accounting wanting decision events). False keeps the
+  /// historical direct-doom fast path, call-for-call.
+  const bool cm_active_;
+  const Cycle karma_weight_;             // CmConfig::karma
+  const std::uint32_t serialize_after_;  // cached policy_->serialize_after()
   std::unique_ptr<AdaptiveScheduler> scheduler_;
   trace::TraceHub* hub_ = nullptr;
   FaultPlan* fault_ = nullptr;

@@ -20,6 +20,19 @@ class ITxControl {
   /// speculative data is discarded immediately (architectural abort), and
   /// the victim's coroutine observes the abort when it next resumes.
   virtual void doom(CoreId victim, const ConflictRecord& rec) = 0;
+
+  /// Resolve a detected conflict between `rec.requester`'s in-flight access
+  /// and `victim`'s transaction via the contention policy
+  /// (docs/contention.md). Either dooms the victim (requester wins — the
+  /// historical behavior, and the default for scripted test controllers) or
+  /// leaves the victim untouched and returns true, meaning the REQUESTER
+  /// lost: the memory system must then nack the access (no fill, no
+  /// speculative bookkeeping) and the requester self-aborts.
+  [[nodiscard]] virtual bool resolve_conflict(CoreId victim,
+                                              const ConflictRecord& rec) {
+    doom(victim, rec);
+    return false;
+  }
 };
 
 }  // namespace asfsim

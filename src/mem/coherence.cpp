@@ -189,8 +189,17 @@ MemorySystem::ProbeOutcome MemorySystem::probe_remotes(CoreId requester,
           rec.type = cls.type;
           rec.cycle = kernel_.now();
           stats_.on_conflict(rec);
-          txctl_->doom(o, rec);  // clears o's spec metadata via clear_spec()
-          doomed = true;
+          // Contention policy (docs/contention.md): under the default
+          // requester-wins this dooms o exactly like the historical direct
+          // doom() call. Other policies may rule the REQUESTER the loser:
+          // the probe is then nacked — no MOESI effect here or at any
+          // later core — and the outcome propagates up so the requester
+          // self-aborts instead of completing the access.
+          if (txctl_->resolve_conflict(o, rec)) {
+            out.requester_lost = true;
+            return out;
+          }
+          doomed = true;  // requester won: o was doomed (clear_spec ran)
         } else {
           // This detector declined a conflict baseline ASF would have
           // signaled (and, for the oracle, that the oracle will not signal
@@ -332,7 +341,7 @@ TagArray::Slot MemorySystem::fill_l1(CoreId core, Addr line, Moesi state) {
   return victim;
 }
 
-void MemorySystem::oracle_check(CoreId requester, Addr line, ByteMask mask,
+bool MemorySystem::oracle_check(CoreId requester, Addr line, ByteMask mask,
                                 bool is_write) {
   for (CoreId o = 0; o < cfg_.ncores; ++o) {
     if (o == requester || spec_meta_[o].empty()) continue;
@@ -355,8 +364,12 @@ void MemorySystem::oracle_check(CoreId requester, Addr line, ByteMask mask,
     rec.type = cls.type;
     rec.cycle = kernel_.now();
     stats_.on_conflict(rec);
-    txctl_->doom(o, rec);
+    // Same policy hook as probe_remotes: a losing requester stops checking
+    // (it is about to self-abort; its freshly-recorded speculative state
+    // dies with it in clear_spec).
+    if (txctl_->resolve_conflict(o, rec)) return true;
   }
+  return false;
 }
 
 bool MemorySystem::would_broadcast(CoreId core, Addr addr, std::uint32_t size,
@@ -460,6 +473,13 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       const Cycle bus_wait = bus_acquire();
       SubBlockMask pb = 0;
       const ProbeOutcome po = probe_remotes(core, line, mask, true, &pb);
+      if (po.requester_lost) {
+        // Policy nack (never taken under requester-wins): no upgrade, no
+        // fill, no speculative bookkeeping — the requester self-aborts.
+        r.requester_lost = true;
+        r.latency = bus_wait + cfg_.l1.latency;
+        return r;
+      }
       // (invalidating probes never produce piggyback info)
       // doom() handling cannot touch our line; the slot stays good.
       r.latency += bus_wait;
@@ -494,6 +514,11 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
       const Cycle bus_wait = bus_acquire();
       SubBlockMask pb = 0;
       const ProbeOutcome po = probe_remotes(core, line, mask, false, &pb);
+      if (po.requester_lost) {
+        r.requester_lost = true;  // policy nack: see the write path above
+        r.latency = bus_wait + cfg_.l1.latency;
+        return r;
+      }
       r.latency = bus_wait + source_latency(po.remote_owner);
       if (fault_ != nullptr) r.latency += fault_->probe_jitter(core);
       if (valid) {
@@ -529,7 +554,9 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
   }
 
   if (is_tx) record_spec_access(core, slot, line, mask, is_write);
-  if (oracle_) oracle_check(core, line, mask, is_write);
+  if (oracle_ && oracle_check(core, line, mask, is_write)) {
+    r.requester_lost = true;
+  }
   return r;
 }
 

@@ -62,6 +62,10 @@ struct AccessResult {
                                 // speculative lines in the L1
   bool spurious_abort = false;  // injected fault: abort for no architectural
                                 // reason (real ASF reserves the right)
+  bool requester_lost = false;  // the contention policy ruled the REQUESTER
+                                // the loser: the access was nacked (no fill,
+                                // no speculative bookkeeping) and the
+                                // requester must abort its own transaction
   DataSource source = DataSource::kL1;
 };
 
@@ -148,7 +152,9 @@ class MemorySystem {
 
  private:
   struct ProbeOutcome {
-    bool remote_owner = false;  // some remote L1 can supply the data
+    bool remote_owner = false;    // some remote L1 can supply the data
+    bool requester_lost = false;  // a victim outranked the requester
+                                  // (ContentionPolicy): access nacked
   };
 
   /// Probe all other cores: conflict checks + MOESI state changes.
@@ -164,7 +170,8 @@ class MemorySystem {
   /// would be pure waste).
   void record_spec_access(CoreId core, TagArray::Slot slot, Addr line,
                           ByteMask mask, bool is_write);
-  void oracle_check(CoreId requester, Addr line, ByteMask mask, bool is_write);
+  /// Returns true when the contention policy ruled the requester the loser.
+  bool oracle_check(CoreId requester, Addr line, ByteMask mask, bool is_write);
   [[nodiscard]] bool line_pinned(CoreId core, Addr line) const;
 
   /// Capacity-pressure fault: evict the core's lowest-addressed speculative

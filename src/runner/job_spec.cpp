@@ -54,7 +54,7 @@ JobSpec make_job_spec(const std::string& workload,
   const SimConfig& sim = spec.config.sim;
   std::string& s = spec.canonical;
   s.reserve(768);
-  s += "asfsim-jobspec v4\n";
+  s += "asfsim-jobspec v5\n";
   s += "workload " + workload + "\n";
   kv(s, "detector", static_cast<std::uint64_t>(cfg.detector));
   kv(s, "nsub", cfg.nsub);
@@ -110,6 +110,13 @@ JobSpec make_job_spec(const std::string& workload,
   // though simulated outcomes are identical).
   kv(s, "oltp_hot_window", oltp.hot_window);
   kv(s, "provenance", sim.provenance ? 1 : 0);
+  // v5: contention-management knobs (cm/cm_config.hpp). cm_stats changes
+  // only the stats blob (it gains the opt-in v5 section), the rest change
+  // simulated outcomes.
+  kv(s, "cm_policy", static_cast<std::uint64_t>(sim.cm.policy));
+  kv(s, "cm_max_retries", sim.cm.max_retries);
+  kv(s, "cm_karma", sim.cm.karma);
+  kv(s, "cm_stats", sim.cm.stats ? 1 : 0);
 
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",

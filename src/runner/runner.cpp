@@ -107,6 +107,10 @@ std::shared_future<ExperimentResult> Runner::submit(
   entry.workload = workload;
   entry.detector = detector_label(cfg);
   entry.seed = cfg.params.seed;
+  entry.policy = to_string(cfg.sim.cm.policy);
+  if (cfg.sim.cm.policy == CmPolicyKind::kSerialize) {
+    entry.cm_max_retries = cfg.sim.cm.max_retries;
+  }
   entries_.push_back(std::move(entry));
   ++totals_.submitted;
 
@@ -263,6 +267,10 @@ void Runner::write_manifest() {
                   static_cast<unsigned long long>(e.seed), e.source,
                   e.wall_ms);
     out << buf;
+    out << ", \"policy\": \"" << e.policy << "\"";
+    if (e.cm_max_retries != 0) {
+      out << ", \"cm_max_retries\": " << e.cm_max_retries;
+    }
     const bool failed = e.source[0] == 'f';
     out << ", \"status\": \"" << (failed ? "failed" : "ok") << "\"";
     if (failed && !e.error.empty()) {

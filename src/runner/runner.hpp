@@ -120,6 +120,8 @@ class Runner {
     std::string workload;
     std::string detector;  // DetectorKind name + nsub at submit time
     std::uint64_t seed = 0;
+    const char* policy = "requester-wins";  // contention policy name
+    std::uint32_t cm_max_retries = 0;  // serialize threshold (0 otherwise)
     const char* source = "pending";  // executed | cache | failed
     double wall_ms = 0.0;
     std::string trace;  // trace file path (empty when tracing is off)

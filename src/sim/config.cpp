@@ -59,6 +59,34 @@ std::string SimConfig::validate(std::uint32_t nsub) const {
   if (max_tx_retries != 0 && max_capacity_aborts == 0) {
     return "max_capacity_aborts must be > 0 when the fallback is enabled";
   }
+  // Contention-management contradictions: a knob combination whose stated
+  // bound could never trip is rejected up front rather than silently run
+  // (docs/contention.md §5).
+  if (cm.max_retries == 0) {
+    return cm.policy == CmPolicyKind::kSerialize
+               ? "cm.max_retries must be > 0: the serialize fallback could "
+                 "never engage"
+               : "cm.max_retries must be > 0 (--cm-max-retries 0 makes the "
+                 "serialize threshold unreachable; pick a policy bound >= 1)";
+  }
+  if (cm.policy == CmPolicyKind::kSerialize && max_capacity_aborts == 0) {
+    return "max_capacity_aborts must be > 0 under --cm-policy serialize "
+           "(the policy re-enables the fallback path)";
+  }
+  if (cm.policy == CmPolicyKind::kSerialize && watchdog_cycles != 0) {
+    // Floor on the time the serialize path needs to produce its first
+    // commit: max_retries aborted attempts, each costing at least the
+    // abort penalty plus the minimum backoff sleep.
+    const Cycle floor =
+        static_cast<Cycle>(cm.max_retries + 1) * (abort_latency + backoff_base);
+    if (watchdog_cycles < floor) {
+      return "watchdog_cycles (" + std::to_string(watchdog_cycles) +
+             ") is smaller than the serialize fallback could ever need (" +
+             std::to_string(floor) +
+             " = (cm.max_retries+1)*(abort_latency+backoff_base)); the "
+             "watchdog would fire before the guaranteed-progress path engages";
+    }
+  }
   if (enable_ats && (ats_alpha <= 0.0 || ats_alpha > 1.0)) {
     return "ats_alpha must be in (0, 1]";
   }

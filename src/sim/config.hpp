@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cm/cm_config.hpp"
 #include "fault/fault_config.hpp"
 #include "sim/types.hpp"
 
@@ -83,6 +84,13 @@ struct SimConfig {
   bool enable_ats = false;
   double ats_alpha = 0.3;
   double ats_threshold = 0.5;
+
+  // Contention management (docs/contention.md): which policy resolves true
+  // conflicts (requester-wins by default — bit-identical to the pre-cm
+  // tree), the bounded-retry-then-serialize threshold, the karma weight,
+  // and the opt-in starvation accounting (stats-blob v5 section). All
+  // fields are folded into the jobspec hash.
+  CmConfig cm;
 
   // Conflict provenance (docs/observability.md): tag guest allocations with
   // site labels and attribute every conflict back to (site, object, line,

@@ -1,5 +1,7 @@
 #include "stats/counters.hpp"
 
+#include <algorithm>
+
 namespace asfsim {
 
 void Stats::on_tx_attempt(Cycle now) {
@@ -92,6 +94,24 @@ double Stats::latency_percentile(double p) const {
     seen += count;
   }
   return static_cast<double>(std::uint64_t{1} << (tx_latency_hist.size() - 1));
+}
+
+double Stats::cm_wasted_gini() const {
+  const std::size_t n = cm_wasted_by_core.size();
+  if (n < 2) return 0.0;
+  std::vector<std::uint64_t> sorted = cm_wasted_by_core;
+  std::sort(sorted.begin(), sorted.end());
+  // Gini = sum_i (2i - n + 1) * x_i / (n * sum x) over ascending x_i
+  // (0-based i). Exact for our small n; no sampling correction.
+  double weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(sorted[i]);
+    weighted += (2.0 * static_cast<double>(i) -
+                 static_cast<double>(n) + 1.0) * x;
+    total += x;
+  }
+  if (total == 0.0) return 0.0;
+  return weighted / (static_cast<double>(n) * total);
 }
 
 }  // namespace asfsim

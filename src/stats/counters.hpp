@@ -112,6 +112,29 @@ class alignas(64) Stats {
   /// false, true (every observed pair, key-sorted).
   std::vector<std::uint64_t> prov_pairs;
 
+  // ---- contention management (opt-in; docs/contention.md) ----------------
+  /// Set when the run executed with SimConfig::cm.stats. The fields below
+  /// are flushed from the runtime's always-on per-core accounting at run
+  /// end and serialize as the stats blob's v5 section; when false they stay
+  /// empty/zero and the blob keeps its v3/v4 header byte-for-byte.
+  bool cm_enabled = false;
+  /// Per-core maximum run of consecutive non-lock-wait aborts (starvation
+  /// headline; the chaos oracle audits it against the policy's bound).
+  std::vector<std::uint64_t> cm_max_consec_aborts;
+  /// Per-core cumulative in-transaction cycles burned by aborted attempts
+  /// (fairness: see cm_wasted_gini()).
+  std::vector<std::uint64_t> cm_wasted_by_core;
+  /// Per-core cycle of the first commit/fallback completion (time-to-first-
+  /// commit tail); 0 = the core never completed a transaction.
+  std::vector<std::uint64_t> cm_first_commit_cycle;
+  /// Conflicts routed through the ContentionPolicy (0 under the default
+  /// requester-wins fast path, which never consults the policy object).
+  std::uint64_t cm_policy_decisions = 0;
+  /// Decisions where the policy ruled the REQUESTER the loser.
+  std::uint64_t cm_requester_losses = 0;
+  /// Fallback-lock acquisitions (the serialize escalation engaging).
+  std::uint64_t cm_fallback_acquisitions = 0;
+
   // ---- hooks -------------------------------------------------------------
   void on_tx_attempt(Cycle now);
   void on_tx_commit();
@@ -149,6 +172,10 @@ class alignas(64) Stats {
   /// Approximate p-th latency percentile (p in [0, 1]) in cycles, from
   /// tx_latency_hist with linear interpolation within the log2 bucket.
   [[nodiscard]] double latency_percentile(double p) const;
+  /// Gini coefficient of cm_wasted_by_core (0 = every core burned the same
+  /// wasted cycles, → 1 = one core absorbed all the waste). 0 when the v5
+  /// section is off or fewer than two cores reported.
+  [[nodiscard]] double cm_wasted_gini() const;
 };
 
 }  // namespace asfsim

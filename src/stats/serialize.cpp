@@ -19,8 +19,14 @@ namespace {
 // appended section. Older blobs still fail deserialization cleanly; the
 // result cache never serves them anyway (the code stamp changed with the
 // code).
+// v5: appended the opt-in contention-management section (--cm-stats). Like
+// v4, the v5 header is only written when its section is present, so cm-off
+// blobs remain byte-identical to v4 (or v3 when provenance is off too). A
+// v5 blob always carries an explicit prov_present flag so the two opt-in
+// sections compose in every combination.
 constexpr const char* kHeaderV3 = "asfsim-stats v3";
 constexpr const char* kHeaderV4 = "asfsim-stats v4";
+constexpr const char* kHeaderV5 = "asfsim-stats v5";
 
 // Charset of serialized site-name tokens; matches the sanitizer in
 // prov/site_registry.cpp so round-trips are exact.
@@ -140,7 +146,8 @@ class Reader {
 std::string serialize_stats(const Stats& s) {
   std::string out;
   out.reserve(2048);
-  out += s.prov_enabled ? kHeaderV4 : kHeaderV3;
+  out += s.cm_enabled ? kHeaderV5
+                      : (s.prov_enabled ? kHeaderV4 : kHeaderV3);
   out += '\n';
   put(out, "tx_attempts", s.tx_attempts);
   put(out, "tx_commits", s.tx_commits);
@@ -190,8 +197,12 @@ std::string serialize_stats(const Stats& s) {
   put(out, "wasted_cycles", s.wasted_cycles);
   put(out, "backoff_cycles", s.backoff_cycles);
   put_seq(out, "tx_latency_hist", s.tx_latency_hist);
+  if (s.prov_enabled || s.cm_enabled) {
+    // v4 wrote "prov_enabled 1" only when provenance was on; v5 writes the
+    // flag unconditionally so the cm section's position is unambiguous.
+    put(out, "prov_enabled", s.prov_enabled ? 1 : 0);
+  }
   if (s.prov_enabled) {
-    put(out, "prov_enabled", 1);
     out += "prov_site_names";
     char buf[32];
     std::snprintf(buf, sizeof(buf), " %zu", s.prov_site_names.size());
@@ -205,6 +216,15 @@ std::string serialize_stats(const Stats& s) {
     put_seq(out, "prov_hot_lines", s.prov_hot_lines);
     put_seq(out, "prov_pairs", s.prov_pairs);
   }
+  if (s.cm_enabled) {
+    put(out, "cm_enabled", 1);
+    put_seq(out, "cm_max_consec_aborts", s.cm_max_consec_aborts);
+    put_seq(out, "cm_wasted_by_core", s.cm_wasted_by_core);
+    put_seq(out, "cm_first_commit_cycle", s.cm_first_commit_cycle);
+    put(out, "cm_policy_decisions", s.cm_policy_decisions);
+    put(out, "cm_requester_losses", s.cm_requester_losses);
+    put(out, "cm_fallback_acquisitions", s.cm_fallback_acquisitions);
+  }
   return out;
 }
 
@@ -214,12 +234,16 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
   std::uint64_t flag = 0;
   std::vector<Cycle> by_line_flat;
   bool v4 = false;
+  bool v5 = false;
   bool header_ok = false;
   if (r.literal(kHeaderV3)) {
     header_ok = true;
   } else if (r.literal(kHeaderV4)) {
     header_ok = true;
     v4 = true;
+  } else if (r.literal(kHeaderV5)) {
+    header_ok = true;
+    v5 = true;
   }
   bool ok =
       header_ok && r.literal("\n") &&
@@ -259,20 +283,38 @@ bool deserialize_stats(std::string_view blob, Stats& out) {
       r.field("wasted_cycles", out.wasted_cycles) &&
       r.field("backoff_cycles", out.backoff_cycles) &&
       r.fixed_seq("tx_latency_hist", out.tx_latency_hist);
-  if (ok && v4) {
-    // Opt-in provenance section: only v4 blobs carry it, and a v4 blob
-    // must carry it (the header is only written when the section is).
+  if (ok && (v4 || v5)) {
+    // Opt-in provenance section. A v4 blob must carry it (the v4 header is
+    // only written when the section is); a v5 blob carries an explicit 0/1
+    // flag because either opt-in section can be present on its own.
     std::uint64_t pflag = 0;
-    ok = r.field("prov_enabled", pflag) && pflag == 1 &&
-         r.name_seq("prov_site_names", out.prov_site_names) &&
-         r.var_seq("prov_site_table", out.prov_site_table) &&
-         r.var_seq("prov_hot_lines", out.prov_hot_lines) &&
-         r.var_seq("prov_pairs", out.prov_pairs) &&
-         // Stride/shape checks (prov/collector.hpp layout constants).
-         out.prov_site_table.size() == out.prov_site_names.size() * 11 &&
-         out.prov_hot_lines.size() % 4 == 0 &&
-         out.prov_pairs.size() % 4 == 0;
-    out.prov_enabled = ok;
+    ok = r.field("prov_enabled", pflag) && pflag <= 1 && (v5 || pflag == 1);
+    if (ok && pflag == 1) {
+      ok = r.name_seq("prov_site_names", out.prov_site_names) &&
+           r.var_seq("prov_site_table", out.prov_site_table) &&
+           r.var_seq("prov_hot_lines", out.prov_hot_lines) &&
+           r.var_seq("prov_pairs", out.prov_pairs) &&
+           // Stride/shape checks (prov/collector.hpp layout constants).
+           out.prov_site_table.size() == out.prov_site_names.size() * 11 &&
+           out.prov_hot_lines.size() % 4 == 0 &&
+           out.prov_pairs.size() % 4 == 0;
+      out.prov_enabled = ok;
+    }
+  }
+  if (ok && v5) {
+    // Contention-management section: a v5 blob must carry it.
+    std::uint64_t cflag = 0;
+    ok = r.field("cm_enabled", cflag) && cflag == 1 &&
+         r.var_seq("cm_max_consec_aborts", out.cm_max_consec_aborts) &&
+         r.var_seq("cm_wasted_by_core", out.cm_wasted_by_core) &&
+         r.var_seq("cm_first_commit_cycle", out.cm_first_commit_cycle) &&
+         r.field("cm_policy_decisions", out.cm_policy_decisions) &&
+         r.field("cm_requester_losses", out.cm_requester_losses) &&
+         r.field("cm_fallback_acquisitions", out.cm_fallback_acquisitions) &&
+         // The three per-core vectors must agree on the core count.
+         out.cm_wasted_by_core.size() == out.cm_max_consec_aborts.size() &&
+         out.cm_first_commit_cycle.size() == out.cm_max_consec_aborts.size();
+    out.cm_enabled = ok;
   }
   ok = ok && r.done();
   if (!ok || flag > 1 || by_line_flat.size() % 2 != 0) return false;

@@ -32,9 +32,14 @@ enum class TraceEventKind : std::uint8_t {
   kSite,        // allocation-site declaration (provenance runs only): id,
                 // name, object size/count/bytes — emitted once per site at
                 // run end so conflict events' site ids are decodable
+  kPolicy,      // contention-policy decision (instant; cm-active runs only):
+                // which side of a detected conflict lost
+  kFallbackAcquired,  // fallback lock acquired — the serialize escalation
+                      // engaged (instant; cm-active runs only; span_begin =
+                      // spin start)
 };
 
-inline constexpr std::size_t kTraceEventKinds = 9;
+inline constexpr std::size_t kTraceEventKinds = 11;
 
 [[nodiscard]] const char* to_string(TraceEventKind k);
 
@@ -84,6 +89,10 @@ struct TraceEvent {
   std::uint32_t victim_sub = 0;  // sub-block index of the victim byte
   std::uint32_t req_site = 0;
   std::uint64_t req_obj = 0;
+
+  // kPolicy: the core that lost the decision (== core when the victim
+  // aborted — the usual outcome — or == other when the requester did).
+  CoreId loser = kInvalidCore;
 
   // kSite: allocation-site declaration.
   std::uint32_t site_id = 0;

@@ -234,6 +234,19 @@ void to_jsonl(const TraceEvent& ev, std::string& out) {
       put_u64(out, "objects", ev.site_objects);
       put_u64(out, "bytes", ev.site_bytes);
       break;
+    case TraceEventKind::kPolicy:
+      put_u64(out, "core", ev.core);
+      put_u64(out, "other", ev.other);
+      put_u64(out, "loser", ev.loser);
+      put_u64(out, "cycle", ev.cycle);
+      put_u64(out, "line", ev.line);
+      break;
+    case TraceEventKind::kFallbackAcquired:
+      put_u64(out, "core", ev.core);
+      put_u64(out, "cycle", ev.cycle);
+      put_u64(out, "start", ev.span_begin);
+      put_u64(out, "retries", ev.retries);
+      break;
   }
   out += "}\n";
 }
@@ -314,6 +327,8 @@ bool from_jsonl(std::string_view line, TraceEvent& out) {
       } else if (key == "req_obj") {
         out.req_obj = v;
         out.has_prov = true;
+      } else if (key == "loser") {
+        out.loser = static_cast<CoreId>(v);
       } else if (key == "site") {
         out.site_id = static_cast<std::uint32_t>(v);
       } else if (key == "obj_size") {

@@ -165,6 +165,32 @@ void PerfettoSink::on_event(const TraceEvent& ev) {
       prev_aborts_ = ev.aborts;
       break;
     }
+    case TraceEventKind::kPolicy: {
+      // Policy decisions are thread-scoped instants on the victim's track;
+      // the loser arg tells which side of the conflict was ruled against.
+      ensure_core_track(ev.core);
+      const bool req_lost = ev.loser == ev.other;
+      std::string r = std::string("{\"name\":\"policy: ") +
+                      (req_lost ? "requester loses" : "victim loses") +
+                      "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" +
+                      u64s(ev.core) + ",\"ts\":" + u64s(ev.cycle) +
+                      ",\"args\":{\"victim\":" + u64s(ev.core) +
+                      ",\"requester\":" + u64s(ev.other) + ",\"loser\":" +
+                      u64s(ev.loser) + ",\"line\":\"" + hex64s(ev.line) +
+                      "\"}}";
+      write_record(r);
+      break;
+    }
+    case TraceEventKind::kFallbackAcquired: {
+      ensure_core_track(ev.core);
+      std::string r = "{\"name\":\"fallback lock acquired\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"pid\":0,\"tid\":" +
+                      u64s(ev.core) + ",\"ts\":" + u64s(ev.cycle) +
+                      ",\"args\":{\"spin_start\":" + u64s(ev.span_begin) +
+                      ",\"retries\":" + u64s(ev.retries) + "}}";
+      write_record(r);
+      break;
+    }
     case TraceEventKind::kSite: {
       // Site declarations become metadata-style instants on the process
       // track so the conflict args' site ids stay decodable in the UI.

@@ -13,6 +13,8 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::kBackoff: return "backoff";
     case TraceEventKind::kCounter: return "counter";
     case TraceEventKind::kSite: return "site";
+    case TraceEventKind::kPolicy: return "policy";
+    case TraceEventKind::kFallbackAcquired: return "fallback-acquired";
   }
   return "?";
 }

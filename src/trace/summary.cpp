@@ -48,12 +48,28 @@ void TraceSummary::add(const TraceEvent& ev) {
       ++aborts_by_cause[static_cast<std::size_t>(ev.cause)];
       abort_samples.emplace_back(ev.cycle, ev.cause);
       wasted_cycles += ev.wasted;
+      if (ev.core != kInvalidCore && ev.cause != AbortCause::kLockWait) {
+        if (ev.core >= consec_aborts.size()) {
+          consec_aborts.resize(ev.core + 1, 0);
+          max_consec_aborts.resize(ev.core + 1, 0);
+        }
+        const std::uint32_t streak = ++consec_aborts[ev.core];
+        if (streak > max_consec_aborts[ev.core]) {
+          max_consec_aborts[ev.core] = streak;
+        }
+      }
       break;
     case TraceEventKind::kCommit:
     case TraceEventKind::kFallback:
       ++committed_tx;
       ++commit_latency_hist[Stats::log2_bucket(ev.cycle - ev.span_begin,
                                                commit_latency_hist.size())];
+      if (ev.core != kInvalidCore && ev.core < consec_aborts.size()) {
+        consec_aborts[ev.core] = 0;
+      }
+      break;
+    case TraceEventKind::kPolicy:
+      if (ev.loser == ev.other) ++requester_losses;
       break;
     default:
       break;
@@ -189,6 +205,32 @@ void print_summary(const TraceSummary& s, std::ostream& os, int top_n) {
      << TextTable::num(lat.latency_percentile(0.50), 0) << "  p95 "
      << TextTable::num(lat.latency_percentile(0.95), 0) << "  p99 "
      << TextTable::num(lat.latency_percentile(0.99), 0) << "\n";
+
+  // Forward progress / contention (docs/contention.md): starvation is
+  // visible as a long per-core abort streak; the policy/fallback counters
+  // show whether a contention policy was active and how often the
+  // serialize escalation engaged.
+  const std::uint64_t total_aborts =
+      s.kind_count(TraceEventKind::kAbort);
+  const double aborts_per_tx =
+      s.committed_tx == 0 ? 0.0
+                          : static_cast<double>(total_aborts) /
+                                static_cast<double>(s.committed_tx);
+  os << "\nForward progress:\n";
+  os << "aborts per committed tx: " << TextTable::num(aborts_per_tx, 2)
+     << "  policy decisions: " << s.kind_count(TraceEventKind::kPolicy)
+     << " (requester lost " << s.requester_losses << ")"
+     << "  fallback acquisitions: "
+     << s.kind_count(TraceEventKind::kFallbackAcquired) << "\n";
+  {
+    TextTable t({"Core", "Max consecutive aborts"});
+    for (CoreId c = 0; c < s.ncores; ++c) {
+      const std::uint32_t m =
+          c < s.max_consec_aborts.size() ? s.max_consec_aborts[c] : 0;
+      t.add_row({std::to_string(c), std::to_string(m)});
+    }
+    t.print(os);
+  }
 }
 
 }  // namespace asfsim::trace

@@ -48,6 +48,25 @@ struct TraceSummary {
   std::uint64_t committed_tx = 0;
   std::array<std::uint64_t, 32> commit_latency_hist{};
 
+  /// Contention / forward-progress view (docs/contention.md). Per-core max
+  /// consecutive aborts are replayed from the event order — lock-wait
+  /// aborts neither count nor reset, matching AsfRuntime's karma
+  /// accounting — so the section is derivable from ANY trace; the policy
+  /// and fallback-acquisition counts are only non-zero on cm-active runs.
+  std::vector<std::uint32_t> consec_aborts;      // working counter
+  std::vector<std::uint32_t> max_consec_aborts;  // per-core max
+  std::uint64_t requester_losses = 0;            // kPolicy with loser==other
+
+  [[nodiscard]] std::uint64_t kind_count(TraceEventKind k) const {
+    return by_kind[static_cast<std::size_t>(k)];
+  }
+  /// Any policy decision or fallback acquisition in the stream? False for
+  /// traces from runs without an active contention policy.
+  [[nodiscard]] bool has_cm_events() const {
+    return kind_count(TraceEventKind::kPolicy) != 0 ||
+           kind_count(TraceEventKind::kFallbackAcquired) != 0;
+  }
+
   void add(const TraceEvent& ev);
 };
 

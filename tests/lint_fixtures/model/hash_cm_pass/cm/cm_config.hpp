@@ -1,0 +1,35 @@
+// Contention-management configuration (fixture copy of src/cm/cm_config.hpp:
+// every CmConfig knob must reach the canonical jobspec string).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asfsim {
+
+enum class CmPolicyKind : std::uint8_t {
+  kRequesterWins = 0,
+  kPolite,
+  kTimestamp,
+  kSerialize,
+};
+
+[[nodiscard]] const char* to_string(CmPolicyKind k);
+
+[[nodiscard]] bool parse_cm_policy(std::string_view name, CmPolicyKind& out);
+
+struct CmConfig {
+  CmPolicyKind policy = CmPolicyKind::kRequesterWins;
+  // Serialize threshold: retries before escalating to the fallback lock.
+  std::uint32_t max_retries = 8;
+  // Karma weight for kTimestamp: priority age per suffered abort.
+  std::uint32_t karma = 64;
+  // Opt-in starvation/fairness accounting (stats-blob v5 section).
+  bool stats = false;
+
+  [[nodiscard]] bool active() const {
+    return policy != CmPolicyKind::kRequesterWins || stats;
+  }
+};
+
+}  // namespace asfsim

@@ -1,0 +1,40 @@
+// lint fixture: MUST pass hash-completeness — every CmConfig field from
+// the sibling cm/cm_config.hpp reaches the canonical string.
+#include "runner/job_spec.hpp"
+
+#include <cstdio>
+#include <type_traits>
+
+namespace asfsim::runner {
+
+namespace {
+
+template <typename UInt>
+void kv(std::string& out, const char* key, UInt v) {
+  static_assert(std::is_unsigned_v<UInt> || std::is_same_v<UInt, int>);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s %llu\n", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+JobSpec make_job_spec(const std::string& workload,
+                      const ExperimentConfig& cfg) {
+  JobSpec spec;
+  spec.workload = workload;
+  spec.config = cfg;
+
+  std::string& s = spec.canonical;
+  s += "asfsim-jobspec v5\n";
+  s += "workload " + workload + "\n";
+  const CmConfig& cm = cfg.sim.cm;
+  kv(s, "cm_policy", static_cast<std::uint64_t>(cm.policy));
+  kv(s, "cm_max_retries", cm.max_retries);
+  kv(s, "cm_karma", cm.karma);
+  kv(s, "cm_stats", cm.stats ? 1 : 0);
+  return spec;
+}
+
+}  // namespace asfsim::runner

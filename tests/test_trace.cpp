@@ -81,7 +81,8 @@ bool events_equal(const trace::TraceEvent& a, const trace::TraceEvent& b) {
          a.bus_wait == b.bus_wait && a.has_prov == b.has_prov &&
          a.victim_site == b.victim_site && a.victim_obj == b.victim_obj &&
          a.victim_sub == b.victim_sub && a.req_site == b.req_site &&
-         a.req_obj == b.req_obj && a.site_id == b.site_id &&
+         a.req_obj == b.req_obj && a.loser == b.loser &&
+         a.site_id == b.site_id &&
          a.site_obj_size == b.site_obj_size &&
          a.site_objects == b.site_objects && a.site_bytes == b.site_bytes &&
          a.site_name == b.site_name;
@@ -188,6 +189,25 @@ TEST(TraceJsonl, RoundTripsEveryKind) {
     ev.site_obj_size = 24;
     ev.site_objects = 512;
     ev.site_bytes = 12288;
+    events.push_back(ev);
+  }
+  {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kPolicy;
+    ev.core = 2;   // victim
+    ev.other = 5;  // requester
+    ev.loser = 5;  // policy ruled against the requester
+    ev.cycle = 777;
+    ev.line = 0x680;
+    events.push_back(ev);
+  }
+  {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kFallbackAcquired;
+    ev.core = 3;
+    ev.cycle = 4200;
+    ev.span_begin = 4000;
+    ev.retries = 9;
     events.push_back(ev);
   }
   ASSERT_EQ(events.size(), trace::kTraceEventKinds);

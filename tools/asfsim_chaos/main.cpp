@@ -37,7 +37,12 @@ using namespace asfsim;
       "  matrix [--seeds a,b,c] [--ntx N] [--audit N] [--verbose]\n"
       "  cell --mutate NAME [--detector baseline|subblock] [--nsub N]\n"
       "       [--seed N] [--ntx N] [--audit N]\n"
-      "  livelock [--runner]\n"
+      "       [--cm-policy requester-wins|polite|timestamp|serialize]\n"
+      "       [--cm-max-retries N] [--cm-karma N] [--max-tx-retries N]\n"
+      "  livelock [--runner | --serialize]\n"
+      "    --serialize reruns the livelocked configuration under\n"
+      "    --cm-policy serialize with the watchdog DISARMED and demands\n"
+      "    the fallback escalation alone terminates it.\n"
       "mutations (--mutate):\n");
   for (const ProtocolMutation m : all_mutations()) {
     std::fprintf(out, "  %s\n", to_string(m));
@@ -118,6 +123,23 @@ int cmd_cell(int argc, char** argv) {
       cell.ntx = static_cast<int>(parse_u64(next_arg(argc, argv, i)));
     } else if (std::strcmp(argv[i], "--audit") == 0) {
       cell.audit_interval = parse_u64(next_arg(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--cm-policy") == 0) {
+      const char* name = next_arg(argc, argv, i);
+      if (!parse_cm_policy(name, cell.cm.policy)) {
+        std::fprintf(stderr, "asfsim_chaos: unknown policy '%s'\n", name);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cm-max-retries") == 0) {
+      cell.cm.max_retries =
+          static_cast<std::uint32_t>(parse_u64(next_arg(argc, argv, i)));
+    } else if (std::strcmp(argv[i], "--cm-karma") == 0) {
+      cell.cm.karma =
+          static_cast<std::uint32_t>(parse_u64(next_arg(argc, argv, i)));
+    } else if (std::strcmp(argv[i], "--max-tx-retries") == 0) {
+      cell.max_tx_retries =
+          static_cast<std::int32_t>(parse_u64(next_arg(argc, argv, i)));
+    } else if (std::strcmp(argv[i], "--ncells") == 0) {
+      cell.ncells = parse_u64(next_arg(argc, argv, i));
     } else {
       usage(2);
     }
@@ -126,6 +148,7 @@ int cmd_cell(int argc, char** argv) {
   std::printf("verdict: %s\n", to_string(r.verdict));
   if (!r.detail.empty()) std::printf("detail: %s\n", r.detail.c_str());
   std::printf("commits: %llu\n", static_cast<unsigned long long>(r.commits));
+  std::printf("max consecutive aborts: %u\n", r.max_streak);
   return r.verdict == ChaosVerdict::kClean ? 0 : 1;
 }
 
@@ -150,14 +173,43 @@ ExperimentConfig livelocked_config() {
 
 int cmd_livelock(int argc, char** argv) {
   bool via_runner = false;
+  bool serialize = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--runner") == 0) {
       via_runner = true;
+    } else if (std::strcmp(argv[i], "--serialize") == 0) {
+      serialize = true;
     } else {
       usage(2);
     }
   }
-  const ExperimentConfig cfg = livelocked_config();
+  ExperimentConfig cfg = livelocked_config();
+  if (serialize) {
+    // The guaranteed-termination demo (docs/contention.md §3): same
+    // livelocked configuration, but the serialize policy re-enables the
+    // fallback escalation. The watchdog stays DISARMED — termination must
+    // come from the policy's progress guarantee, not a timeout.
+    cfg.sim.cm.policy = CmPolicyKind::kSerialize;
+    cfg.sim.cm.max_retries = 8;
+    cfg.sim.watchdog_cycles = 0;
+    const ExperimentResult r = run_experiment("counter", cfg);
+    std::printf(
+        "serialize fallback guaranteed termination with the watchdog "
+        "disarmed:\n  commits %llu  aborts %llu  fallback runs %llu  "
+        "cycles %llu\n",
+        static_cast<unsigned long long>(r.stats.tx_commits),
+        static_cast<unsigned long long>(r.stats.tx_aborts),
+        static_cast<unsigned long long>(r.stats.fallback_runs),
+        static_cast<unsigned long long>(r.stats.total_cycles));
+    if (r.stats.fallback_runs == 0) {
+      std::fprintf(stderr,
+                   "livelock --serialize: the run finished without the "
+                   "fallback ever engaging — the configuration is no longer "
+                   "livelocked\n");
+      return 1;
+    }
+    return 0;
+  }
   try {
     if (via_runner) {
       runner::RunnerOptions ro;

@@ -27,6 +27,12 @@
 // --oltp-scan-ratio/--oltp-scan-len/--oltp-hot-window/
 // --oltp-mix <a..f|custom>
 //
+// Contention management (docs/contention.md):
+//   --cm-policy <name>  requester-wins | polite | timestamp | serialize
+//   --cm-max-retries n  serialize policy's bounded-retry threshold
+//   --cm-karma <n>      timestamp policy's per-abort priority credit
+//   --cm-stats          print the per-core starvation/fairness section
+//
 // Observability (docs/observability.md):
 //   --prov              conflict provenance: per-site conflict attribution
 //                       in the printed report
@@ -131,6 +137,24 @@ void print_report(const ExperimentResult& r, std::uint32_t threads) {
                   : 100.0 * double(s.tx_busy_cycles) /
                         (double(threads) * double(s.total_cycles)),
               threads);
+  if (s.cm_enabled) {
+    std::printf("\n-- contention management (--cm-stats) --\n");
+    std::printf("policy decisions : %llu  (requester lost %llu)\n",
+                (unsigned long long)s.cm_policy_decisions,
+                (unsigned long long)s.cm_requester_losses);
+    std::printf("fallback acquires: %llu\n",
+                (unsigned long long)s.cm_fallback_acquisitions);
+    std::printf("wasted-cycle gini: %.3f  (0 = perfectly fair)\n",
+                s.cm_wasted_gini());
+    std::printf("per-core [max consecutive aborts / wasted cycles / first "
+                "commit]:\n");
+    for (std::size_t c = 0; c < s.cm_max_consec_aborts.size(); ++c) {
+      std::printf("  core %-2zu  %-6llu %-10llu %llu\n", c,
+                  (unsigned long long)s.cm_max_consec_aborts[c],
+                  (unsigned long long)s.cm_wasted_by_core[c],
+                  (unsigned long long)s.cm_first_commit_cycle[c]);
+    }
+  }
   if (s.prov_enabled && !s.prov_site_names.empty()) {
     // Top offender sites by false conflicts (full forensics: run with
     // --trace-dir and feed the capture to `asfsim_trace conflicts`).
@@ -247,6 +271,20 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(need("--oltp-hot-window")));
     } else if (!std::strcmp(argv[i], "--prov")) {
       common.prov = true;
+    } else if (!std::strcmp(argv[i], "--cm-policy")) {
+      const char* name = need("--cm-policy");
+      if (!parse_cm_policy(name, common.cm.policy)) {
+        std::fprintf(stderr, "unknown --cm-policy %s (try --help)\n", name);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--cm-max-retries")) {
+      common.cm.max_retries =
+          static_cast<std::uint32_t>(std::atoi(need("--cm-max-retries")));
+    } else if (!std::strcmp(argv[i], "--cm-karma")) {
+      common.cm.karma =
+          static_cast<std::uint32_t>(std::atoi(need("--cm-karma")));
+    } else if (!std::strcmp(argv[i], "--cm-stats")) {
+      common.cm.stats = true;
     } else if (!std::strcmp(argv[i], "--oltp-mix")) {
       const char* name = need("--oltp-mix");
       if (!parse_oltp_mix(name, common.oltp.mix)) {

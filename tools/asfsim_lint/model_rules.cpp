@@ -16,6 +16,7 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 constexpr const char* kConfigSuffix = "sim/config.hpp";
 constexpr const char* kFaultConfigSuffix = "fault/fault_config.hpp";
 constexpr const char* kOltpConfigSuffix = "oltp/oltp_config.hpp";
+constexpr const char* kCmConfigSuffix = "cm/cm_config.hpp";
 constexpr const char* kJobSpecSuffix = "runner/job_spec.cpp";
 constexpr const char* kCountersSuffix = "stats/counters.hpp";
 constexpr const char* kSerializeSuffix = "stats/serialize.cpp";
@@ -24,6 +25,7 @@ struct ModelGroup {
   const ParsedFile* config = nullptr;        // sim/config.hpp
   const ParsedFile* fault_config = nullptr;  // fault/fault_config.hpp
   const ParsedFile* oltp_config = nullptr;   // oltp/oltp_config.hpp
+  const ParsedFile* cm_config = nullptr;     // cm/cm_config.hpp
   const ParsedFile* job_spec = nullptr;      // runner/job_spec.cpp
   const ParsedFile* counters = nullptr;      // stats/counters.hpp
   const ParsedFile* serialize = nullptr;     // stats/serialize.cpp
@@ -124,6 +126,7 @@ std::vector<Diagnostic> check_model(const std::vector<ParsedFile>& files) {
     claim(kConfigSuffix, &ModelGroup::config);
     claim(kFaultConfigSuffix, &ModelGroup::fault_config);
     claim(kOltpConfigSuffix, &ModelGroup::oltp_config);
+    claim(kCmConfigSuffix, &ModelGroup::cm_config);
     claim(kJobSpecSuffix, &ModelGroup::job_spec);
     claim(kCountersSuffix, &ModelGroup::counters);
     claim(kSerializeSuffix, &ModelGroup::serialize);
@@ -138,6 +141,9 @@ std::vector<Diagnostic> check_model(const std::vector<ParsedFile>& files) {
       }
       if (g.oltp_config != nullptr) {
         check_hash_file(*g.oltp_config, *g.job_spec, out);
+      }
+      if (g.cm_config != nullptr) {
+        check_hash_file(*g.cm_config, *g.job_spec, out);
       }
     }
     if (g.counters != nullptr && g.serialize != nullptr) {

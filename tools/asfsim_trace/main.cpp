@@ -1,9 +1,13 @@
 // asfsim_trace: offline analysis of full-timeline traces
 // (docs/observability.md).
 //
-//   asfsim_trace summarize <trace.jsonl> [--top N]
+//   asfsim_trace summarize <trace.jsonl> [--top N] [--starvation]
 //       Event counts, top-N conflicting lines, hottest core pairs, the
-//       core×core conflict matrix, and an abort-cause timeline.
+//       core×core conflict matrix, an abort-cause timeline, and a
+//       forward-progress section (aborts per tx, per-core max consecutive
+//       aborts, fallback acquisitions). --starvation additionally demands
+//       a contention-policy trace: it exits non-zero when the stream holds
+//       no policy or fallback-acquisition events at all.
 //
 //   asfsim_trace convert <trace.jsonl> <out.perfetto.json>
 //       Re-emit a JSONL trace as a Chrome/Perfetto trace-event file
@@ -35,7 +39,7 @@ namespace {
 
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
-               "usage: %s summarize <trace.jsonl> [--top N]\n"
+               "usage: %s summarize <trace.jsonl> [--top N] [--starvation]\n"
                "       %s convert <trace.jsonl> <out.perfetto.json>\n"
                "       %s conflicts <trace.jsonl> [--top N] [--csv <out>]\n",
                argv0, argv0, argv0);
@@ -73,9 +77,12 @@ int cmd_summarize(const char* argv0, int argc, char** argv) {
   if (argc < 1) return usage(argv0, 2);
   const char* path = argv[0];
   int top_n = 10;
+  bool starvation = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--starvation") == 0) {
+      starvation = true;
     } else {
       return usage(argv0, 2);
     }
@@ -90,6 +97,14 @@ int cmd_summarize(const char* argv0, int argc, char** argv) {
   }
   if (summary.total_events == 0) {
     std::fprintf(stderr, "%s: %s: empty trace (no events)\n", argv0, path);
+    return 1;
+  }
+  if (starvation && !summary.has_cm_events()) {
+    std::fprintf(stderr,
+                 "%s: %s: no contention-policy events (rerun with a "
+                 "non-default --cm-policy or --cm-stats to trace policy "
+                 "decisions)\n",
+                 argv0, path);
     return 1;
   }
   std::cout << "trace: " << path << "\n";
